@@ -1,0 +1,99 @@
+// Command certinfo inspects certificates like `openssl x509 -text` and lints
+// them for the device-certificate pathologies the paper catalogues. It reads
+// PEM or raw DER from files or stdin.
+//
+// Usage:
+//
+//	certinfo [-lint] [-der] file.pem [file2.pem ...]
+//	servesim ... | certinfo -fetch host:port
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"securepki/internal/certlint"
+	"securepki/internal/wire"
+	"securepki/internal/x509lite"
+)
+
+func main() {
+	var (
+		lint  = flag.Bool("lint", false, "run the pathology linter on each certificate")
+		der   = flag.Bool("der", false, "input is raw DER, not PEM")
+		fetch = flag.String("fetch", "", "fetch the chain from a host:port (wire protocol) instead of reading files")
+	)
+	flag.Parse()
+
+	var certs []*x509lite.Certificate
+	switch {
+	case *fetch != "":
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		chain, err := wire.FetchChain(ctx, *fetch)
+		if err != nil {
+			fatal(err)
+		}
+		for i, raw := range chain {
+			cert, err := x509lite.Parse(raw)
+			if err != nil {
+				fatal(fmt.Errorf("chain element %d: %w", i, err))
+			}
+			certs = append(certs, cert)
+		}
+	case flag.NArg() == 0:
+		data, err := io.ReadAll(os.Stdin)
+		if err != nil {
+			fatal(err)
+		}
+		certs = load(data, *der)
+	default:
+		for _, path := range flag.Args() {
+			data, err := os.ReadFile(path)
+			if err != nil {
+				fatal(err)
+			}
+			certs = append(certs, load(data, *der)...)
+		}
+	}
+
+	for i, cert := range certs {
+		if i > 0 {
+			fmt.Println()
+		}
+		fmt.Print(cert.Text())
+		if *lint {
+			findings := certlint.RunAll(cert, nil)
+			if len(findings) == 0 {
+				fmt.Println("    Lint: clean")
+			}
+			for _, f := range findings {
+				fmt.Printf("    Lint: %s\n", f)
+			}
+		}
+	}
+}
+
+func load(data []byte, rawDER bool) []*x509lite.Certificate {
+	if rawDER {
+		cert, err := x509lite.Parse(data)
+		if err != nil {
+			fatal(err)
+		}
+		return []*x509lite.Certificate{cert}
+	}
+	certs, err := x509lite.ParsePEM(data)
+	if err != nil {
+		fatal(err)
+	}
+	return certs
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "certinfo:", err)
+	os.Exit(1)
+}

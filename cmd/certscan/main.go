@@ -1,0 +1,117 @@
+// Command certscan is the zgrab-equivalent network scanner: it reads a list
+// of host:port targets, grabs each endpoint's certificate chain over the
+// wire protocol with a concurrent worker pool, validates what it finds
+// against an (empty, i.e. trust-nothing) root store, and prints a per-target
+// summary plus aggregate statistics.
+//
+// Usage:
+//
+//	certscan -targets targets.txt [-workers 32] [-timeout 3s] [-repeat 1 -interval 2s]
+//
+// With -repeat > 1 the scanner sweeps multiple times and reports how many
+// endpoints rotated their certificate between sweeps — the wire-level
+// equivalent of the paper's reissue observation.
+package main
+
+import (
+	"bufio"
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"securepki/internal/truststore"
+	"securepki/internal/wire"
+	"securepki/internal/x509lite"
+)
+
+func main() {
+	var (
+		targetsFile = flag.String("targets", "", "file of host:port targets, one per line (required)")
+		workers     = flag.Int("workers", 32, "concurrent connections")
+		timeout     = flag.Duration("timeout", 3*time.Second, "per-target timeout")
+		repeat      = flag.Int("repeat", 1, "number of sweeps")
+		interval    = flag.Duration("interval", 2*time.Second, "pause between sweeps")
+	)
+	flag.Parse()
+	if *targetsFile == "" {
+		fmt.Fprintln(os.Stderr, "certscan: -targets is required")
+		os.Exit(2)
+	}
+	targets, err := readTargets(*targetsFile)
+	if err != nil {
+		fatal(err)
+	}
+	if len(targets) == 0 {
+		fatal(fmt.Errorf("no targets in %s", *targetsFile))
+	}
+
+	store := truststore.NewStore() // empty: classifies like a client that trusts nothing
+	lastSeen := make(map[string]x509lite.Fingerprint)
+	rotated := 0
+
+	for sweep := 0; sweep < *repeat; sweep++ {
+		if sweep > 0 {
+			time.Sleep(*interval)
+		}
+		start := time.Now()
+		results := wire.Scan(context.Background(), targets, *workers, *timeout)
+		var ok, failed int
+		statusCounts := map[truststore.Status]int{}
+		for _, r := range results {
+			if r.Err != nil {
+				failed++
+				fmt.Printf("%-22s ERROR %v\n", r.Addr, r.Err)
+				continue
+			}
+			ok++
+			cert, err := x509lite.Parse(r.Chain[0])
+			if err != nil {
+				fmt.Printf("%-22s PARSE-ERROR %v\n", r.Addr, err)
+				continue
+			}
+			st := store.Verify(cert).Status
+			statusCounts[st]++
+			fp := cert.Fingerprint()
+			if prev, seen := lastSeen[r.Addr]; seen && prev != fp {
+				rotated++
+				fmt.Printf("%-22s %-16s CN=%q serial=%s (REISSUED)\n", r.Addr, st, cert.Subject.CommonName, cert.SerialNumber)
+			} else {
+				fmt.Printf("%-22s %-16s CN=%q serial=%s\n", r.Addr, st, cert.Subject.CommonName, cert.SerialNumber)
+			}
+			lastSeen[r.Addr] = fp
+		}
+		fmt.Printf("# sweep %d: %d ok, %d failed in %v;", sweep+1, ok, failed, time.Since(start).Round(time.Millisecond))
+		for st, n := range statusCounts {
+			fmt.Printf(" %s=%d", st, n)
+		}
+		fmt.Println()
+	}
+	if *repeat > 1 {
+		fmt.Printf("# certificates rotated between sweeps: %d\n", rotated)
+	}
+}
+
+func readTargets(path string) ([]string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var out []string
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line != "" && !strings.HasPrefix(line, "#") {
+			out = append(out, line)
+		}
+	}
+	return out, sc.Err()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "certscan:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,104 @@
+// Command scangen generates a synthetic certificate-ecosystem corpus: it
+// builds a device/website population, runs both scan campaigns over it, and
+// writes the deduplicated corpus to disk for the analysis tools.
+//
+// Usage:
+//
+//	scangen -out corpus.spki [-devices 8600] [-sites 3700] [-seed 1]
+//	        [-umich 30] [-rapid7 17]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"securepki/internal/core"
+)
+
+func main() {
+	var (
+		out     = flag.String("out", "corpus.spki", "output corpus file")
+		dumpNet = flag.Bool("dump-net", false, "also write <out>.prefix2as and <out>.asinfo (RouteViews/CAIDA-style datasets)")
+		devices = flag.Int("devices", 0, "number of end-user devices (0 = default)")
+		sites   = flag.Int("sites", 0, "number of websites (0 = default)")
+		seed    = flag.Uint64("seed", 0, "world seed (0 = default)")
+		umich   = flag.Int("umich", 0, "UMich scan count (0 = default)")
+		rapid7  = flag.Int("rapid7", 0, "Rapid7 scan count (0 = default)")
+		small   = flag.Bool("small", false, "use the reduced sizing")
+	)
+	flag.Parse()
+
+	cfg := core.DefaultConfig()
+	if *small {
+		cfg = core.SmallConfig()
+	}
+	if *devices > 0 {
+		cfg.World.NumDevices = *devices
+	}
+	if *sites > 0 {
+		cfg.World.NumSites = *sites
+	}
+	if *seed != 0 {
+		cfg.World.Seed = *seed
+	}
+	if *umich > 0 {
+		cfg.Scan.UMichScans = *umich
+	}
+	if *rapid7 > 0 {
+		cfg.Scan.Rapid7Scans = *rapid7
+	}
+
+	p := &core.Pipeline{Config: cfg}
+	if err := p.Generate(); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "world: %d devices, %d sites, %d ASes, %d prefixes\n",
+		len(p.World.Devices), len(p.World.Sites), len(p.World.Internet.ASes()), p.World.Internet.NumPrefixes())
+	if err := p.Scan(); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "scans: %d, unique certificates: %d\n", p.Corpus.NumScans(), p.Corpus.NumCerts())
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fatal(err)
+	}
+	if err := p.Corpus.Write(f); err != nil {
+		f.Close()
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	info, err := os.Stat(*out)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s (%d bytes)\n", *out, info.Size())
+
+	if *dumpNet {
+		pf, err := os.Create(*out + ".prefix2as")
+		if err != nil {
+			fatal(err)
+		}
+		if err := p.World.Internet.WriteRouteViews(pf, cfg.World.Start); err != nil {
+			fatal(err)
+		}
+		pf.Close()
+		af, err := os.Create(*out + ".asinfo")
+		if err != nil {
+			fatal(err)
+		}
+		if err := p.World.Internet.WriteASInfo(af); err != nil {
+			fatal(err)
+		}
+		af.Close()
+		fmt.Fprintf(os.Stderr, "wrote %s.prefix2as and %s.asinfo\n", *out, *out)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "scangen:", err)
+	os.Exit(1)
+}

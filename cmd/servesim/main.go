@@ -1,0 +1,96 @@
+// Command servesim exposes a slice of the simulated device population on
+// real TCP sockets using the wire protocol, so cmd/certscan (or any client)
+// can harvest certificates over an actual network path.
+//
+// Each device gets one loopback listener; devices keep reissuing on their
+// simulated schedule, so repeated scans observe rotating certificates.
+//
+// Usage:
+//
+//	servesim [-n 25] [-seed 1] [-addr 127.0.0.1:0] [-targets targets.txt]
+//
+// The listener addresses are written to -targets (default stdout), one per
+// line — feed that file to certscan.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"securepki/internal/devicesim"
+	"securepki/internal/wire"
+)
+
+func main() {
+	var (
+		n       = flag.Int("n", 25, "number of devices to expose")
+		seed    = flag.Uint64("seed", 1, "world seed")
+		addr    = flag.String("addr", "127.0.0.1:0", "listen address pattern (port 0 = ephemeral)")
+		targets = flag.String("targets", "", "file to write listener addresses to (default stdout)")
+		linger  = flag.Duration("linger", 0, "serve for this long then exit (0 = until interrupted)")
+	)
+	flag.Parse()
+
+	cfg := devicesim.DefaultConfig()
+	cfg.Seed = *seed
+	cfg.NumDevices = *n * 4 // draw extra so profile variety survives the cut
+	cfg.NumSites = 8
+	world, err := devicesim.BuildWorld(cfg)
+	if err != nil {
+		fatal(err)
+	}
+
+	out := os.Stdout
+	if *targets != "" {
+		f, err := os.Create(*targets)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		out = f
+	}
+
+	start := time.Now()
+	var servers []*wire.Server
+	defer func() {
+		for _, s := range servers {
+			s.Close()
+		}
+	}()
+	for i := 0; i < *n && i < len(world.Devices); i++ {
+		dev := world.Devices[i]
+		// The provider advances the simulated clock with real time, so the
+		// device reissues live: 1 real second = 1 simulated day.
+		provider := func() [][]byte {
+			days := int(time.Since(start).Seconds())
+			dev.AdvanceTo(dev.Birth.AddDate(0, 0, days))
+			return [][]byte{dev.CurrentCert().Raw}
+		}
+		srv, err := wire.NewServer(*addr, provider)
+		if err != nil {
+			fatal(err)
+		}
+		servers = append(servers, srv)
+		fmt.Fprintf(out, "%s\n", srv.Addr())
+		fmt.Fprintf(os.Stderr, "serving %-18s profile=%s CN=%q\n",
+			srv.Addr(), dev.Profile.Name, dev.CurrentCert().Subject.CommonName)
+	}
+	out.Sync()
+
+	if *linger > 0 {
+		time.Sleep(*linger)
+		return
+	}
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "servesim:", err)
+	os.Exit(1)
+}

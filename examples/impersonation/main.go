@@ -1,0 +1,96 @@
+// Impersonation: the security implication of §5.2. The paper found one
+// Lancom firmware key pair shared by 4.59M certificates and noted that an
+// attacker who extracts that private key from any single device can
+// impersonate every other one. This example plays both sides: it finds the
+// shared-key population in the simulated world, "extracts" the key from one
+// device (the simulator knows it), forges a certificate for a *different*
+// victim device, serves it on a real socket, and shows that a scanner cannot
+// distinguish the forgery — same public key, plausible subject, verifying
+// signature.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"math/big"
+	"time"
+
+	"securepki"
+	"securepki/internal/devicesim"
+	"securepki/internal/x509lite"
+)
+
+func main() {
+	cfg := devicesim.DefaultConfig()
+	cfg.NumDevices = 600
+	cfg.NumSites = 10
+	world, err := devicesim.BuildWorld(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Find the shared-key population (Lancom-style: one firmware key pair
+	// across the model line).
+	var fleet []*devicesim.Device
+	for _, d := range world.Devices {
+		if d.Profile.Key == devicesim.KeyVendorShared && d.Profile.Name == "lancom" {
+			fleet = append(fleet, d)
+		}
+	}
+	if len(fleet) < 2 {
+		log.Fatal("not enough shared-key devices in this world")
+	}
+	compromised, victim := fleet[0], fleet[1]
+	fmt.Printf("shared-key population: %d devices\n", len(fleet))
+	fmt.Printf("compromised device: #%d  victim device: #%d\n", compromised.ID, victim.ID)
+	fmt.Printf("same public key? %v\n\n",
+		compromised.CurrentCert().PublicKeyFingerprint() == victim.CurrentCert().PublicKeyFingerprint())
+
+	// "Extract" the private key from the compromised device — in the real
+	// attack this is firmware dumping; in the simulation the world hands it
+	// over, which is exactly the point: it is one key for the whole fleet.
+	priv := world.ExtractDeviceKey(compromised)
+
+	// Forge a certificate that claims to be the victim.
+	victimCert := victim.CurrentCert()
+	forgedDER, err := x509lite.CreateCertificate(&x509lite.Template{
+		Version:      3,
+		SerialNumber: big.NewInt(1337),
+		Subject:      victimCert.Subject,
+		Issuer:       victimCert.Issuer,
+		NotBefore:    victimCert.NotBefore,
+		NotAfter:     victimCert.NotAfter,
+	}, victimCert.PublicKey, priv)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Serve the forgery on a real socket and scan it.
+	srv, err := securepki.ServeChain("127.0.0.1:0", func() [][]byte {
+		return [][]byte{forgedDER}
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+
+	results := securepki.ScanTargets(context.Background(), []string{srv.Addr()}, 1, 2*time.Second)
+	got, err := securepki.ParseCertificate(results[0].Chain[0])
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("what the scanner sees at the attacker's address:")
+	fmt.Printf("  subject:     %s\n", got.Subject)
+	fmt.Printf("  issuer:      %s\n", got.Issuer)
+	fmt.Printf("  public key:  %s\n", got.PublicKeyFingerprint())
+	fmt.Printf("  self-check:  signature verifies under the fleet key? %v\n\n",
+		got.CheckSignatureFrom(victimCert) == nil)
+
+	same := got.PublicKeyFingerprint() == victimCert.PublicKeyFingerprint()
+	fmt.Printf("indistinguishable from the victim by key (%v) and names (%v)\n",
+		same, got.Subject == victimCert.Subject && got.Issuer == victimCert.Issuer)
+	fmt.Println("\nthe paper's footnote 10 made concrete: a fleet-wide firmware key")
+	fmt.Println("turns one compromised box into an impersonation kit for millions.")
+}

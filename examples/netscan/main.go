@@ -1,0 +1,95 @@
+// Network scan: the collection path on real sockets. A handful of simulated
+// devices are served over TCP with the wire protocol; a concurrent scanner
+// sweeps them twice, and the second sweep catches the devices that reissued
+// in between — the end-to-end, on-the-wire version of what the corpus-scale
+// pipeline does in memory.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"securepki"
+	"securepki/internal/devicesim"
+)
+
+func main() {
+	// A tiny population; we expose its most reissue-happy devices.
+	cfg := devicesim.DefaultConfig()
+	cfg.NumDevices = 120
+	cfg.NumSites = 4
+	world, err := devicesim.BuildWorld(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	start := time.Now()
+	var targets []string
+	var servers []*securepki.WireServer
+	defer func() {
+		for _, s := range servers {
+			s.Close()
+		}
+	}()
+	count := 0
+	for _, dev := range world.Devices {
+		if count >= 12 {
+			break
+		}
+		if !dev.Profile.ReissueOnIPChange && dev.Profile.ReissueMeanDays == 0 {
+			continue
+		}
+		dev := dev
+		// One real second advances the device's simulated clock by a
+		// month, so reissues happen while we watch.
+		provider := func() [][]byte {
+			months := int(time.Since(start).Seconds())
+			dev.AdvanceTo(dev.Birth.AddDate(0, 0, 30*months))
+			return [][]byte{dev.CurrentCert().Raw}
+		}
+		srv, err := securepki.ServeChain("127.0.0.1:0", provider)
+		if err != nil {
+			log.Fatal(err)
+		}
+		servers = append(servers, srv)
+		targets = append(targets, srv.Addr())
+		count++
+	}
+	fmt.Printf("serving %d simulated devices on loopback TCP\n\n", len(targets))
+
+	sweep := func(n int) map[string]securepki.Fingerprint {
+		results := securepki.ScanTargets(context.Background(), targets, 8, 2*time.Second)
+		seen := make(map[string]securepki.Fingerprint)
+		for _, r := range results {
+			if r.Err != nil {
+				fmt.Printf("  %-21s error: %v\n", r.Addr, r.Err)
+				continue
+			}
+			cert, err := securepki.ParseCertificate(r.Chain[0])
+			if err != nil {
+				fmt.Printf("  %-21s parse error: %v\n", r.Addr, err)
+				continue
+			}
+			seen[r.Addr] = cert.Fingerprint()
+			fmt.Printf("  %-21s CN=%-24q serial=%v\n", r.Addr, cert.Subject.CommonName, cert.SerialNumber)
+		}
+		fmt.Println()
+		return seen
+	}
+
+	fmt.Println("sweep 1:")
+	first := sweep(1)
+	time.Sleep(4 * time.Second) // ~4 simulated months pass
+	fmt.Println("sweep 2 (four simulated months later):")
+	second := sweep(2)
+
+	rotated := 0
+	for addr, fp := range second {
+		if prev, ok := first[addr]; ok && prev != fp {
+			rotated++
+		}
+	}
+	fmt.Printf("devices that reissued between sweeps: %d of %d\n", rotated, len(targets))
+}

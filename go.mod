@@ -1,0 +1,3 @@
+module securepki
+
+go 1.22

@@ -1,0 +1,419 @@
+package asn1der
+
+import (
+	"bytes"
+	"errors"
+	"math/big"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestBoolRoundTrip(t *testing.T) {
+	for _, v := range []bool{true, false} {
+		var e Encoder
+		e.Bool(v)
+		d := NewDecoder(e.Bytes())
+		got, err := d.Bool()
+		if err != nil {
+			t.Fatalf("Bool(%v) decode: %v", v, err)
+		}
+		if got != v {
+			t.Errorf("Bool round trip: got %v, want %v", got, v)
+		}
+	}
+}
+
+func TestIntRoundTrip(t *testing.T) {
+	cases := []int64{0, 1, -1, 127, 128, 255, 256, -128, -129, -256, 1 << 40, -(1 << 40), 1<<62 - 1}
+	for _, v := range cases {
+		var e Encoder
+		e.Int(v)
+		got, err := NewDecoder(e.Bytes()).Int()
+		if err != nil {
+			t.Fatalf("Int(%d) decode: %v", v, err)
+		}
+		if got != v {
+			t.Errorf("Int round trip: got %d, want %d", got, v)
+		}
+	}
+}
+
+func TestIntKnownEncodings(t *testing.T) {
+	cases := []struct {
+		v    int64
+		want []byte
+	}{
+		{0, []byte{0x02, 0x01, 0x00}},
+		{127, []byte{0x02, 0x01, 0x7f}},
+		{128, []byte{0x02, 0x02, 0x00, 0x80}},
+		{-1, []byte{0x02, 0x01, 0xff}},
+		{-128, []byte{0x02, 0x01, 0x80}},
+		{-129, []byte{0x02, 0x02, 0xff, 0x7f}},
+	}
+	for _, tc := range cases {
+		var e Encoder
+		e.Int(tc.v)
+		if !bytes.Equal(e.Bytes(), tc.want) {
+			t.Errorf("Int(%d) = %x, want %x", tc.v, e.Bytes(), tc.want)
+		}
+	}
+}
+
+func TestIntRoundTripProperty(t *testing.T) {
+	f := func(v int64) bool {
+		var e Encoder
+		e.Int(v)
+		got, err := NewDecoder(e.Bytes()).Int()
+		return err == nil && got == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBigIntRoundTripProperty(t *testing.T) {
+	f := func(raw []byte, neg bool) bool {
+		v := new(big.Int).SetBytes(raw)
+		if neg {
+			v.Neg(v)
+		}
+		var e Encoder
+		e.BigInt(v)
+		got, err := NewDecoder(e.Bytes()).BigInt()
+		return err == nil && got.Cmp(v) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNonMinimalIntegerRejected(t *testing.T) {
+	// 0x00 0x7f is a non-minimal encoding of 127.
+	der := []byte{0x02, 0x02, 0x00, 0x7f}
+	if _, err := NewDecoder(der).Int(); err == nil {
+		t.Error("non-minimal integer accepted")
+	}
+}
+
+func TestBitStringRoundTrip(t *testing.T) {
+	payload := []byte{0xde, 0xad, 0xbe, 0xef}
+	var e Encoder
+	e.BitString(payload)
+	got, err := NewDecoder(e.Bytes()).BitString()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Errorf("bit string round trip: %x", got)
+	}
+}
+
+func TestBitStringUnusedBitsRejected(t *testing.T) {
+	der := []byte{0x03, 0x02, 0x03, 0xf8} // 3 unused bits
+	if _, err := NewDecoder(der).BitString(); err == nil {
+		t.Error("bit string with unused bits accepted")
+	}
+}
+
+func TestOctetStringRoundTrip(t *testing.T) {
+	var e Encoder
+	e.OctetString([]byte("hello"))
+	got, err := NewDecoder(e.Bytes()).OctetString()
+	if err != nil || string(got) != "hello" {
+		t.Errorf("octet string round trip: %q, %v", got, err)
+	}
+}
+
+func TestNullRoundTrip(t *testing.T) {
+	var e Encoder
+	e.Null()
+	if err := NewDecoder(e.Bytes()).Null(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOIDRoundTrip(t *testing.T) {
+	cases := [][]int{
+		{1, 2, 840, 113549, 1, 1, 11}, // sha256WithRSAEncryption
+		{2, 5, 4, 3},                  // commonName
+		{2, 5, 29, 17},                // subjectAltName
+		{0, 0},
+		{2, 100, 3},
+		{1, 3, 6, 1, 5, 5, 7, 48, 1}, // OCSP
+	}
+	for _, oid := range cases {
+		var e Encoder
+		e.OID(oid)
+		got, err := NewDecoder(e.Bytes()).OID()
+		if err != nil {
+			t.Fatalf("OID %v decode: %v", oid, err)
+		}
+		if len(got) != len(oid) {
+			t.Fatalf("OID %v round trip: %v", oid, got)
+		}
+		for i := range oid {
+			if got[i] != oid[i] {
+				t.Errorf("OID %v round trip: %v", oid, got)
+				break
+			}
+		}
+	}
+}
+
+func TestOIDKnownEncoding(t *testing.T) {
+	var e Encoder
+	e.OID([]int{1, 2, 840, 113549})
+	want := []byte{0x06, 0x06, 0x2a, 0x86, 0x48, 0x86, 0xf7, 0x0d}
+	if !bytes.Equal(e.Bytes(), want) {
+		t.Errorf("OID encoding = %x, want %x", e.Bytes(), want)
+	}
+}
+
+func TestOIDPanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("invalid OID did not panic")
+		}
+	}()
+	var e Encoder
+	e.OID([]int{5, 1})
+}
+
+func TestStringTypes(t *testing.T) {
+	enc := []func(*Encoder, string){
+		func(e *Encoder, s string) { e.UTF8String(s) },
+		func(e *Encoder, s string) { e.PrintableString(s) },
+		func(e *Encoder, s string) { e.IA5String(s) },
+	}
+	for i, fn := range enc {
+		var e Encoder
+		fn(&e, "test.example.com")
+		got, err := NewDecoder(e.Bytes()).String()
+		if err != nil || got != "test.example.com" {
+			t.Errorf("string type %d round trip: %q, %v", i, got, err)
+		}
+	}
+}
+
+func TestTimeUTCRange(t *testing.T) {
+	cases := []time.Time{
+		time.Date(2014, 6, 10, 12, 30, 0, 0, time.UTC),
+		time.Date(1970, 1, 1, 0, 0, 0, 0, time.UTC),
+		time.Date(2049, 12, 31, 23, 59, 59, 0, time.UTC),
+	}
+	for _, want := range cases {
+		var e Encoder
+		e.Time(want)
+		if e.Bytes()[0] != TagUTCTime {
+			t.Errorf("%v not encoded as UTCTime", want)
+		}
+		got, err := NewDecoder(e.Bytes()).Time()
+		if err != nil || !got.Equal(want) {
+			t.Errorf("time round trip: got %v want %v err %v", got, want, err)
+		}
+	}
+}
+
+func TestTimeGeneralizedForExtremeYears(t *testing.T) {
+	// The paper's invalid certs carry NotAfter dates past the year 3000.
+	cases := []time.Time{
+		time.Date(3000, 1, 1, 0, 0, 0, 0, time.UTC),
+		time.Date(3512, 7, 4, 1, 2, 3, 0, time.UTC),
+		time.Date(1910, 3, 1, 0, 0, 0, 0, time.UTC),
+		time.Date(2050, 1, 1, 0, 0, 0, 0, time.UTC),
+	}
+	for _, want := range cases {
+		var e Encoder
+		e.Time(want)
+		if e.Bytes()[0] != TagGeneralizedTime {
+			t.Errorf("%v not encoded as GeneralizedTime", want)
+		}
+		got, err := NewDecoder(e.Bytes()).Time()
+		if err != nil || !got.Equal(want) {
+			t.Errorf("time round trip: got %v want %v err %v", got, want, err)
+		}
+	}
+}
+
+func TestUTCTimePivot(t *testing.T) {
+	// 990101000000Z must be 1999, 200101000000Z must be 2020.
+	der := []byte{TagUTCTime, 13}
+	der = append(der, []byte("990101000000Z")...)
+	got, err := NewDecoder(der).Time()
+	if err != nil || got.Year() != 1999 {
+		t.Errorf("UTCTime 99 = %v, %v", got, err)
+	}
+}
+
+func TestSequenceNesting(t *testing.T) {
+	var e Encoder
+	e.Sequence(func(e *Encoder) {
+		e.Int(1)
+		e.Sequence(func(e *Encoder) {
+			e.UTF8String("inner")
+		})
+		e.Bool(true)
+	})
+	seq, err := NewDecoder(e.Bytes()).Sequence()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, err := seq.Int(); err != nil || v != 1 {
+		t.Fatalf("first element: %d, %v", v, err)
+	}
+	inner, err := seq.Sequence()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s, err := inner.String(); err != nil || s != "inner" {
+		t.Fatalf("inner string: %q, %v", s, err)
+	}
+	if b, err := seq.Bool(); err != nil || !b {
+		t.Fatalf("trailing bool: %v, %v", b, err)
+	}
+	if !seq.Empty() {
+		t.Error("sequence not fully consumed")
+	}
+}
+
+func TestContextTags(t *testing.T) {
+	var e Encoder
+	e.ContextExplicit(0, func(e *Encoder) { e.Int(2) })
+	e.ContextImplicitPrimitive(2, []byte("dns.example"))
+
+	d := NewDecoder(e.Bytes())
+	if !d.PeekContextExplicit(0) {
+		t.Fatal("PeekContextExplicit(0) false")
+	}
+	inner, err := d.ContextExplicit(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, err := inner.Int(); err != nil || v != 2 {
+		t.Fatalf("explicit contents: %d, %v", v, err)
+	}
+	tag, content, err := d.ReadAny()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tag != byte(ClassContextSpecific|2) || string(content) != "dns.example" {
+		t.Errorf("implicit tag = 0x%02x, content %q", tag, content)
+	}
+}
+
+func TestTagMismatchIsProbeable(t *testing.T) {
+	var e Encoder
+	e.Int(5)
+	d := NewDecoder(e.Bytes())
+	_, err := d.OctetString()
+	if !errors.Is(err, ErrTagMismatch) {
+		t.Errorf("want ErrTagMismatch, got %v", err)
+	}
+	// The decoder must not have consumed the element.
+	if v, err := d.Int(); err != nil || v != 5 {
+		t.Errorf("element consumed by failed probe: %d, %v", v, err)
+	}
+}
+
+func TestLongLengths(t *testing.T) {
+	for _, n := range []int{0x7f, 0x80, 0xff, 0x100, 0xffff, 0x10000} {
+		payload := make([]byte, n)
+		for i := range payload {
+			payload[i] = byte(i)
+		}
+		var e Encoder
+		e.OctetString(payload)
+		got, err := NewDecoder(e.Bytes()).OctetString()
+		if err != nil {
+			t.Fatalf("len %d: %v", n, err)
+		}
+		if !bytes.Equal(got, payload) {
+			t.Fatalf("len %d: corrupted payload", n)
+		}
+	}
+}
+
+func TestTruncatedInputs(t *testing.T) {
+	var e Encoder
+	e.Sequence(func(e *Encoder) { e.OctetString(make([]byte, 300)) })
+	full := e.Bytes()
+	// Every strict prefix must fail cleanly, never panic.
+	for i := 0; i < len(full); i++ {
+		d := NewDecoder(full[:i])
+		if _, err := d.Sequence(); err == nil {
+			inner, _ := d.Sequence()
+			_ = inner
+			t.Fatalf("truncated prefix of %d bytes decoded without error", i)
+		}
+	}
+}
+
+func TestIndefiniteLengthRejected(t *testing.T) {
+	der := []byte{0x30, 0x80, 0x00, 0x00}
+	if _, err := NewDecoder(der).Sequence(); err == nil {
+		t.Error("indefinite length accepted")
+	}
+}
+
+func TestSyntaxErrorOffsets(t *testing.T) {
+	var e Encoder
+	e.Sequence(func(e *Encoder) {
+		e.Int(1)
+		e.Raw([]byte{0x02, 0x05, 0x01}) // integer claiming 5 bytes, only 1 present
+	})
+	seq, err := NewDecoder(e.Bytes()).Sequence()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := seq.Int(); err != nil {
+		t.Fatal(err)
+	}
+	_, err = seq.Int()
+	var se *SyntaxError
+	if !errors.As(err, &se) {
+		t.Fatalf("want SyntaxError, got %v", err)
+	}
+	if se.Offset <= 0 {
+		t.Errorf("syntax error lacks positional context: %+v", se)
+	}
+}
+
+func TestDecoderFuzzNoPanic(t *testing.T) {
+	// Arbitrary bytes must never panic the decoder; devices in the studied
+	// corpus served certificates openssl could not parse.
+	f := func(raw []byte) bool {
+		d := NewDecoder(raw)
+		for !d.Empty() {
+			if _, _, err := d.ReadAny(); err != nil {
+				return true
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReadElementCapturesFullTLV(t *testing.T) {
+	var e Encoder
+	e.Sequence(func(e *Encoder) { e.Int(7) })
+	e.Bool(true)
+	d := NewDecoder(e.Bytes())
+	tag, full, err := d.ReadElement()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tag != TagSequence|0x20 {
+		t.Errorf("tag = 0x%02x", tag)
+	}
+	// The captured bytes must themselves decode as the same sequence.
+	seq, err := NewDecoder(full).Sequence()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := seq.Int(); v != 7 {
+		t.Errorf("captured element decodes to %d", v)
+	}
+}

@@ -1,0 +1,352 @@
+package asn1der
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+	"time"
+)
+
+// SyntaxError reports malformed DER with byte-offset context, mirroring how
+// the paper's pipeline had to tolerate "openssl parsing errors" from devices
+// that emit garbage certificates.
+type SyntaxError struct {
+	Offset int
+	Msg    string
+}
+
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("asn1der: offset %d: %s", e.Offset, e.Msg)
+}
+
+// ErrTagMismatch is wrapped by the typed readers when the next element does
+// not carry the expected tag; callers use errors.Is to probe for optional
+// fields.
+var ErrTagMismatch = errors.New("asn1der: tag mismatch")
+
+// Decoder consumes a DER document sequentially. It tracks its absolute offset
+// in the original input so nested decoders produce useful error positions.
+type Decoder struct {
+	data []byte
+	pos  int
+	base int // absolute offset of data[0] in the original document
+}
+
+// NewDecoder returns a decoder over der.
+func NewDecoder(der []byte) *Decoder { return &Decoder{data: der} }
+
+// Empty reports whether all input has been consumed.
+func (d *Decoder) Empty() bool { return d.pos >= len(d.data) }
+
+// Offset returns the current absolute offset in the original document.
+func (d *Decoder) Offset() int { return d.base + d.pos }
+
+// Remaining returns the unconsumed bytes without advancing.
+func (d *Decoder) Remaining() []byte { return d.data[d.pos:] }
+
+func (d *Decoder) syntaxErr(format string, args ...any) error {
+	return &SyntaxError{Offset: d.Offset(), Msg: fmt.Sprintf(format, args...)}
+}
+
+// PeekTag returns the tag byte of the next element without consuming it.
+func (d *Decoder) PeekTag() (byte, error) {
+	if d.Empty() {
+		return 0, d.syntaxErr("truncated: expected tag")
+	}
+	return d.data[d.pos], nil
+}
+
+// ReadAny consumes the next TLV of any tag, returning its tag and contents.
+// The content slice aliases the decoder's input.
+func (d *Decoder) ReadAny() (tag byte, content []byte, err error) {
+	start := d.pos
+	if d.Empty() {
+		return 0, nil, d.syntaxErr("truncated: expected tag")
+	}
+	tag = d.data[d.pos]
+	if tag&0x1f == 0x1f {
+		return 0, nil, d.syntaxErr("high-tag-number form not supported")
+	}
+	d.pos++
+	n, err := d.readLength()
+	if err != nil {
+		d.pos = start
+		return 0, nil, err
+	}
+	if n > len(d.data)-d.pos {
+		d.pos = start
+		return 0, nil, d.syntaxErr("length %d exceeds remaining %d bytes", n, len(d.data)-d.pos)
+	}
+	content = d.data[d.pos : d.pos+n]
+	d.pos += n
+	return tag, content, nil
+}
+
+// ReadElement consumes the next TLV and returns its full encoding (tag,
+// length and contents), used to capture raw sub-structures such as TBS bytes.
+func (d *Decoder) ReadElement() (tag byte, full []byte, err error) {
+	start := d.pos
+	tag, _, err = d.ReadAny()
+	if err != nil {
+		return 0, nil, err
+	}
+	return tag, d.data[start:d.pos], nil
+}
+
+func (d *Decoder) readLength() (int, error) {
+	if d.Empty() {
+		return 0, d.syntaxErr("truncated: expected length")
+	}
+	b := d.data[d.pos]
+	d.pos++
+	if b < 0x80 {
+		return int(b), nil
+	}
+	numBytes := int(b & 0x7f)
+	if numBytes == 0 {
+		return 0, d.syntaxErr("indefinite length not allowed in DER")
+	}
+	if numBytes > 4 {
+		return 0, d.syntaxErr("length of length %d too large", numBytes)
+	}
+	if numBytes > len(d.data)-d.pos {
+		return 0, d.syntaxErr("truncated length")
+	}
+	var n int
+	for i := 0; i < numBytes; i++ {
+		n = n<<8 | int(d.data[d.pos])
+		d.pos++
+	}
+	if n < 0x80 && numBytes == 1 {
+		return 0, d.syntaxErr("non-minimal length encoding")
+	}
+	return n, nil
+}
+
+func (d *Decoder) expect(tag byte) ([]byte, error) {
+	got, err := d.PeekTag()
+	if err != nil {
+		return nil, err
+	}
+	if got != tag {
+		return nil, fmt.Errorf("%w: want 0x%02x, got 0x%02x at offset %d", ErrTagMismatch, tag, got, d.Offset())
+	}
+	_, content, err := d.ReadAny()
+	return content, err
+}
+
+// Bool reads a BOOLEAN.
+func (d *Decoder) Bool() (bool, error) {
+	c, err := d.expect(TagBoolean)
+	if err != nil {
+		return false, err
+	}
+	if len(c) != 1 {
+		return false, d.syntaxErr("boolean with %d content bytes", len(c))
+	}
+	return c[0] != 0, nil
+}
+
+// BigInt reads an INTEGER of any size.
+func (d *Decoder) BigInt() (*big.Int, error) {
+	c, err := d.expect(TagInteger)
+	if err != nil {
+		return nil, err
+	}
+	if len(c) == 0 {
+		return nil, d.syntaxErr("empty integer")
+	}
+	if len(c) > 1 && ((c[0] == 0 && c[1]&0x80 == 0) || (c[0] == 0xff && c[1]&0x80 != 0)) {
+		return nil, d.syntaxErr("non-minimal integer")
+	}
+	v := new(big.Int).SetBytes(c)
+	if c[0]&0x80 != 0 { // negative: undo two's complement
+		mod := new(big.Int).Lsh(big.NewInt(1), uint(8*len(c)))
+		v.Sub(v, mod)
+	}
+	return v, nil
+}
+
+// Int reads an INTEGER that must fit in an int64.
+func (d *Decoder) Int() (int64, error) {
+	v, err := d.BigInt()
+	if err != nil {
+		return 0, err
+	}
+	if !v.IsInt64() {
+		return 0, d.syntaxErr("integer does not fit int64")
+	}
+	return v.Int64(), nil
+}
+
+// BitString reads a BIT STRING and returns its bytes, requiring zero unused
+// bits as X.509 key/signature fields do.
+func (d *Decoder) BitString() ([]byte, error) {
+	c, err := d.expect(TagBitString)
+	if err != nil {
+		return nil, err
+	}
+	if len(c) == 0 {
+		return nil, d.syntaxErr("empty bit string")
+	}
+	if c[0] != 0 {
+		return nil, d.syntaxErr("bit string with %d unused bits unsupported", c[0])
+	}
+	return c[1:], nil
+}
+
+// OctetString reads an OCTET STRING.
+func (d *Decoder) OctetString() ([]byte, error) { return d.expect(TagOctetString) }
+
+// Null reads a NULL.
+func (d *Decoder) Null() error {
+	c, err := d.expect(TagNull)
+	if err != nil {
+		return err
+	}
+	if len(c) != 0 {
+		return d.syntaxErr("NULL with contents")
+	}
+	return nil
+}
+
+// OID reads an OBJECT IDENTIFIER into its arc list.
+func (d *Decoder) OID() ([]int, error) {
+	c, err := d.expect(TagOID)
+	if err != nil {
+		return nil, err
+	}
+	return parseOIDContents(c, d.Offset())
+}
+
+func parseOIDContents(c []byte, off int) ([]int, error) {
+	if len(c) == 0 {
+		return nil, &SyntaxError{Offset: off, Msg: "empty OID"}
+	}
+	var arcs []int
+	v := 0
+	for i, b := range c {
+		if v == 0 && b == 0x80 {
+			return nil, &SyntaxError{Offset: off, Msg: "non-minimal base-128 in OID"}
+		}
+		if v > (1 << 24) { // avoid overflow on adversarial input
+			return nil, &SyntaxError{Offset: off, Msg: "OID arc too large"}
+		}
+		v = v<<7 | int(b&0x7f)
+		if b&0x80 == 0 {
+			if len(arcs) == 0 {
+				switch {
+				case v < 40:
+					arcs = append(arcs, 0, v)
+				case v < 80:
+					arcs = append(arcs, 1, v-40)
+				default:
+					arcs = append(arcs, 2, v-80)
+				}
+			} else {
+				arcs = append(arcs, v)
+			}
+			v = 0
+		} else if i == len(c)-1 {
+			return nil, &SyntaxError{Offset: off, Msg: "truncated OID arc"}
+		}
+	}
+	return arcs, nil
+}
+
+// String reads any of the string types X.509 names use (UTF8String,
+// PrintableString, IA5String) and returns the contents.
+func (d *Decoder) String() (string, error) {
+	tag, err := d.PeekTag()
+	if err != nil {
+		return "", err
+	}
+	switch tag {
+	case TagUTF8String, TagPrintableString, TagIA5String:
+		_, c, err := d.ReadAny()
+		return string(c), err
+	}
+	return "", fmt.Errorf("%w: want string type, got 0x%02x at offset %d", ErrTagMismatch, tag, d.Offset())
+}
+
+// Time reads either a UTCTime or GeneralizedTime.
+func (d *Decoder) Time() (time.Time, error) {
+	tag, err := d.PeekTag()
+	if err != nil {
+		return time.Time{}, err
+	}
+	switch tag {
+	case TagUTCTime:
+		_, c, err := d.ReadAny()
+		if err != nil {
+			return time.Time{}, err
+		}
+		t, perr := time.Parse("060102150405Z", string(c))
+		if perr != nil {
+			return time.Time{}, d.syntaxErr("bad UTCTime %q", c)
+		}
+		// RFC 5280: two-digit years 00..49 are 20xx, 50..99 are 19xx.
+		// Go's reference parse already applies the 1969..2068 pivot, so
+		// re-pivot to the X.509 rule.
+		if t.Year() >= 2050 {
+			t = t.AddDate(-100, 0, 0)
+		}
+		return t, nil
+	case TagGeneralizedTime:
+		_, c, err := d.ReadAny()
+		if err != nil {
+			return time.Time{}, err
+		}
+		t, perr := time.Parse("20060102150405Z", string(c))
+		if perr != nil {
+			return time.Time{}, d.syntaxErr("bad GeneralizedTime %q", c)
+		}
+		return t, nil
+	}
+	return time.Time{}, fmt.Errorf("%w: want time type, got 0x%02x at offset %d", ErrTagMismatch, tag, d.Offset())
+}
+
+// Sequence descends into a SEQUENCE, returning a decoder scoped to its
+// contents.
+func (d *Decoder) Sequence() (*Decoder, error) { return d.constructed(TagSequence | constructed) }
+
+// Set descends into a SET.
+func (d *Decoder) Set() (*Decoder, error) { return d.constructed(TagSet | constructed) }
+
+// ContextExplicit descends into an explicit [n] tag.
+func (d *Decoder) ContextExplicit(n int) (*Decoder, error) {
+	return d.constructed(byte(ClassContextSpecific | constructed | n))
+}
+
+// PeekContextExplicit reports whether the next element is an explicit [n] tag.
+func (d *Decoder) PeekContextExplicit(n int) bool {
+	tag, err := d.PeekTag()
+	return err == nil && tag == byte(ClassContextSpecific|constructed|n)
+}
+
+func (d *Decoder) constructed(tag byte) (*Decoder, error) {
+	start := d.base + d.pos
+	c, err := d.expect(tag)
+	if err != nil {
+		return nil, err
+	}
+	// Content begins after the tag and length bytes; recompute the header
+	// size from the content length for accurate child offsets.
+	hdr := headerLen(len(c))
+	return &Decoder{data: c, base: start + hdr}, nil
+}
+
+func headerLen(contentLen int) int {
+	switch {
+	case contentLen < 0x80:
+		return 2
+	case contentLen <= 0xff:
+		return 3
+	case contentLen <= 0xffff:
+		return 4
+	case contentLen <= 0xffffff:
+		return 5
+	default:
+		return 6
+	}
+}

@@ -1,0 +1,33 @@
+package asn1der
+
+import "testing"
+
+func FuzzDecoder(f *testing.F) {
+	var e Encoder
+	e.Sequence(func(e *Encoder) {
+		e.Int(42)
+		e.OID([]int{1, 2, 840, 113549})
+		e.UTF8String("seed")
+	})
+	f.Add(e.Bytes())
+	f.Add([]byte{0x30, 0x80})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, der []byte) {
+		d := NewDecoder(der)
+		for !d.Empty() {
+			tag, content, err := d.ReadAny()
+			if err != nil {
+				return
+			}
+			// Constructed types must themselves be walkable without panic.
+			if tag&0x20 != 0 {
+				inner := NewDecoder(content)
+				for !inner.Empty() {
+					if _, _, err := inner.ReadAny(); err != nil {
+						break
+					}
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,242 @@
+package certlint
+
+import (
+	"crypto/ed25519"
+	"math/big"
+	"testing"
+	"time"
+
+	"securepki/internal/x509lite"
+)
+
+var serial int64 = 500
+
+func lintCert(t *testing.T, mutate func(*x509lite.Template)) *x509lite.Certificate {
+	t.Helper()
+	serial++
+	seed := make([]byte, ed25519.SeedSize)
+	seed[0], seed[1] = byte(serial), byte(serial>>8)
+	priv := ed25519.NewKeyFromSeed(seed)
+	pub := priv.Public().(ed25519.PublicKey)
+	tmpl := &x509lite.Template{
+		Version:      3,
+		SerialNumber: big.NewInt(serial),
+		Subject:      x509lite.Name{CommonName: "device.example"},
+		Issuer:       x509lite.Name{CommonName: "device.example"},
+		NotBefore:    time.Date(2013, 3, 1, 0, 0, 0, 0, time.UTC),
+		NotAfter:     time.Date(2014, 3, 1, 0, 0, 0, 0, time.UTC),
+		DNSNames:     []string{"device.example"},
+		OCSPServer:   []string{"http://ocsp.example"},
+	}
+	if mutate != nil {
+		mutate(tmpl)
+	}
+	der, err := x509lite.CreateCertificate(tmpl, pub, priv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cert, err := x509lite.Parse(der)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cert
+}
+
+func hasLint(findings []Finding, id string) bool {
+	for _, f := range findings {
+		if f.LintID == id {
+			return true
+		}
+	}
+	return false
+}
+
+func TestCleanCertTriggersOnlySelfSigned(t *testing.T) {
+	c := lintCert(t, nil)
+	findings := RunAll(c, nil)
+	for _, f := range findings {
+		if f.LintID != "self_signed" {
+			t.Errorf("clean cert triggered %s", f)
+		}
+	}
+}
+
+func TestNegativeValidity(t *testing.T) {
+	c := lintCert(t, func(tmpl *x509lite.Template) {
+		tmpl.NotAfter = tmpl.NotBefore.AddDate(0, 0, -100)
+	})
+	if !hasLint(RunAll(c, nil), "validity_negative") {
+		t.Error("negative validity not flagged")
+	}
+}
+
+func TestExcessiveValidityAndY3000(t *testing.T) {
+	c := lintCert(t, func(tmpl *x509lite.Template) {
+		tmpl.NotAfter = time.Date(3010, 1, 1, 0, 0, 0, 0, time.UTC)
+	})
+	fs := RunAll(c, nil)
+	if !hasLint(fs, "validity_excessive") || !hasLint(fs, "validity_beyond_y3000") {
+		t.Errorf("far-future validity not flagged: %v", fs)
+	}
+}
+
+func TestEmptySubject(t *testing.T) {
+	c := lintCert(t, func(tmpl *x509lite.Template) {
+		tmpl.Subject = x509lite.Name{}
+	})
+	if !hasLint(RunAll(c, nil), "subject_empty") {
+		t.Error("empty subject not flagged")
+	}
+}
+
+func TestPrivateAndPublicIPSubjects(t *testing.T) {
+	cases := []struct {
+		cn   string
+		lint string
+	}{
+		{"192.168.1.1", "subject_private_ip"},
+		{"10.0.0.1", "subject_private_ip"},
+		{"172.16.0.1", "subject_private_ip"},
+		{"172.31.255.1", "subject_private_ip"},
+		{"8.8.8.8", "subject_ip"},
+		{"172.32.0.1", "subject_ip"}, // just outside RFC 1918
+	}
+	for _, tc := range cases {
+		c := lintCert(t, func(tmpl *x509lite.Template) {
+			tmpl.Subject.CommonName = tc.cn
+		})
+		fs := RunAll(c, nil)
+		if !hasLint(fs, tc.lint) {
+			t.Errorf("CN %s: %s not flagged (%v)", tc.cn, tc.lint, fs)
+		}
+	}
+	// Non-IP CN must trigger neither.
+	c := lintCert(t, func(tmpl *x509lite.Template) { tmpl.Subject.CommonName = "fritz.box" })
+	fs := RunAll(c, nil)
+	if hasLint(fs, "subject_ip") || hasLint(fs, "subject_private_ip") {
+		t.Error("hostname CN flagged as IP")
+	}
+}
+
+func TestMissingSANAndRevocation(t *testing.T) {
+	c := lintCert(t, func(tmpl *x509lite.Template) {
+		tmpl.DNSNames = nil
+		tmpl.OCSPServer = nil
+	})
+	fs := RunAll(c, nil)
+	if !hasLint(fs, "san_missing") {
+		t.Error("missing SAN not flagged")
+	}
+	if !hasLint(fs, "revocation_missing") {
+		t.Error("missing revocation info not flagged")
+	}
+	// A CA without SAN is fine.
+	ca := lintCert(t, func(tmpl *x509lite.Template) {
+		tmpl.DNSNames = nil
+		tmpl.IsCA = true
+		tmpl.IncludeBasicConstraints = true
+	})
+	if hasLint(RunAll(ca, nil), "san_missing") {
+		t.Error("CA flagged for missing SAN")
+	}
+}
+
+func TestVersionLints(t *testing.T) {
+	bogus := lintCert(t, func(tmpl *x509lite.Template) { tmpl.Version = 13 })
+	if !hasLint(RunAll(bogus, nil), "version_bogus") {
+		t.Error("version 13 not flagged")
+	}
+	v1 := lintCert(t, func(tmpl *x509lite.Template) { tmpl.Version = 1 })
+	fs := RunAll(v1, nil)
+	if !hasLint(fs, "version_v1_leaf") {
+		t.Error("v1 not flagged")
+	}
+	if hasLint(fs, "version_bogus") {
+		t.Error("v1 flagged as bogus")
+	}
+}
+
+func TestAncientNotBefore(t *testing.T) {
+	c := lintCert(t, func(tmpl *x509lite.Template) {
+		tmpl.NotBefore = time.Date(2000, 5, 1, 0, 0, 0, 0, time.UTC)
+		tmpl.NotAfter = time.Date(2020, 5, 1, 0, 0, 0, 0, time.UTC)
+	})
+	if !hasLint(RunAll(c, nil), "notbefore_ancient") {
+		t.Error("firmware-epoch NotBefore not flagged")
+	}
+}
+
+func TestSharedKeyNeedsContext(t *testing.T) {
+	c := lintCert(t, nil)
+	if hasLint(RunAll(c, nil), "key_shared") {
+		t.Error("key_shared fired without context")
+	}
+	ctx := &Context{KeyCount: map[x509lite.Fingerprint]int{c.PublicKeyFingerprint(): 3}}
+	if !hasLint(RunAll(c, ctx), "key_shared") {
+		t.Error("key_shared not fired with sharing context")
+	}
+	ctx = &Context{KeyCount: map[x509lite.Fingerprint]int{c.PublicKeyFingerprint(): 1}}
+	if hasLint(RunAll(c, ctx), "key_shared") {
+		t.Error("key_shared fired for unique key")
+	}
+}
+
+func TestSurvey(t *testing.T) {
+	var certs []*x509lite.Certificate
+	// Three "invalid" device certs with pathologies, two clean "valid" ones.
+	bad1 := lintCert(t, func(tmpl *x509lite.Template) { tmpl.Subject = x509lite.Name{} })
+	bad2 := lintCert(t, func(tmpl *x509lite.Template) { tmpl.NotAfter = tmpl.NotBefore.AddDate(0, 0, -1) })
+	bad3 := lintCert(t, func(tmpl *x509lite.Template) { tmpl.Subject.CommonName = "192.168.0.1" })
+	good1 := lintCert(t, nil)
+	good2 := lintCert(t, nil)
+	certs = append(certs, bad1, bad2, bad3, good1, good2)
+	invalidSet := map[*x509lite.Certificate]bool{bad1: true, bad2: true, bad3: true}
+
+	rows := Survey(certs, func(c *x509lite.Certificate) bool { return invalidSet[c] })
+	if len(rows) == 0 {
+		t.Fatal("empty survey")
+	}
+	byID := map[string]SurveyRow{}
+	for _, r := range rows {
+		byID[r.LintID] = r
+	}
+	if r := byID["subject_empty"]; r.InvalidCount != 1 || r.ValidCount != 0 {
+		t.Errorf("subject_empty = %+v", r)
+	}
+	if r := byID["validity_negative"]; r.InvalidFrac <= 0 {
+		t.Errorf("validity_negative = %+v", r)
+	}
+	// All five are self-signed.
+	if r := byID["self_signed"]; r.ValidCount != 2 || r.InvalidCount != 3 {
+		t.Errorf("self_signed = %+v", r)
+	}
+	if out := FormatSurvey(rows); len(out) == 0 {
+		t.Error("empty formatted survey")
+	}
+}
+
+func TestLintIDsUniqueAndDescribed(t *testing.T) {
+	seen := map[string]bool{}
+	for _, l := range Lints() {
+		if l.ID == "" || l.Describe == "" || l.Check == nil {
+			t.Fatalf("incomplete lint %+v", l.ID)
+		}
+		if seen[l.ID] {
+			t.Fatalf("duplicate lint ID %s", l.ID)
+		}
+		seen[l.ID] = true
+	}
+}
+
+func TestSeverityStrings(t *testing.T) {
+	if Notice.String() != "NOTICE" || Warning.String() != "WARNING" || Error.String() != "ERROR" || Severity(9).String() != "UNKNOWN" {
+		t.Error("severity labels wrong")
+	}
+}
+
+func TestFindingString(t *testing.T) {
+	f := Finding{LintID: "x", Severity: Error, Detail: "boom"}
+	if f.String() != "ERROR x: boom" {
+		t.Errorf("Finding.String() = %q", f.String())
+	}
+}

@@ -1,0 +1,162 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+var (
+	pipeOnce sync.Once
+	pipe     *Pipeline
+	pipeErr  error
+)
+
+func pipeline(t *testing.T) *Pipeline {
+	t.Helper()
+	pipeOnce.Do(func() {
+		pipe, pipeErr = Run(SmallConfig())
+	})
+	if pipeErr != nil {
+		t.Fatal(pipeErr)
+	}
+	return pipe
+}
+
+func TestRunProducesAllArtifacts(t *testing.T) {
+	p := pipeline(t)
+	if p.World == nil || p.Corpus == nil || p.Truth == nil || p.Dataset == nil ||
+		p.Linker == nil || p.Tracker == nil {
+		t.Fatal("pipeline artefacts missing")
+	}
+	if len(p.ValidationCounts) == 0 {
+		t.Error("no validation counts")
+	}
+	if p.Corpus.NumCerts() == 0 || p.Corpus.NumScans() == 0 {
+		t.Error("empty corpus")
+	}
+	if len(p.LinkResult.Groups) == 0 {
+		t.Error("no linked groups")
+	}
+}
+
+func TestEveryExperimentRuns(t *testing.T) {
+	p := pipeline(t)
+	seen := map[string]bool{}
+	for _, exp := range Experiments() {
+		if exp.ID == "" || exp.Title == "" || exp.Paper == "" || exp.Run == nil {
+			t.Fatalf("experiment %q incomplete", exp.ID)
+		}
+		if seen[exp.ID] {
+			t.Fatalf("duplicate experiment ID %q", exp.ID)
+		}
+		seen[exp.ID] = true
+		out := exp.Run(p)
+		if strings.TrimSpace(out) == "" {
+			t.Errorf("experiment %s produced no output", exp.ID)
+		}
+	}
+	// Every table and figure of the evaluation must be covered.
+	for _, want := range []string{
+		"fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
+		"fig9", "fig10", "fig11",
+		"table1", "table2", "table3", "table4", "table5", "table6",
+		"s41", "s42", "s53", "s644", "s72", "s73",
+	} {
+		if !seen[want] {
+			t.Errorf("experiment %s missing from registry", want)
+		}
+	}
+}
+
+func TestFind(t *testing.T) {
+	if _, ok := Find("fig3"); !ok {
+		t.Error("fig3 not found")
+	}
+	if _, ok := Find("nonexistent"); ok {
+		t.Error("bogus ID found")
+	}
+}
+
+func TestStagesRequireOrder(t *testing.T) {
+	p := &Pipeline{Config: SmallConfig()}
+	if err := p.Scan(); err == nil {
+		t.Error("Scan before Generate accepted")
+	}
+}
+
+func TestRunRejectsBadConfig(t *testing.T) {
+	cfg := SmallConfig()
+	cfg.World.NumDevices = 0
+	if _, err := Run(cfg); err == nil {
+		t.Error("zero devices accepted")
+	}
+}
+
+func TestWritePlotData(t *testing.T) {
+	p := pipeline(t)
+	dir := t.TempDir()
+	if err := WritePlotData(p, dir); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"fig1.dat", "fig2.dat", "fig3.dat", "fig4.dat", "fig5.dat", "fig6.dat", "fig7.dat", "fig8.dat", "fig10.dat", "fig11.dat", "plots.gp"} {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(data) == 0 {
+			t.Errorf("%s is empty", name)
+		}
+	}
+	// Data files must be numeric rows after the header.
+	data, _ := os.ReadFile(filepath.Join(dir, "fig3.dat"))
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) < 10 {
+		t.Fatalf("fig3.dat has %d lines", len(lines))
+	}
+	var x, v, inv float64
+	if _, err := fmt.Sscanf(lines[1], "%g %g %g", &x, &v, &inv); err != nil {
+		t.Errorf("fig3.dat row unparseable: %q (%v)", lines[1], err)
+	}
+	if inv < 0 || inv > 1 || v < 0 || v > 1 {
+		t.Errorf("CDF values out of range: %v %v", v, inv)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	p := pipeline(t)
+	s := Summarize(p)
+	if s.UniqueCerts == 0 || s.Scans == 0 || s.Devices == 0 {
+		t.Fatal("summary missing scale")
+	}
+	if s.InvalidFraction < 0.7 || s.InvalidFraction > 1 {
+		t.Errorf("invalid fraction = %v", s.InvalidFraction)
+	}
+	if s.LinkedCerts == 0 || s.LinkedGroups == 0 {
+		t.Error("summary missing linking outcome")
+	}
+	if s.PKASConsistency < 0.9 {
+		t.Errorf("PK AS consistency = %v", s.PKASConsistency)
+	}
+	if len(s.RejectedFields) == 0 {
+		t.Error("no rejected fields in summary")
+	}
+	if s.TrackableWithLinking <= s.TrackableBaseline {
+		t.Error("summary trackable gain missing")
+	}
+	var buf strings.Builder
+	if err := s.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back Summary
+	if err := json.Unmarshal([]byte(buf.String()), &back); err != nil {
+		t.Fatalf("summary JSON invalid: %v", err)
+	}
+	if back.UniqueCerts != s.UniqueCerts {
+		t.Error("JSON round trip lost data")
+	}
+}

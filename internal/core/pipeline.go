@@ -1,0 +1,129 @@
+// Package core wires the substrates into the paper's end-to-end pipeline —
+// generate population → run scan campaigns → validate certificates → analyse
+// (§4–§5) → link (§6) → track (§7) — and exposes a registry of experiments
+// that regenerates every table and figure in the evaluation.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"securepki/internal/analysis"
+	"securepki/internal/devicesim"
+	"securepki/internal/linking"
+	"securepki/internal/scanner"
+	"securepki/internal/scanstore"
+	"securepki/internal/tracking"
+	"securepki/internal/truststore"
+)
+
+// Config assembles the stage configurations. DefaultConfig reproduces the
+// paper's setup at laptop scale.
+type Config struct {
+	World   devicesim.Config
+	Scan    scanner.Config
+	Linking linking.Config
+}
+
+// DefaultConfig returns the standard experiment sizing.
+func DefaultConfig() Config {
+	return Config{
+		World:   devicesim.DefaultConfig(),
+		Scan:    scanner.DefaultConfig(),
+		Linking: linking.DefaultConfig(),
+	}
+}
+
+// SmallConfig returns a reduced sizing for quick runs (examples, smoke
+// tests); distributions remain measurable but noisier.
+func SmallConfig() Config {
+	cfg := DefaultConfig()
+	cfg.World.NumDevices = 1500
+	cfg.World.NumSites = 650
+	cfg.Scan.UMichScans = 16
+	cfg.Scan.Rapid7Scans = 8
+	return cfg
+}
+
+// Pipeline carries every artefact of one full run.
+type Pipeline struct {
+	Config Config
+
+	World  *devicesim.World
+	Corpus *scanstore.Corpus
+	Truth  *scanner.Truth
+	// ValidationCounts is the §4.2 outcome per status.
+	ValidationCounts map[truststore.Status]int
+
+	Dataset    *analysis.Dataset
+	Linker     *linking.Linker
+	LinkResult linking.Result
+	Tracker    *tracking.Tracker
+}
+
+// Run executes the full pipeline.
+func Run(cfg Config) (*Pipeline, error) {
+	p := &Pipeline{Config: cfg}
+	if err := p.Generate(); err != nil {
+		return nil, err
+	}
+	if err := p.Scan(); err != nil {
+		return nil, err
+	}
+	p.Validate()
+	p.Link()
+	p.Track()
+	return p, nil
+}
+
+// Generate builds the world (stage 1).
+func (p *Pipeline) Generate() error {
+	w, err := devicesim.BuildWorld(p.Config.World)
+	if err != nil {
+		return fmt.Errorf("core: generate: %w", err)
+	}
+	p.World = w
+	return nil
+}
+
+// Scan runs both operators' campaigns (stage 2). Generate must have run.
+func (p *Pipeline) Scan() error {
+	if p.World == nil {
+		return fmt.Errorf("core: Scan before Generate")
+	}
+	camp, err := scanner.New(p.World, p.Config.Scan)
+	if err != nil {
+		return fmt.Errorf("core: scan: %w", err)
+	}
+	corpus, truth, err := camp.Run()
+	if err != nil {
+		return fmt.Errorf("core: scan: %w", err)
+	}
+	p.Corpus, p.Truth = corpus, truth
+	return nil
+}
+
+// Validate classifies every certificate against the world's root store
+// (stage 3) and builds the analysis dataset.
+func (p *Pipeline) Validate() {
+	store := truststore.NewStore()
+	for _, r := range p.World.Roots() {
+		store.AddRoot(r)
+	}
+	p.ValidationCounts = p.Corpus.Validate(store)
+	p.Dataset = analysis.NewDataset(p.Corpus, p.World.Internet)
+}
+
+// Link runs the §6 pipeline (stage 4).
+func (p *Pipeline) Link() {
+	p.Linker = linking.NewLinker(p.Dataset, p.Config.Linking)
+	p.LinkResult = p.Linker.Link()
+}
+
+// Track derives device entities (stage 5).
+func (p *Pipeline) Track() {
+	p.Tracker = tracking.NewTracker(p.Dataset, p.LinkResult, p.Linker)
+}
+
+// Year is the §7 trackability threshold.
+const Year = 365 * 24 * time.Hour

@@ -1,0 +1,229 @@
+package devicesim
+
+import (
+	"fmt"
+	"math"
+
+	"securepki/internal/netsim"
+	"securepki/internal/stats"
+)
+
+// Region names the AS pools device profiles and websites draw from.
+type Region string
+
+// Regions used by the built-in profiles.
+const (
+	RegionGerman     Region = "german"     // DT / Vodafone / Telefónica — daily renumbering
+	RegionUS         Region = "us"         // Comcast / AT&T — mostly static
+	RegionKorea      Region = "korea"      // Korea Telecom
+	RegionMobile     Region = "mobile"     // carrier networks, extreme churn
+	RegionEnterprise Region = "enterprise" // corporate ASes, static
+	RegionGlobal     Region = "global"     // long tail of access networks
+	RegionHosting    Region = "hosting"    // content/hosting ASes for websites
+)
+
+// asSpec describes one AS to instantiate.
+type asSpec struct {
+	asn     int
+	org     string
+	country string
+	typ     netsim.ASType
+	policy  netsim.ReassignPolicy
+	// prefixes16 is how many /16 blocks the AS is allocated; sized by its
+	// expected population.
+	prefixes16 int
+	// weight per region; an AS can appear in several pools.
+	regions map[Region]float64
+}
+
+// namedASes is the hand-written core of the roster: the ASes the paper names
+// in Tables 3 and §7.4, with policies matching its findings.
+func namedASes() []asSpec {
+	return []asSpec{
+		// Germany: huge invalid populations, daily IP renumbering (§6.4.2).
+		{3320, "Deutsche Telekom AG", "DEU", netsim.TransitAccess,
+			netsim.ReassignPolicy{StaticFraction: 0.15, MeanLeaseDays: 0.5}, 10,
+			map[Region]float64{RegionGerman: 0.38, RegionGlobal: 0.02}},
+		{3209, "Vodafone GmbH", "DEU", netsim.TransitAccess,
+			netsim.ReassignPolicy{StaticFraction: 0.2, MeanLeaseDays: 0.5}, 4,
+			map[Region]float64{RegionGerman: 0.26}},
+		{6805, "Telefonica Germany GmbH", "DEU", netsim.TransitAccess,
+			netsim.ReassignPolicy{StaticFraction: 0.2, MeanLeaseDays: 0.5}, 3,
+			map[Region]float64{RegionGerman: 0.20}},
+		// USA: static-leaning home ISPs (§7.4: Comcast 90% static).
+		{7922, "Comcast Cable Comm., Inc.", "USA", netsim.TransitAccess,
+			netsim.ReassignPolicy{StaticFraction: 0.93, MeanLeaseDays: 200}, 6,
+			map[Region]float64{RegionUS: 0.45, RegionGlobal: 0.04}},
+		{7018, "AT&T Internet Services", "USA", netsim.TransitAccess,
+			netsim.ReassignPolicy{StaticFraction: 0.93, MeanLeaseDays: 200}, 4,
+			map[Region]float64{RegionUS: 0.3, RegionGlobal: 0.03}},
+		{19262, "Verizon Internet Services", "USA", netsim.TransitAccess,
+			netsim.ReassignPolicy{StaticFraction: 0.92, MeanLeaseDays: 150}, 3,
+			map[Region]float64{RegionUS: 0.25, RegionGlobal: 0.02}},
+		{701, "MCI Communications", "USA", netsim.TransitAccess,
+			netsim.ReassignPolicy{StaticFraction: 0.85, MeanLeaseDays: 90}, 2,
+			map[Region]float64{}},
+		// Korea.
+		{4766, "Korea Telecom", "KOR", netsim.TransitAccess,
+			netsim.ReassignPolicy{StaticFraction: 0.6, MeanLeaseDays: 30}, 4,
+			map[Region]float64{RegionKorea: 1, RegionGlobal: 0.04}},
+		// Mobile carriers: extreme churn (PlayBook tablets, §6.4.2).
+		{13407, "BlackBerry Carrier Net", "CAN", netsim.TransitAccess,
+			netsim.ReassignPolicy{StaticFraction: 0.02, MeanLeaseDays: 0.5}, 2,
+			map[Region]float64{RegionMobile: 0.7}},
+		{22394, "Cellco Partnership", "USA", netsim.TransitAccess,
+			netsim.ReassignPolicy{StaticFraction: 0.05, MeanLeaseDays: 0.5}, 2,
+			map[Region]float64{RegionMobile: 0.3}},
+		// §7.4's highly dynamic tail.
+		{8048, "Telefonica Venezolana", "VEN", netsim.TransitAccess,
+			netsim.ReassignPolicy{StaticFraction: 0.004, MeanLeaseDays: 1}, 2,
+			map[Region]float64{RegionGlobal: 0.02}},
+		{26615, "Tim Celular", "BRA", netsim.TransitAccess,
+			netsim.ReassignPolicy{StaticFraction: 0.03, MeanLeaseDays: 1}, 1,
+			map[Region]float64{RegionGlobal: 0.01}},
+		{17426, "BSES TeleCom Limited", "IND", netsim.TransitAccess,
+			netsim.ReassignPolicy{StaticFraction: 0.05, MeanLeaseDays: 1}, 1,
+			map[Region]float64{RegionGlobal: 0.01}},
+		// Hosting / content (paper Table 3 valid side).
+		{26496, "GoDaddy.com, LLC", "USA", netsim.Content,
+			netsim.ReassignPolicy{StaticFraction: 1}, 3,
+			map[Region]float64{RegionHosting: 0.34}},
+		{46606, "Unified Layer", "USA", netsim.Content,
+			netsim.ReassignPolicy{StaticFraction: 1}, 2,
+			map[Region]float64{RegionHosting: 0.11}},
+		{14618, "Amazon, Inc.", "USA", netsim.Content,
+			netsim.ReassignPolicy{StaticFraction: 1}, 2,
+			map[Region]float64{RegionHosting: 0.1}},
+		{16509, "Amazon, Inc. (2)", "USA", netsim.Content,
+			netsim.ReassignPolicy{StaticFraction: 1}, 2,
+			map[Region]float64{RegionHosting: 0.08}},
+		{36351, "SoftLayer Technologies", "USA", netsim.Content,
+			netsim.ReassignPolicy{StaticFraction: 1}, 2,
+			map[Region]float64{RegionHosting: 0.09}},
+		{13335, "CloudProxy Networks", "USA", netsim.Content,
+			netsim.ReassignPolicy{StaticFraction: 1}, 2,
+			map[Region]float64{RegionHosting: 0.07}},
+		{24940, "Hetzner Online", "DEU", netsim.Content,
+			netsim.ReassignPolicy{StaticFraction: 1}, 1,
+			map[Region]float64{RegionHosting: 0.05}},
+	}
+}
+
+const (
+	numTailAccessASes     = 40
+	numTailEnterpriseASes = 12
+	numTailHostingASes    = 10
+	// staticTailFraction of tail access ASes assign static addresses to
+	// nearly all devices (Fig 11: 56.3% of ASes are >90% static).
+	staticTailFraction = 0.78
+)
+
+// countryPool spreads the long tail across countries so the §7.3
+// cross-country movement analysis has material to work with.
+var countryPool = []string{"USA", "DEU", "GBR", "FRA", "JPN", "KOR", "BRA", "IND", "ITA", "ESP", "NLD", "POL", "CAN", "AUS", "TUR", "MEX", "RUS", "SWE", "CHE", "ARG"}
+
+// buildRoster instantiates the full AS roster: the named core plus a long
+// tail of access, enterprise and hosting ASes, and allocates address space.
+// It returns the Internet, the per-region device-placement pickers, and the
+// list of prefix transfers scheduled (for §7.3 bulk movements the caller
+// wires into the builder).
+func buildRoster(r *stats.RNG) (*netsim.Builder, []asSpec, map[int][]netsim.Prefix) {
+	specs := namedASes()
+
+	nextASN := 50000
+	for i := 0; i < numTailAccessASes; i++ {
+		static := r.Float64() < staticTailFraction
+		pol := netsim.ReassignPolicy{StaticFraction: 0.95 + 0.05*r.Float64(), MeanLeaseDays: 60}
+		if !static {
+			pol = netsim.ReassignPolicy{StaticFraction: 0.2 + 0.5*r.Float64(), MeanLeaseDays: 2 + r.Float64()*40}
+		}
+		specs = append(specs, asSpec{
+			asn:     nextASN + i,
+			org:     fmt.Sprintf("Access Network %03d", i),
+			country: countryPool[r.Intn(len(countryPool))],
+			typ:     netsim.TransitAccess,
+			policy:  pol,
+			// Mildly heavy-tailed population weights: enough skew for a
+			// realistic size distribution, flat enough that dozens of
+			// tail ASes host >=10 tracked devices (Figure 11 needs a
+			// populated CDF over ASes).
+			prefixes16: 1,
+			regions:    map[Region]float64{RegionGlobal: 1 / math.Sqrt(float64(i+2))},
+		})
+	}
+	nextASN += numTailAccessASes
+	for i := 0; i < numTailEnterpriseASes; i++ {
+		specs = append(specs, asSpec{
+			asn:        nextASN + i,
+			org:        fmt.Sprintf("Enterprise Net %02d", i),
+			country:    countryPool[r.Intn(len(countryPool))],
+			typ:        netsim.Enterprise,
+			policy:     netsim.ReassignPolicy{StaticFraction: 0.98, MeanLeaseDays: 365},
+			prefixes16: 1,
+			regions:    map[Region]float64{RegionEnterprise: 1 / float64(i+1)},
+		})
+	}
+	nextASN += numTailEnterpriseASes
+	for i := 0; i < numTailHostingASes; i++ {
+		specs = append(specs, asSpec{
+			asn:        nextASN + i,
+			org:        fmt.Sprintf("Hosting Co %02d", i),
+			country:    countryPool[r.Intn(len(countryPool))],
+			typ:        netsim.Content,
+			policy:     netsim.ReassignPolicy{StaticFraction: 1},
+			prefixes16: 1,
+			regions:    map[Region]float64{RegionHosting: 0.16 / float64(numTailHostingASes)},
+		})
+	}
+
+	b := netsim.NewBuilder()
+	allocated := map[int][]netsim.Prefix{}
+	// Allocate /16s round-robin across /8s so populations spread over the
+	// whole space, as in the paper's Figure 1.
+	slash8 := 1
+	next16 := map[int]int{}
+	for _, s := range specs {
+		b.AddAS(s.asn, s.org, s.country, s.typ, s.policy)
+		for k := 0; k < s.prefixes16; k++ {
+			for {
+				if slash8 == 10 || slash8 == 127 || slash8 >= 224 { // skip private/loopback/multicast
+					slash8 = (slash8 + 1) % 224
+					if slash8 == 0 {
+						slash8 = 1
+					}
+					continue
+				}
+				break
+			}
+			second := next16[slash8]
+			next16[slash8]++
+			p := netsim.MakePrefix(netsim.MakeIP(byte(slash8), byte(second), 0, 0), 16)
+			b.Announce(s.asn, p)
+			allocated[s.asn] = append(allocated[s.asn], p)
+			slash8 += 7 // stride to spread allocations
+			if slash8 >= 224 {
+				slash8 = (slash8 % 224) + 1
+			}
+		}
+	}
+	return b, specs, allocated
+}
+
+// regionPickers builds, for each region, a weighted picker over ASes.
+func regionPickers(inet *netsim.Internet, specs []asSpec) map[Region]*stats.WeightedPicker[*netsim.AS] {
+	choices := map[Region][]stats.WeightedChoice[*netsim.AS]{}
+	for _, s := range specs {
+		as := inet.AS(s.asn)
+		for region, w := range s.regions {
+			if w <= 0 {
+				continue
+			}
+			choices[region] = append(choices[region], stats.WeightedChoice[*netsim.AS]{Item: as, Weight: w})
+		}
+	}
+	out := make(map[Region]*stats.WeightedPicker[*netsim.AS], len(choices))
+	for region, cs := range choices {
+		out[region] = stats.NewWeightedPicker(cs)
+	}
+	return out
+}

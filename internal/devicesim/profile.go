@@ -1,0 +1,388 @@
+package devicesim
+
+// KeyPolicy controls how a device manages its key pair across certificate
+// reissues — the property §6 exploits to link certificates.
+type KeyPolicy int
+
+// Key behaviours observed in the corpus.
+const (
+	// KeyStable: one key pair for the device's lifetime; every reissued
+	// certificate carries the same public key (FRITZ!Box behaviour — the
+	// backbone of the paper's public-key linking).
+	KeyStable KeyPolicy = iota
+	// KeyFresh: a new key pair at every reissue.
+	KeyFresh
+	// KeyVendorShared: the vendor ships one key pair in the firmware of an
+	// entire model line (Lancom: 4.59M certs, one key, 6.5% of all invalid
+	// certificates).
+	KeyVendorShared
+)
+
+// CNScheme controls how the device chooses its Common Name.
+type CNScheme int
+
+// Common Name schemes observed in the corpus.
+const (
+	// CNFixed: a constant baked into the firmware (192.168.1.1, fritz.box).
+	CNFixed CNScheme = iota
+	// CNEmpty: the empty string (925k certs in the paper).
+	CNEmpty
+	// CNDeviceSerial: a per-device stable identifier such as
+	// "WD2GO 293822" — uniquely linkable across reissues.
+	CNDeviceSerial
+	// CNDynDNS: a per-device stable dynamic-DNS hostname such as
+	// "a1b2c3.myfritz.net".
+	CNDynDNS
+	// CNPublicIP: the device's current public address at issuance time;
+	// such CNs are excluded from the paper's CN-linking evaluation.
+	CNPublicIP
+	// CNPrivateIP: a private address such as 192.168.0.1 (3.35M certs were
+	// issued under 192.168.0.0/16 names).
+	CNPrivateIP
+	// CNRandom: a fresh random identifier at every reissue — certificates
+	// from such devices are unlinkable by design.
+	CNRandom
+)
+
+// IssuerScheme controls the issuer name and signing key.
+type IssuerScheme int
+
+// Issuer behaviours.
+const (
+	// IssuerSelf: self-signed; issuer name mirrors the subject.
+	IssuerSelf IssuerScheme = iota
+	// IssuerSelfNamed: self-signed under a fixed issuer name different
+	// from the subject (e.g. "VMware").
+	IssuerSelfNamed
+	// IssuerVendorCA: signed by the vendor's (untrusted) CA key —
+	// Lancom's www.lancom-systems.de, Western Digital's remotewd.com.
+	IssuerVendorCA
+	// IssuerPerDevice: a per-device issuer string embedding a hardware
+	// identifier, e.g. "PlayBook: <MAC>" with a stable serial — the
+	// Issuer+Serial linking feature.
+	IssuerPerDevice
+)
+
+// SANScheme controls the Subject Alternative Name list.
+type SANScheme int
+
+// SAN behaviours.
+const (
+	// SANNone: no SAN extension (most invalid certs).
+	SANNone SANScheme = iota
+	// SANSharedFixed: a constant list like [fritz.fonwlan.box], shared by
+	// the whole model line.
+	SANSharedFixed
+	// SANUnique: a per-device stable SAN list.
+	SANUnique
+)
+
+// ClockMode describes the device's real-time-clock quality, which drives the
+// paper's Figure 5 bimodality.
+type ClockMode int
+
+// Clock behaviours.
+const (
+	// ClockAccurate: NotBefore stamps the actual reissue time.
+	ClockAccurate ClockMode = iota
+	// ClockEpoch: the device has no RTC; every certificate's NotBefore is
+	// the firmware epoch (>1000 days before observation).
+	ClockEpoch
+	// ClockAhead: the clock runs ahead; NotBefore lies in the future
+	// relative to the scan (the 2.9% negative tail of Figure 5).
+	ClockAhead
+)
+
+// ValidityChoice is one (days, weight) option for the validity period.
+type ValidityChoice struct {
+	Days   int
+	Weight float64
+}
+
+// Profile is a vendor/model behaviour template. All fields are read-only
+// after construction; devices hold a pointer to their profile.
+type Profile struct {
+	Name       string
+	DeviceType string // Table 4 class: "Home router/cable modem", "VPN", ...
+	Weight     float64
+
+	Key    KeyPolicy
+	CN     CNScheme
+	CNText string // for CNFixed / model prefix for CNDeviceSerial
+	Issuer IssuerScheme
+	// IssuerText is the vendor CA or fixed issuer name.
+	IssuerText string
+	SAN        SANScheme
+	SANText    string
+
+	// Validity draws one of these period choices at each reissue.
+	Validity []ValidityChoice
+	// NegativeValidityProb: with this probability the generator is buggy
+	// and emits NotAfter before NotBefore.
+	NegativeValidityProb float64
+
+	// ReissueMeanDays: mean of the exponential reboot/regeneration period;
+	// 0 means the certificate is generated once and kept forever.
+	ReissueMeanDays float64
+	// NoReissueProb: fraction of this profile's devices that never
+	// regenerate their certificate at all (the firmware persists it) —
+	// these are §7.2's baseline-trackable devices, followable without any
+	// linking because one certificate spans their whole life.
+	NoReissueProb float64
+	// ReissueOnIPChange: the device regenerates its certificate whenever
+	// its address changes (FRITZ!Box reconnect behaviour).
+	ReissueOnIPChange bool
+	// StableSerial: the certificate serial number is fixed per device
+	// instead of random per reissue.
+	StableSerial bool
+
+	// Clock mode probabilities; remainder is ClockAccurate.
+	ClockEpochProb float64
+	ClockAheadProb float64
+
+	// IncludeRevocationInfo: emit stable, per-device CRL/AIA/OCSP/OID
+	// extensions (rare in invalid certs: ~0.8%).
+	IncludeRevocationInfo bool
+
+	// Region selects the AS pool devices of this profile live in.
+	Region Region
+	// MoveASProbPerYear: probability per year that the device switches to
+	// another AS in its region (ISP change or physical move, §7.3).
+	MoveASProbPerYear float64
+
+	// FleetSize: if > 1, the same certificate is installed on this many
+	// devices (golden-image appliances) — these certs fail the §6.2
+	// uniqueness rule by design. Drawn uniformly in [2, FleetSize].
+	FleetSize int
+
+	// Version distribution: probability of emitting an X.509 v1
+	// certificate and of emitting a bogus version number.
+	V1Prob         float64
+	BogusVerProb   float64
+	CorruptSigProb float64
+}
+
+// years converts years to days.
+func years(y float64) int { return int(y * 365.25) }
+
+// DefaultProfiles returns the built-in vendor roster. Weights are the
+// fraction of the device population; behaviour parameters are reverse-
+// engineered from the paper's findings so the generated corpus reproduces
+// its distributions.
+func DefaultProfiles() []*Profile {
+	return []*Profile{
+		{
+			// FRITZ!Box on German DSL: stable key, new cert at every
+			// reconnect (daily), shared SAN [fritz.fonwlan.box]. Dominates
+			// PK linking (51.9% of PK-linked certs) and the 1-day-lifetime
+			// mode; IP consistency is poor because DT renumbers daily.
+			Name: "fritzbox", DeviceType: "Home router/cable modem", Weight: 0.11,
+			Key: KeyStable, CN: CNFixed, CNText: "fritz.box",
+			Issuer: IssuerSelf, SAN: SANSharedFixed, SANText: "fritz.fonwlan.box",
+			Validity:          []ValidityChoice{{years(20), 0.9}, {years(25), 0.1}},
+			ReissueOnIPChange: true,
+			Region:            RegionGerman, MoveASProbPerYear: 0.02,
+		},
+		{
+			// FRITZ!Box with MyFritz dynamic DNS: fresh keys but a stable
+			// unique CN — the population CN linking catches.
+			Name: "fritzbox-myfritz", DeviceType: "Home router/cable modem", Weight: 0.05,
+			Key: KeyFresh, CN: CNDynDNS, CNText: "myfritz.net",
+			Issuer: IssuerSelf, SAN: SANUnique, SANText: "fritz.fonwlan.box",
+			Validity:          []ValidityChoice{{years(20), 1}},
+			ReissueOnIPChange: true,
+			Region:            RegionGerman, MoveASProbPerYear: 0.02,
+		},
+		{
+			// Lancom routers: the entire model line shares one firmware key
+			// pair and a vendor CA; serials are random per reissue. The
+			// shared key makes the PK group overlap massively, so the
+			// linking methodology must refuse to link on it.
+			Name: "lancom", DeviceType: "Home router/cable modem", Weight: 0.09,
+			Key: KeyVendorShared, CN: CNFixed, CNText: "LANCOM 1781A",
+			Issuer: IssuerVendorCA, IssuerText: "www.lancom-systems.de",
+			Validity:        []ValidityChoice{{years(25), 1}},
+			ReissueMeanDays: 35,
+			Region:          RegionGerman, MoveASProbPerYear: 0.02,
+		},
+		{
+			// Generic consumer router: the canonical 192.168.1.1 CN, one
+			// stable key per device, regenerated on reboot.
+			Name: "router-19216811", DeviceType: "Home router/cable modem", Weight: 0.125,
+			Key: KeyStable, CN: CNPrivateIP, CNText: "192.168.1.1",
+			Issuer: IssuerSelf,
+			Validity: []ValidityChoice{{years(20), 0.85}, {years(10), 0.1}, {1 << 20, 0.008},
+				{years(30), 0.042}},
+			NegativeValidityProb: 0.04,
+			ReissueMeanDays:      90,
+			NoReissueProb:        0.5,
+			Region:               RegionGlobal, MoveASProbPerYear: 0.035,
+			V1Prob: 0.25, BogusVerProb: 0.001,
+		},
+		{
+			// Cable modem embedding its WAN address as the CN; such
+			// IP-formatted CNs are excluded from CN linking, but the stable
+			// key still links them.
+			Name: "modem-wanip", DeviceType: "Home router/cable modem", Weight: 0.12,
+			Key: KeyFresh, CN: CNPublicIP,
+			Issuer:               IssuerSelf,
+			Validity:             []ValidityChoice{{years(20), 0.7}, {years(5), 0.3}},
+			NegativeValidityProb: 0.01,
+			ReissueMeanDays:      45, ReissueOnIPChange: true,
+			ClockEpochProb: 0.35,
+			ClockAheadProb: 0.02,
+			NoReissueProb:  0.3,
+			Region:         RegionUS, MoveASProbPerYear: 0.03,
+			V1Prob: 0.1,
+		},
+		{
+			// Western Digital My Cloud NAS: vendor CA remotewd.com, unique
+			// stable "WD2GO nnnnnn" CN.
+			Name: "wd-mycloud", DeviceType: "Remote storage", Weight: 0.065,
+			Key: KeyStable, CN: CNDeviceSerial, CNText: "WD2GO",
+			Issuer: IssuerVendorCA, IssuerText: "remotewd.com",
+			Validity:        []ValidityChoice{{years(10), 1}},
+			ReissueMeanDays: 150,
+			NoReissueProb:   0.5,
+			Region:          RegionUS, MoveASProbPerYear: 0.025,
+		},
+		{
+			// BlackBerry PlayBook tablets: per-device "PlayBook: <MAC>"
+			// issuer with a stable serial, fresh keys, mobile carriers that
+			// renumber constantly — the Issuer+Serial linking population.
+			Name: "playbook", DeviceType: "Unknown", Weight: 0.04,
+			Key: KeyFresh, CN: CNFixed, CNText: "BlackBerry PlayBook",
+			Issuer: IssuerPerDevice, IssuerText: "PlayBook",
+			StableSerial:    true,
+			Validity:        []ValidityChoice{{years(20), 1}},
+			ReissueMeanDays: 18,
+			Region:          RegionMobile, MoveASProbPerYear: 2.0,
+		},
+		{
+			// VMware management interfaces: self-signed under a fixed
+			// "VMware" issuer name, stable per-host key, long-lived certs.
+			Name: "vmware", DeviceType: "Remote administration", Weight: 0.04,
+			Key: KeyStable, CN: CNDeviceSerial, CNText: "esx",
+			Issuer: IssuerSelfNamed, IssuerText: "VMware",
+			Validity:        []ValidityChoice{{years(25), 1}},
+			ReissueMeanDays: 400,
+			NoReissueProb:   0.5,
+			Region:          RegionEnterprise, MoveASProbPerYear: 0.01,
+		},
+		{
+			// Devices shipping completely empty names; buggy generators
+			// also account for most negative validity periods.
+			Name: "empty-cn", DeviceType: "Unknown", Weight: 0.08,
+			Key: KeyStable, CN: CNEmpty,
+			Issuer:               IssuerSelf,
+			Validity:             []ValidityChoice{{years(20), 0.6}, {years(1), 0.1}, {years(50), 0.3}},
+			NegativeValidityProb: 0.5,
+			ReissueMeanDays:      45,
+			NoReissueProb:        0.2,
+			Region:               RegionGlobal, MoveASProbPerYear: 0.03,
+			ClockEpochProb: 0.3,
+		},
+		{
+			// IP cameras: fresh key and shared CN at every reboot —
+			// deliberately unlinkable; no RTC, so NotBefore sits at the
+			// firmware epoch (Figure 5's >1000-day mode).
+			Name: "ipcam", DeviceType: "IP camera", Weight: 0.025,
+			Key: KeyFresh, CN: CNFixed, CNText: "IPCAM",
+			Issuer:          IssuerSelf,
+			Validity:        []ValidityChoice{{years(10), 1}},
+			ReissueMeanDays: 30,
+			NoReissueProb:   0.5,
+			ClockEpochProb:  0.9,
+			Region:          RegionGlobal, MoveASProbPerYear: 0.02,
+		},
+		{
+			// VPN concentrators: enterprise boxes with unique hostnames and
+			// full revocation plumbing (the rare CRL/AIA/OCSP/OID features
+			// with their high IP-level consistency).
+			Name: "vpn-gateway", DeviceType: "VPN", Weight: 0.06,
+			Key: KeyStable, CN: CNDeviceSerial, CNText: "vpn",
+			Issuer: IssuerSelfNamed, IssuerText: "SecureGate CA",
+			Validity:              []ValidityChoice{{years(10), 0.8}, {years(20), 0.2}},
+			ReissueMeanDays:       200,
+			NoReissueProb:         0.5,
+			IncludeRevocationInfo: true,
+			Region:                RegionEnterprise, MoveASProbPerYear: 0.01,
+		},
+		{
+			// Firewalls: like VPNs but rarer; some ship as golden-image
+			// fleets sharing one certificate across many boxes.
+			Name: "firewall", DeviceType: "Firewall", Weight: 0.02,
+			Key: KeyStable, CN: CNDeviceSerial, CNText: "fw",
+			Issuer: IssuerSelfNamed, IssuerText: "PerimeterOS",
+			Validity:              []ValidityChoice{{years(15), 1}},
+			ReissueMeanDays:       300,
+			NoReissueProb:         0.5,
+			IncludeRevocationInfo: true,
+			Region:                RegionEnterprise, MoveASProbPerYear: 0.01,
+		},
+		{
+			// Golden-image appliance fleet: one cert on many boxes; the
+			// §6.2 rule must exclude these (the 1.6% of invalid certs on
+			// >2 IPs).
+			Name: "fleet-appliance", DeviceType: "Remote administration", Weight: 0.022,
+			Key: KeyVendorShared, CN: CNFixed, CNText: "appliance.local",
+			Issuer: IssuerSelfNamed, IssuerText: "ApplianceCorp",
+			Validity:        []ValidityChoice{{years(20), 1}},
+			ReissueMeanDays: 0,
+			Region:          RegionEnterprise, MoveASProbPerYear: 0.01,
+			FleetSize: 30,
+		},
+		{
+			// Out-of-band management (iLO/DRAC-style): one cert forever —
+			// the long-lifetime tail of Figure 4.
+			Name: "oob-mgmt", DeviceType: "Remote administration", Weight: 0.03,
+			Key: KeyStable, CN: CNDeviceSerial, CNText: "ilo",
+			Issuer:          IssuerSelf,
+			Validity:        []ValidityChoice{{years(15), 1}},
+			ReissueMeanDays: 0,
+			Region:          RegionEnterprise, MoveASProbPerYear: 0.01,
+		},
+		{
+			// Long tail of unidentifiable devices (32% "Unknown" in
+			// Table 4): ephemeral CNs, moderate reissue, messy clocks.
+			Name: "unknown-misc", DeviceType: "Unknown", Weight: 0.06,
+			Key: KeyFresh, CN: CNDeviceSerial, CNText: "device",
+			Issuer:               IssuerSelf,
+			Validity:             []ValidityChoice{{years(20), 0.5}, {years(25), 0.3}, {years(2), 0.1}, {years(40), 0.1}},
+			NegativeValidityProb: 0.09,
+			ReissueMeanDays:      25,
+			NoReissueProb:        0.5,
+			ClockEpochProb:       0.25,
+			ClockAheadProb:       0.05,
+			Region:               RegionGlobal, MoveASProbPerYear: 0.035,
+			V1Prob: 0.15, BogusVerProb: 0.002, CorruptSigProb: 0.0005,
+		},
+		{
+			// Unidentifiable ephemeral devices: fresh key AND fresh random
+			// CN at every reissue — nothing links them, the §6 coverage
+			// ceiling (the paper links only 39.4% of eligible certs).
+			Name: "unknown-ephemeral", DeviceType: "Unknown", Weight: 0.115,
+			Key: KeyFresh, CN: CNRandom,
+			Issuer: IssuerSelfNamed, IssuerText: "Embedded Web Server",
+			Validity:        []ValidityChoice{{years(20), 0.7}, {years(30), 0.3}},
+			ReissueMeanDays: 20,
+			NoReissueProb:   0.15,
+			ClockEpochProb:  0.6,
+			ClockAheadProb:  0.04,
+			Region:          RegionGlobal, MoveASProbPerYear: 0.035,
+			V1Prob: 0.1,
+		},
+		{
+			// IPTV boxes, IP phones, printers — Table 4's "Other" sliver.
+			Name: "other-cpe", DeviceType: "Other", Weight: 0.018,
+			Key: KeyFresh, CN: CNFixed, CNText: "Embedded HTTPS Server",
+			Issuer:          IssuerSelf,
+			Validity:        []ValidityChoice{{years(10), 0.6}, {years(20), 0.4}},
+			ReissueMeanDays: 40,
+			NoReissueProb:   0.4,
+			ClockEpochProb:  0.5,
+			Region:          RegionKorea, MoveASProbPerYear: 0.02,
+			V1Prob: 0.3,
+		},
+	}
+}

@@ -1,0 +1,262 @@
+// Package devicesim generates the synthetic population whose certificates the
+// scans observe: end-user devices with vendor behaviour profiles
+// (key management, Common Name schemes, reissue cadence, clock quality,
+// AS placement) and CA-certified websites. The profiles are parameterised
+// from the paper's findings, so running the paper's analyses over a scan of
+// this population reproduces its distributions — see DESIGN.md for the
+// substitution argument.
+package devicesim
+
+import (
+	"crypto/ed25519"
+	"fmt"
+	"math/big"
+	"time"
+
+	"securepki/internal/netsim"
+	"securepki/internal/stats"
+	"securepki/internal/x509lite"
+)
+
+// Config controls world generation. The zero value is not valid; use
+// DefaultConfig and adjust.
+type Config struct {
+	Seed uint64
+	// NumDevices is the end-user device population (invalid certificates).
+	NumDevices int
+	// NumSites is the website population (valid certificates).
+	NumSites int
+	// Start anchors the dataset timeline (the paper's first UMich scan was
+	// 2012-06-10).
+	Start time.Time
+	// AliveAtStartFraction of hosts exist when the timeline opens; the rest
+	// are born uniformly over GrowthDays, making populations rise as in
+	// Figure 2.
+	AliveAtStartFraction float64
+	GrowthDays           int
+}
+
+// DefaultConfig returns the standard world sizing used by the experiments:
+// large enough for every distribution to be measurable, small enough to
+// generate in seconds.
+func DefaultConfig() Config {
+	return Config{
+		Seed:                 1,
+		NumDevices:           8600,
+		NumSites:             3700,
+		Start:                time.Date(2012, 6, 10, 0, 0, 0, 0, time.UTC),
+		AliveAtStartFraction: 0.45,
+		GrowthDays:           1025, // through the end of the Rapid7 series
+	}
+}
+
+// Host is anything a scan can observe: devices and sites.
+type Host interface {
+	// Appearances reports the (IP, chain) pairs a scan over [start, end)
+	// would see for this host, advancing the host's internal clock to end.
+	Appearances(start, end time.Time, scanRNG *stats.RNG) []Appearance
+}
+
+// World is the assembled population plus the Internet it lives in.
+type World struct {
+	Config   Config
+	Internet *netsim.Internet
+	Devices  []*Device
+	Sites    []*Site
+
+	pki     *hierarchy
+	pickers map[Region]*stats.WeightedPicker[*netsim.AS]
+
+	profileEpochs map[string]time.Time
+	vendorCAKeys  map[string]ed25519.PrivateKey
+	vendorCerts   map[string]*x509lite.Certificate
+	sharedKeys    map[string]keyPair
+
+	// Transfers lists the prefix bulk-transfer events wired into the
+	// Internet (§7.3 ground truth).
+	Transfers []TransferEvent
+}
+
+// TransferEvent describes one scheduled prefix re-homing.
+type TransferEvent struct {
+	Prefix netsim.Prefix
+	From   int
+	To     int
+	At     time.Time
+}
+
+type keyPair struct {
+	pub  ed25519.PublicKey
+	priv ed25519.PrivateKey
+}
+
+// Roots returns the trusted roots (the simulation's OS root store).
+func (w *World) Roots() []*x509lite.Certificate { return w.pki.Roots() }
+
+// Hosts returns all scannable hosts (devices then sites).
+func (w *World) Hosts() []Host {
+	out := make([]Host, 0, len(w.Devices)+len(w.Sites))
+	for _, d := range w.Devices {
+		out = append(out, d)
+	}
+	for _, s := range w.Sites {
+		out = append(out, s)
+	}
+	return out
+}
+
+func (w *World) vendorCAKey(p *Profile) ed25519.PrivateKey {
+	key, ok := w.vendorCAKeys[p.Name]
+	if !ok {
+		panic(fmt.Sprintf("devicesim: no vendor CA key for profile %s", p.Name))
+	}
+	return key
+}
+
+func (w *World) sharedDeviceKey(p *Profile) (ed25519.PublicKey, ed25519.PrivateKey) {
+	kp, ok := w.sharedKeys[p.Name]
+	if !ok {
+		panic(fmt.Sprintf("devicesim: no shared device key for profile %s", p.Name))
+	}
+	return kp.pub, kp.priv
+}
+
+// BuildWorld constructs the full simulation deterministically from cfg.
+func BuildWorld(cfg Config) (*World, error) {
+	if cfg.NumDevices <= 0 || cfg.NumSites < 0 {
+		return nil, fmt.Errorf("devicesim: population sizes must be positive (devices=%d sites=%d)", cfg.NumDevices, cfg.NumSites)
+	}
+	if cfg.Start.IsZero() {
+		return nil, fmt.Errorf("devicesim: config missing Start")
+	}
+	root := stats.NewRNG(cfg.Seed)
+
+	builder, specs, allocated := buildRoster(root.Split())
+
+	w := &World{
+		Config:        cfg,
+		pickers:       nil,
+		profileEpochs: make(map[string]time.Time),
+		vendorCAKeys:  make(map[string]ed25519.PrivateKey),
+		vendorCerts:   make(map[string]*x509lite.Certificate),
+		sharedKeys:    make(map[string]keyPair),
+	}
+
+	// §7.3 bulk transfers: Verizon hands blocks to MCI twice; AT&T once.
+	// Each event re-homes the n-th prefix announced by the source AS.
+	intents := []struct {
+		from, to, nth int
+		at            time.Time
+	}{
+		{19262, 701, 0, time.Date(2013, 4, 10, 0, 0, 0, 0, time.UTC)},
+		{19262, 701, 1, time.Date(2014, 2, 20, 0, 0, 0, 0, time.UTC)},
+		{7018, 701, 0, time.Date(2013, 9, 15, 0, 0, 0, 0, time.UTC)},
+	}
+	var resolved []TransferEvent
+	for _, in := range intents {
+		prefixes := allocated[in.from]
+		if in.nth >= len(prefixes) {
+			continue
+		}
+		p := prefixes[in.nth]
+		builder.Transfer(p, in.to, in.at)
+		resolved = append(resolved, TransferEvent{Prefix: p, From: in.from, To: in.to, At: in.at})
+	}
+	inet, err := builder.Build()
+	if err != nil {
+		return nil, err
+	}
+	w.Internet = inet
+	w.Transfers = resolved
+	w.pickers = regionPickers(inet, specs)
+	for _, as := range inet.ASes() {
+		as.Prime() // make RandomIP safe under concurrent scanning
+	}
+
+	pkiRNG := root.Split()
+	w.pki = buildHierarchy(pkiRNG, cfg.Start)
+
+	profiles := DefaultProfiles()
+	profPicker := buildProfilePicker(profiles)
+	vendorRNG := root.Split()
+	for _, p := range profiles {
+		// Firmware epochs: a fixed past date per model line, >1000 days
+		// before the scans (Figure 5's right mode).
+		w.profileEpochs[p.Name] = time.Date(2000, 1, 1, 0, 0, 0, 0, time.UTC).
+			AddDate(0, 0, vendorRNG.Intn(2500))
+		if p.Issuer == IssuerVendorCA {
+			pub, priv := keyFromRNG(vendorRNG)
+			w.vendorCAKeys[p.Name] = priv
+			name := x509lite.Name{CommonName: p.IssuerText}
+			w.vendorCerts[p.Name] = mustCreate(&x509lite.Template{
+				Version: 3, SerialNumber: new(big.Int).SetUint64(vendorRNG.Uint64() >> 1),
+				Subject: name, Issuer: name,
+				NotBefore: w.profileEpochs[p.Name],
+				NotAfter:  w.profileEpochs[p.Name].AddDate(30, 0, 0),
+				IsCA:      true, IncludeBasicConstraints: true,
+			}, pub, priv)
+		}
+		if p.Key == KeyVendorShared {
+			pub, priv := keyFromRNG(vendorRNG)
+			w.sharedKeys[p.Name] = keyPair{pub: pub, priv: priv}
+		}
+	}
+
+	popRNG := root.Split()
+	id := 0
+	for id < cfg.NumDevices {
+		p := profPicker.Pick(popRNG)
+		birth := birthTime(cfg, popRNG)
+		n := 1
+		if p.FleetSize > 1 {
+			n = 2 + popRNG.Intn(p.FleetSize-1)
+			if id+n > cfg.NumDevices {
+				n = cfg.NumDevices - id
+			}
+		}
+		var leader *Device
+		for i := 0; i < n; i++ {
+			d := w.newDevice(id, p, birth, popRNG.Split())
+			if p.FleetSize > 1 {
+				if leader == nil {
+					leader = d
+				} else {
+					// Fleet members serve the leader's certificate.
+					d.fleetCert = leader.cert
+					d.cert = leader.cert
+				}
+			}
+			w.Devices = append(w.Devices, d)
+			id++
+		}
+	}
+
+	siteRNG := root.Split()
+	for i := 0; i < cfg.NumSites; i++ {
+		w.Sites = append(w.Sites, w.newSite(i, birthTime(cfg, siteRNG), siteRNG.Split()))
+	}
+	return w, nil
+}
+
+func birthTime(cfg Config, r *stats.RNG) time.Time {
+	if r.Float64() < cfg.AliveAtStartFraction {
+		return cfg.Start
+	}
+	return cfg.Start.AddDate(0, 0, r.Intn(cfg.GrowthDays))
+}
+
+func buildProfilePicker(profiles []*Profile) *stats.WeightedPicker[*Profile] {
+	choices := make([]stats.WeightedChoice[*Profile], 0, len(profiles))
+	for _, p := range profiles {
+		choices = append(choices, stats.WeightedChoice[*Profile]{Item: p, Weight: p.Weight})
+	}
+	return stats.NewWeightedPicker(choices)
+}
+
+// ExtractDeviceKey hands over a device's current private key — the
+// simulation equivalent of dumping it from firmware. It exists for the
+// impersonation example (§5.2's shared-key attack) and for tests; the
+// measurement pipeline never touches private keys.
+func (w *World) ExtractDeviceKey(d *Device) ed25519.PrivateKey {
+	return d.key
+}

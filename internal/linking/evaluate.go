@@ -1,0 +1,290 @@
+package linking
+
+import (
+	"sort"
+
+	"securepki/internal/netsim"
+	"securepki/internal/scanstore"
+	"securepki/internal/stats"
+)
+
+// FieldEval is one column of Table 6.
+type FieldEval struct {
+	Feature Feature
+	// TotalLinked certificates fall in linkable groups for this field;
+	// UniquelyLinked are linked by this field and no other.
+	TotalLinked    int
+	UniquelyLinked int
+	// Consistency proxies (§6.4.1): how often a linked group's sightings
+	// concentrate on one IP, one /24, one AS.
+	IPConsistency  float64
+	S24Consistency float64
+	ASConsistency  float64
+	NumGroups      int
+}
+
+// Evaluate scores one field over the full eligible population, exactly as
+// Table 6 does: link on the field alone, then measure IP//24/AS consistency
+// of the resulting groups.
+func (l *Linker) Evaluate(f Feature) FieldEval {
+	groups := l.LinkOn(f, nil)
+	ev := FieldEval{Feature: f, NumGroups: len(groups)}
+	var ipMax, s24Max, asMax, total int
+	for _, g := range groups {
+		ev.TotalLinked += len(g.Certs)
+		im, sm, am, n := l.groupConsistencyCounts(g)
+		ipMax += im
+		s24Max += sm
+		asMax += am
+		total += n
+	}
+	if total > 0 {
+		ev.IPConsistency = float64(ipMax) / float64(total)
+		ev.S24Consistency = float64(s24Max) / float64(total)
+		ev.ASConsistency = float64(asMax) / float64(total)
+	}
+	return ev
+}
+
+// groupConsistencyCounts implements the paper's §6.4.1 example: over all of
+// the group's sightings, how many fall on the modal IP, modal /24 and modal
+// AS (the denominators are the sighting count).
+func (l *Linker) groupConsistencyCounts(g Group) (ipMax, s24Max, asMax, total int) {
+	ips := make(map[netsim.IP]int)
+	s24s := make(map[netsim.IP]int)
+	ases := make(map[int]int)
+	for _, id := range g.Certs {
+		for _, sg := range l.ds.Index.Sightings(id) {
+			total++
+			ips[sg.IP]++
+			s24s[sg.IP.Slash24()]++
+			if as := l.ds.Internet.Lookup(sg.IP, l.ds.Corpus.Scan(sg.Scan).Time); as != nil {
+				ases[as.ASN]++
+			}
+		}
+	}
+	for _, n := range ips {
+		if n > ipMax {
+			ipMax = n
+		}
+	}
+	for _, n := range s24s {
+		if n > s24Max {
+			s24Max = n
+		}
+	}
+	for _, n := range ases {
+		if n > asMax {
+			asMax = n
+		}
+	}
+	return ipMax, s24Max, asMax, total
+}
+
+// EvaluateAll produces Table 6: every field scored independently, with the
+// uniquely-linked counts computed across fields.
+func (l *Linker) EvaluateAll() []FieldEval {
+	evals := make([]FieldEval, 0, numFeatures)
+	linkedBy := make(map[scanstore.CertID][]Feature)
+	for _, f := range AllFeatures() {
+		ev := l.Evaluate(f)
+		for _, g := range l.LinkOn(f, nil) {
+			for _, id := range g.Certs {
+				linkedBy[id] = append(linkedBy[id], f)
+			}
+		}
+		evals = append(evals, ev)
+	}
+	unique := make(map[Feature]int)
+	for _, fields := range linkedBy {
+		if len(fields) == 1 {
+			unique[fields[0]]++
+		}
+	}
+	for i := range evals {
+		evals[i].UniquelyLinked = unique[evals[i].Feature]
+	}
+	return evals
+}
+
+// Result is the outcome of the full §6.4.3 iterative linking.
+type Result struct {
+	// FieldOrder is the accepted fields in application order (descending
+	// AS-level consistency, thresholded at MinASConsistency).
+	FieldOrder []Feature
+	// Rejected fields fell below the AS-consistency bound (the paper drops
+	// NotBefore, NotAfter and Issuer+Serial).
+	Rejected []Feature
+	// Groups are the final linked groups.
+	Groups []Group
+	// LinkedCerts / EligibleCerts give the paper's headline coverage
+	// (27.4M of 69.5M = 39.4%).
+	LinkedCerts   int
+	EligibleCerts int
+}
+
+// LinkedFraction returns LinkedCerts / EligibleCerts.
+func (r Result) LinkedFraction() float64 {
+	if r.EligibleCerts == 0 {
+		return 0
+	}
+	return float64(r.LinkedCerts) / float64(r.EligibleCerts)
+}
+
+// Link runs the full pipeline: evaluate every field, order the accepted ones
+// by AS-level consistency, then iteratively link and remove (§6.4.3).
+func (l *Linker) Link() Result {
+	evals := l.EvaluateAll()
+	return l.linkWithEvals(evals)
+}
+
+// LinkWithOrder runs iterative linking with an explicit field order,
+// bypassing the consistency threshold — the ablation benches use this to
+// show why the paper's ordering matters.
+func (l *Linker) LinkWithOrder(order []Feature) Result {
+	res := Result{FieldOrder: order, EligibleCerts: len(l.eligible)}
+	l.runIterative(&res)
+	return res
+}
+
+func (l *Linker) linkWithEvals(evals []FieldEval) Result {
+	res := Result{EligibleCerts: len(l.eligible)}
+	accepted := make([]FieldEval, 0, len(evals))
+	for _, ev := range evals {
+		if ev.TotalLinked == 0 {
+			continue
+		}
+		if ev.ASConsistency < l.cfg.MinASConsistency {
+			res.Rejected = append(res.Rejected, ev.Feature)
+			continue
+		}
+		accepted = append(accepted, ev)
+	}
+	sort.SliceStable(accepted, func(i, j int) bool {
+		return accepted[i].ASConsistency > accepted[j].ASConsistency
+	})
+	for _, ev := range accepted {
+		res.FieldOrder = append(res.FieldOrder, ev.Feature)
+	}
+	l.runIterative(&res)
+	return res
+}
+
+func (l *Linker) runIterative(res *Result) {
+	remaining := make(map[scanstore.CertID]bool, len(l.eligible))
+	for i := range l.eligible {
+		remaining[l.eligible[i].id] = true
+	}
+	for _, f := range res.FieldOrder {
+		groups := l.LinkOn(f, remaining)
+		for _, g := range groups {
+			res.Groups = append(res.Groups, g)
+			res.LinkedCerts += len(g.Certs)
+			for _, id := range g.Certs {
+				delete(remaining, id)
+			}
+		}
+	}
+}
+
+// GroupSizeCDF returns Figure 10's distribution of group sizes, optionally
+// restricted to one feature (pass nil for all).
+func GroupSizeCDF(groups []Group, f *Feature) *stats.CDF {
+	var sizes []float64
+	for _, g := range groups {
+		if f != nil && g.Feature != *f {
+			continue
+		}
+		sizes = append(sizes, float64(len(g.Certs)))
+	}
+	return stats.NewCDF(sizes)
+}
+
+// LifetimeChange quantifies §6.4.4: how linking changes apparent lifetimes.
+type LifetimeChange struct {
+	// Before: per-certificate lifetimes over eligible certs.
+	SingleScanFracBefore float64
+	MeanLifetimeBefore   float64
+	// After: linked groups contribute one merged lifetime; unlinked certs
+	// keep their own.
+	SingleScanFracAfter float64
+	MeanLifetimeAfter   float64
+}
+
+// EvaluateLifetimeChange computes §6.4.4 for a linking result.
+func (l *Linker) EvaluateLifetimeChange(res Result) LifetimeChange {
+	var lc LifetimeChange
+	var nBefore, singleBefore int
+	var sumBefore float64
+	linked := make(map[scanstore.CertID]bool)
+	for _, g := range res.Groups {
+		for _, id := range g.Certs {
+			linked[id] = true
+		}
+	}
+
+	for i := range l.eligible {
+		info := &l.eligible[i]
+		lt, ok := l.ds.Index.LifetimeDays(info.id)
+		if !ok {
+			continue
+		}
+		nBefore++
+		sumBefore += float64(lt)
+		if len(l.ds.Index.ScansSeen(info.id)) == 1 {
+			singleBefore++
+		}
+	}
+
+	var nAfter, singleAfter int
+	var sumAfter float64
+	// Unlinked certificates carry over unchanged.
+	for i := range l.eligible {
+		info := &l.eligible[i]
+		if linked[info.id] {
+			continue
+		}
+		lt, ok := l.ds.Index.LifetimeDays(info.id)
+		if !ok {
+			continue
+		}
+		nAfter++
+		sumAfter += float64(lt)
+		if len(l.ds.Index.ScansSeen(info.id)) == 1 {
+			singleAfter++
+		}
+	}
+	// Each linked group becomes one entity spanning first to last sighting.
+	for _, g := range res.Groups {
+		var first, last int
+		var scansSeen int
+		for i, id := range g.Certs {
+			info := l.byID[id]
+			if i == 0 || info.firstScan < first {
+				first = info.firstScan
+			}
+			if i == 0 || info.lastScan > last {
+				last = info.lastScan
+			}
+			scansSeen += len(l.ds.Index.ScansSeen(id))
+		}
+		firstT := l.ds.Corpus.Scan(scanstore.ScanID(first)).Time
+		lastT := l.ds.Corpus.Scan(scanstore.ScanID(last)).Time
+		days := lastT.Sub(firstT).Hours()/24 + 1
+		nAfter++
+		sumAfter += days
+		if scansSeen == 1 {
+			singleAfter++
+		}
+	}
+
+	if nBefore > 0 {
+		lc.SingleScanFracBefore = float64(singleBefore) / float64(nBefore)
+		lc.MeanLifetimeBefore = sumBefore / float64(nBefore)
+	}
+	if nAfter > 0 {
+		lc.SingleScanFracAfter = float64(singleAfter) / float64(nAfter)
+		lc.MeanLifetimeAfter = sumAfter / float64(nAfter)
+	}
+	return lc
+}

@@ -1,0 +1,251 @@
+package linking
+
+import (
+	"sort"
+
+	"securepki/internal/analysis"
+	"securepki/internal/scanstore"
+)
+
+// Config tunes the linking pipeline. DefaultConfig matches the paper.
+type Config struct {
+	// MaxIPsPerScan is the §6.2 uniqueness threshold: a certificate seen at
+	// more than this many addresses in one scan is considered shared.
+	MaxIPsPerScan int
+	// MaxOverlapScans is the lifetime-overlap tolerance of §6.3.2 (one scan,
+	// because devices renumber mid-scan).
+	MaxOverlapScans int
+	// MinASConsistency rejects fields whose AS-level consistency falls
+	// below this bound when building the final iterative linking (§6.4.3;
+	// the paper uses 90%).
+	MinASConsistency float64
+}
+
+// DefaultConfig returns the paper's parameters.
+func DefaultConfig() Config {
+	return Config{MaxIPsPerScan: 2, MaxOverlapScans: 1, MinASConsistency: 0.9}
+}
+
+// certInfo caches per-certificate state the linker needs repeatedly.
+type certInfo struct {
+	id        scanstore.CertID
+	firstScan int // global scan index of first sighting
+	lastScan  int
+	ipCN      bool
+}
+
+// Linker runs the §6 pipeline over a validated dataset.
+type Linker struct {
+	cfg Config
+	ds  *analysis.Dataset
+
+	eligible []certInfo
+	byID     map[scanstore.CertID]*certInfo
+	// excludedShared counts invalid certs dropped by the §6.2 rule.
+	excludedShared int
+	invalidTotal   int
+}
+
+// NewLinker applies the §6.2 scan-duplicate rule to the dataset's invalid
+// certificates and prepares the eligible population.
+func NewLinker(ds *analysis.Dataset, cfg Config) *Linker {
+	l := &Linker{cfg: cfg, ds: ds, byID: make(map[scanstore.CertID]*certInfo)}
+	for _, rec := range ds.Corpus.Certs() {
+		if !rec.Status.Invalid() {
+			continue
+		}
+		scans := ds.Index.ScansSeen(rec.ID)
+		if len(scans) == 0 {
+			continue
+		}
+		l.invalidTotal++
+		if !l.passesUniqueness(rec.ID, scans) {
+			l.excludedShared++
+			continue
+		}
+		info := certInfo{
+			id:        rec.ID,
+			firstScan: int(scans[0]),
+			lastScan:  int(scans[len(scans)-1]),
+			ipCN:      IPFormattedCN(rec.Cert),
+		}
+		l.eligible = append(l.eligible, info)
+	}
+	for i := range l.eligible {
+		l.byID[l.eligible[i].id] = &l.eligible[i]
+	}
+	return l
+}
+
+// passesUniqueness implements §6.2: at most MaxIPsPerScan addresses in any
+// scan, except that a certificate seen at exactly two addresses in *every*
+// scan is two devices, not one mid-scan renumbering, and is excluded.
+func (l *Linker) passesUniqueness(id scanstore.CertID, scans []scanstore.ScanID) bool {
+	alwaysTwo := true
+	for _, s := range scans {
+		n := len(l.ds.Index.IPsInScan(id, s))
+		if n > l.cfg.MaxIPsPerScan {
+			return false
+		}
+		if n != 2 {
+			alwaysTwo = false
+		}
+	}
+	if alwaysTwo && len(scans) > 1 && l.cfg.MaxIPsPerScan >= 2 {
+		return false
+	}
+	return true
+}
+
+// EligibleCount returns how many invalid certificates survive §6.2 (the
+// paper keeps 69,481,047 of 70.6M).
+func (l *Linker) EligibleCount() int { return len(l.eligible) }
+
+// IsEligible reports whether the certificate survived the §6.2 rule; the
+// tracker uses this to keep shared (fleet) certificates out of the device
+// population.
+func (l *Linker) IsEligible(id scanstore.CertID) bool {
+	_, ok := l.byID[id]
+	return ok
+}
+
+// ExcludedShared returns how many invalid certificates the §6.2 rule dropped
+// (the paper's 1.6%).
+func (l *Linker) ExcludedShared() int { return l.excludedShared }
+
+// InvalidTotal returns the number of observed invalid certificates.
+func (l *Linker) InvalidTotal() int { return l.invalidTotal }
+
+// FeatureStat is one row of Table 5.
+type FeatureStat struct {
+	Feature Feature
+	// NonUniqueFrac is the fraction of eligible invalid certificates whose
+	// value for this feature also appears on some other certificate.
+	NonUniqueFrac float64
+	// PresentFrac is the fraction of certificates that carry the feature at
+	// all (CRL/AIA/OCSP/OID are nearly absent from invalid certs: §6.3.1).
+	PresentFrac float64
+}
+
+// FeatureUniqueness computes Table 5 over the eligible population.
+func (l *Linker) FeatureUniqueness() []FeatureStat {
+	out := make([]FeatureStat, 0, numFeatures)
+	for _, f := range AllFeatures() {
+		counts := make(map[string]int)
+		present := 0
+		for i := range l.eligible {
+			cert := l.ds.Corpus.Cert(l.eligible[i].id).Cert
+			v, ok := Value(cert, f)
+			if !ok {
+				continue
+			}
+			present++
+			counts[v]++
+		}
+		nonUnique := 0
+		for i := range l.eligible {
+			cert := l.ds.Corpus.Cert(l.eligible[i].id).Cert
+			v, ok := Value(cert, f)
+			if ok && counts[v] > 1 {
+				nonUnique++
+			}
+		}
+		stat := FeatureStat{Feature: f}
+		if n := len(l.eligible); n > 0 {
+			stat.NonUniqueFrac = float64(nonUnique) / float64(n)
+			stat.PresentFrac = float64(present) / float64(n)
+		}
+		out = append(out, stat)
+	}
+	return out
+}
+
+// Group is one linked set of certificates attributed to a single device.
+type Group struct {
+	Feature Feature
+	Value   string
+	Certs   []scanstore.CertID
+}
+
+// groupCandidates collects, for one feature, value → eligible certs carrying
+// that value, restricted to the given eligibility set (nil = all).
+func (l *Linker) groupCandidates(f Feature, include map[scanstore.CertID]bool) map[string][]*certInfo {
+	groups := make(map[string][]*certInfo)
+	for i := range l.eligible {
+		info := &l.eligible[i]
+		if include != nil && !include[info.id] {
+			continue
+		}
+		if f == FeatureCommonName && info.ipCN {
+			// §6.4.1: IP-address CNs are excluded from CN linking.
+			continue
+		}
+		cert := l.ds.Corpus.Cert(info.id).Cert
+		v, ok := Value(cert, f)
+		if !ok {
+			continue
+		}
+		groups[v] = append(groups[v], info)
+	}
+	return groups
+}
+
+// linkable applies the §6.3.2 lifetime-overlap rule to one candidate group:
+// all pair-wise lifetime overlaps must be at most MaxOverlapScans scans.
+// Sorting by first sighting reduces the all-pairs check to a running
+// maximum of last sightings.
+func (l *Linker) linkable(group []*certInfo) bool {
+	if len(group) < 2 {
+		return false
+	}
+	sorted := append([]*certInfo(nil), group...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].firstScan != sorted[j].firstScan {
+			return sorted[i].firstScan < sorted[j].firstScan
+		}
+		return sorted[i].lastScan < sorted[j].lastScan
+	})
+	maxLast := sorted[0].lastScan
+	for i := 1; i < len(sorted); i++ {
+		c := sorted[i]
+		// Scans in the intersection of [first,last] with the widest
+		// predecessor interval.
+		if maxLast >= c.firstScan {
+			overlap := min(maxLast, c.lastScan) - c.firstScan + 1
+			if overlap > l.cfg.MaxOverlapScans {
+				return false
+			}
+		}
+		if c.lastScan > maxLast {
+			maxLast = c.lastScan
+		}
+	}
+	return true
+}
+
+// LinkOn links certificates by a single feature, returning only the groups
+// that pass the overlap rule. include restricts the population (nil = all
+// eligible certs).
+func (l *Linker) LinkOn(f Feature, include map[scanstore.CertID]bool) []Group {
+	var out []Group
+	for v, members := range l.groupCandidates(f, include) {
+		if !l.linkable(members) {
+			continue
+		}
+		g := Group{Feature: f, Value: v, Certs: make([]scanstore.CertID, len(members))}
+		for i, m := range members {
+			g.Certs[i] = m.id
+		}
+		sort.Slice(g.Certs, func(a, b int) bool { return g.Certs[a] < g.Certs[b] })
+		out = append(out, g)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Value < out[j].Value })
+	return out
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

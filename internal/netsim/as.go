@@ -1,0 +1,265 @@
+package netsim
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"securepki/internal/stats"
+)
+
+// ASType mirrors CAIDA's AS classification dataset (paper Table 2).
+type ASType int
+
+// AS classifications.
+const (
+	TransitAccess ASType = iota
+	Content
+	Enterprise
+	UnknownType
+)
+
+// String returns the CAIDA-style label.
+func (t ASType) String() string {
+	switch t {
+	case TransitAccess:
+		return "Transit/Access"
+	case Content:
+		return "Content"
+	case Enterprise:
+		return "Enterprise"
+	default:
+		return "Unknown"
+	}
+}
+
+// ReassignPolicy describes how an AS hands out addresses to subscriber
+// devices, the object of the paper's §7.4 inference.
+type ReassignPolicy struct {
+	// StaticFraction of devices in this AS keep one address forever.
+	StaticFraction float64
+	// MeanLeaseDays is the mean of the exponential lease length for
+	// non-static devices; 1 models ISPs like Deutsche Telekom that renumber
+	// daily, 100+ models slow churn.
+	MeanLeaseDays float64
+}
+
+// AS is one autonomous system: identity, classification, address space and
+// reassignment behaviour.
+type AS struct {
+	ASN     int
+	Org     string
+	Country string
+	Type    ASType
+	Policy  ReassignPolicy
+
+	prefixes []Prefix
+	picker   *stats.WeightedPicker[Prefix]
+}
+
+// Name renders "#3320 Deutsche Telekom AG (DEU)" like the paper's Table 3.
+func (a *AS) Name() string { return fmt.Sprintf("#%d %s (%s)", a.ASN, a.Org, a.Country) }
+
+// Prefixes returns the prefixes currently assigned to the AS.
+func (a *AS) Prefixes() []Prefix { return a.prefixes }
+
+// Prime pre-builds the AS's prefix picker so that subsequent RandomIP calls
+// are read-only and safe to issue from concurrent goroutines (each with its
+// own RNG). Call it once per AS after Build when using parallel scanning.
+func (a *AS) Prime() {
+	if a.picker != nil || len(a.prefixes) == 0 {
+		return
+	}
+	choices := make([]stats.WeightedChoice[Prefix], 0, len(a.prefixes))
+	for _, p := range a.prefixes {
+		choices = append(choices, stats.WeightedChoice[Prefix]{Item: p, Weight: float64(p.Size())})
+	}
+	a.picker = stats.NewWeightedPicker(choices)
+}
+
+// RandomIP draws a uniform address from the AS's space, weighting prefixes
+// by size. It panics if the AS owns no prefixes.
+func (a *AS) RandomIP(r *stats.RNG) IP {
+	a.Prime()
+	p := a.picker.Pick(r)
+	host := IP(r.Uint64() % p.Size())
+	return p.Base | host
+}
+
+// ownership records one interval of prefix ownership. A prefix transferred
+// between ASes (the paper's Verizon→MCI events) has several entries.
+type ownership struct {
+	effective time.Time // zero time = since the beginning
+	asn       int
+}
+
+// route is one BGP table entry with its ownership history.
+type route struct {
+	prefix Prefix
+	owners []ownership // sorted by effective ascending
+}
+
+// Internet is the assembled model: the AS registry and a longest-prefix-match
+// routing table with time-varying ownership. Build it with Builder; it is
+// immutable (and safe for concurrent reads) afterwards.
+type Internet struct {
+	ases   map[int]*AS
+	asList []*AS
+	routes []route // sorted by (Base, Bits) for binary search
+}
+
+// AS returns the AS with the given number, or nil.
+func (n *Internet) AS(asn int) *AS { return n.ases[asn] }
+
+// ASes returns all ASes, ordered by ASN.
+func (n *Internet) ASes() []*AS { return n.asList }
+
+// NumPrefixes returns the size of the BGP table.
+func (n *Internet) NumPrefixes() int { return len(n.routes) }
+
+// Lookup maps an address to its originating AS at time t, using
+// longest-prefix match over the table. It returns nil for unrouted space.
+func (n *Internet) Lookup(ip IP, t time.Time) *AS {
+	// Binary search for the insertion point of ip, then walk backwards over
+	// candidate prefixes. Because route bases are sorted, any prefix
+	// containing ip has Base <= ip; we scan back while plausible, tracking
+	// the longest match. The scan ends once the candidate's /8 can no
+	// longer contain ip.
+	idx := sort.Search(len(n.routes), func(i int) bool { return n.routes[i].prefix.Base > ip })
+	best := -1
+	bestBits := -1
+	for i := idx - 1; i >= 0; i-- {
+		p := n.routes[i].prefix
+		if p.Base < ip&0xff000000 {
+			break // routes are at most /8 wide in this model
+		}
+		if p.Contains(ip) && p.Bits > bestBits {
+			best, bestBits = i, p.Bits
+		}
+	}
+	if best < 0 {
+		return nil
+	}
+	return n.ases[n.routes[best].ownerAt(t)]
+}
+
+// PrefixOf returns the routed prefix containing ip, or false.
+func (n *Internet) PrefixOf(ip IP) (Prefix, bool) {
+	idx := sort.Search(len(n.routes), func(i int) bool { return n.routes[i].prefix.Base > ip })
+	best := -1
+	bestBits := -1
+	for i := idx - 1; i >= 0; i-- {
+		p := n.routes[i].prefix
+		if p.Base < ip&0xff000000 {
+			break
+		}
+		if p.Contains(ip) && p.Bits > bestBits {
+			best, bestBits = i, p.Bits
+		}
+	}
+	if best < 0 {
+		return Prefix{}, false
+	}
+	return n.routes[best].prefix, true
+}
+
+func (r *route) ownerAt(t time.Time) int {
+	owner := r.owners[0].asn
+	for _, o := range r.owners[1:] {
+		if o.effective.After(t) {
+			break
+		}
+		owner = o.asn
+	}
+	return owner
+}
+
+// Builder assembles an Internet. Not safe for concurrent use.
+type Builder struct {
+	ases     map[int]*AS
+	routes   []route
+	routeIdx map[Prefix]int
+	err      error
+}
+
+// NewBuilder returns an empty builder.
+func NewBuilder() *Builder {
+	return &Builder{ases: make(map[int]*AS), routeIdx: make(map[Prefix]int)}
+}
+
+// AddAS registers an autonomous system. Re-adding an ASN is an error.
+func (b *Builder) AddAS(asn int, org, country string, typ ASType, policy ReassignPolicy) *Builder {
+	if b.err != nil {
+		return b
+	}
+	if _, dup := b.ases[asn]; dup {
+		b.err = fmt.Errorf("netsim: duplicate AS %d", asn)
+		return b
+	}
+	b.ases[asn] = &AS{ASN: asn, Org: org, Country: country, Type: typ, Policy: policy}
+	return b
+}
+
+// Announce assigns a prefix to an AS from the beginning of time.
+func (b *Builder) Announce(asn int, p Prefix) *Builder {
+	if b.err != nil {
+		return b
+	}
+	as, ok := b.ases[asn]
+	if !ok {
+		b.err = fmt.Errorf("netsim: announce for unknown AS %d", asn)
+		return b
+	}
+	if _, dup := b.routeIdx[p]; dup {
+		b.err = fmt.Errorf("netsim: prefix %s announced twice", p)
+		return b
+	}
+	b.routeIdx[p] = len(b.routes)
+	b.routes = append(b.routes, route{prefix: p, owners: []ownership{{asn: asn}}})
+	as.prefixes = append(as.prefixes, p)
+	return b
+}
+
+// Transfer re-homes an already-announced prefix to another AS effective at
+// the given time, modelling the paper's observed bulk IP-block transfers.
+// Devices keep their addresses; Lookup after the effective time returns the
+// new AS.
+func (b *Builder) Transfer(p Prefix, toASN int, effective time.Time) *Builder {
+	if b.err != nil {
+		return b
+	}
+	idx, ok := b.routeIdx[p]
+	if !ok {
+		b.err = fmt.Errorf("netsim: transfer of unannounced prefix %s", p)
+		return b
+	}
+	if _, ok := b.ases[toASN]; !ok {
+		b.err = fmt.Errorf("netsim: transfer to unknown AS %d", toASN)
+		return b
+	}
+	b.routes[idx].owners = append(b.routes[idx].owners, ownership{effective: effective, asn: toASN})
+	return b
+}
+
+// Build finalises the Internet. It returns any accumulated construction
+// error.
+func (b *Builder) Build() (*Internet, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	n := &Internet{ases: b.ases, routes: b.routes}
+	sort.Slice(n.routes, func(i, j int) bool {
+		if n.routes[i].prefix.Base != n.routes[j].prefix.Base {
+			return n.routes[i].prefix.Base < n.routes[j].prefix.Base
+		}
+		return n.routes[i].prefix.Bits < n.routes[j].prefix.Bits
+	})
+	for _, r := range n.routes {
+		sort.Slice(r.owners, func(i, j int) bool { return r.owners[i].effective.Before(r.owners[j].effective) })
+	}
+	for _, as := range b.ases {
+		n.asList = append(n.asList, as)
+	}
+	sort.Slice(n.asList, func(i, j int) bool { return n.asList[i].ASN < n.asList[j].ASN })
+	return n, nil
+}

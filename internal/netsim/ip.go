@@ -1,0 +1,87 @@
+// Package netsim models the parts of the Internet the paper's analyses
+// consume: the IPv4 address space, BGP prefixes with longest-prefix-match
+// lookup, an AS registry with CAIDA-style classifications (transit/access,
+// content, enterprise) and countries, prefix ownership that can change over
+// time (bulk IP-block transfers between ASes, §7.3), and per-AS IP
+// reassignment policies (static vs dynamic, §7.4).
+//
+// It substitutes for the RouteViews prefix-to-AS and CAIDA AS-classification
+// datasets the paper used: the analyses only consume the resulting mapping
+// IP → prefix → AS → (type, country), which this package generates
+// deterministically.
+package netsim
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// IP is an IPv4 address in host byte order. The numeric form makes prefix
+// arithmetic and map keys cheap across tens of millions of observations.
+type IP uint32
+
+// MakeIP builds an IP from dotted-quad octets.
+func MakeIP(a, b, c, d byte) IP {
+	return IP(uint32(a)<<24 | uint32(b)<<16 | uint32(c)<<8 | uint32(d))
+}
+
+// ParseIP parses a dotted-quad string.
+func ParseIP(s string) (IP, error) {
+	parts := strings.Split(s, ".")
+	if len(parts) != 4 {
+		return 0, fmt.Errorf("netsim: bad IPv4 %q", s)
+	}
+	var ip uint32
+	for _, p := range parts {
+		v, err := strconv.Atoi(p)
+		if err != nil || v < 0 || v > 255 {
+			return 0, fmt.Errorf("netsim: bad IPv4 octet %q", p)
+		}
+		ip = ip<<8 | uint32(v)
+	}
+	return IP(ip), nil
+}
+
+// String renders the dotted-quad form.
+func (ip IP) String() string {
+	return fmt.Sprintf("%d.%d.%d.%d", byte(ip>>24), byte(ip>>16), byte(ip>>8), byte(ip))
+}
+
+// Slash8 returns the address's /8 index (its first octet), as used by the
+// paper's Figure 1 per-/8 breakdown.
+func (ip IP) Slash8() int { return int(ip >> 24) }
+
+// Slash24 returns the address masked to its /24 network, the granularity of
+// the paper's /24-level linking consistency.
+func (ip IP) Slash24() IP { return ip &^ 0xff }
+
+// Prefix is a CIDR block.
+type Prefix struct {
+	Base IP
+	Bits int // prefix length, 0..32
+}
+
+// MakePrefix masks base down to bits and returns the prefix.
+func MakePrefix(base IP, bits int) Prefix {
+	return Prefix{Base: base & mask(bits), Bits: bits}
+}
+
+func mask(bits int) IP {
+	if bits <= 0 {
+		return 0
+	}
+	if bits >= 32 {
+		return ^IP(0)
+	}
+	return ^IP(0) << (32 - bits)
+}
+
+// Contains reports whether ip falls inside the prefix.
+func (p Prefix) Contains(ip IP) bool { return ip&mask(p.Bits) == p.Base }
+
+// Size returns the number of addresses in the prefix.
+func (p Prefix) Size() uint64 { return 1 << (32 - p.Bits) }
+
+// String renders CIDR notation.
+func (p Prefix) String() string { return fmt.Sprintf("%s/%d", p.Base, p.Bits) }

@@ -1,0 +1,292 @@
+package netsim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"securepki/internal/stats"
+)
+
+func TestIPStringRoundTrip(t *testing.T) {
+	cases := []string{"0.0.0.0", "192.168.1.1", "255.255.255.255", "10.0.0.1", "62.155.3.99"}
+	for _, s := range cases {
+		ip, err := ParseIP(s)
+		if err != nil {
+			t.Fatalf("ParseIP(%q): %v", s, err)
+		}
+		if got := ip.String(); got != s {
+			t.Errorf("round trip %q -> %q", s, got)
+		}
+	}
+}
+
+func TestParseIPErrors(t *testing.T) {
+	for _, s := range []string{"", "1.2.3", "1.2.3.4.5", "256.1.1.1", "a.b.c.d", "1.2.3.-4"} {
+		if _, err := ParseIP(s); err == nil {
+			t.Errorf("ParseIP(%q) accepted", s)
+		}
+	}
+}
+
+func TestIPStringParseProperty(t *testing.T) {
+	f := func(v uint32) bool {
+		ip := IP(v)
+		back, err := ParseIP(ip.String())
+		return err == nil && back == ip
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSlash8AndSlash24(t *testing.T) {
+	ip := MakeIP(62, 155, 3, 99)
+	if ip.Slash8() != 62 {
+		t.Errorf("Slash8 = %d", ip.Slash8())
+	}
+	if got := ip.Slash24(); got != MakeIP(62, 155, 3, 0) {
+		t.Errorf("Slash24 = %s", got)
+	}
+}
+
+func TestPrefixContains(t *testing.T) {
+	p := MakePrefix(MakeIP(10, 20, 0, 0), 16)
+	if !p.Contains(MakeIP(10, 20, 255, 1)) {
+		t.Error("prefix should contain in-range address")
+	}
+	if p.Contains(MakeIP(10, 21, 0, 0)) {
+		t.Error("prefix should not contain out-of-range address")
+	}
+	if p.Size() != 65536 {
+		t.Errorf("Size = %d", p.Size())
+	}
+	if p.String() != "10.20.0.0/16" {
+		t.Errorf("String = %s", p.String())
+	}
+}
+
+func TestMakePrefixMasks(t *testing.T) {
+	p := MakePrefix(MakeIP(10, 20, 30, 40), 16)
+	if p.Base != MakeIP(10, 20, 0, 0) {
+		t.Errorf("base not masked: %s", p.Base)
+	}
+}
+
+func TestPrefixEdgeLengths(t *testing.T) {
+	all := MakePrefix(0, 0)
+	if !all.Contains(MakeIP(255, 1, 2, 3)) {
+		t.Error("/0 must contain everything")
+	}
+	host := MakePrefix(MakeIP(1, 2, 3, 4), 32)
+	if !host.Contains(MakeIP(1, 2, 3, 4)) || host.Contains(MakeIP(1, 2, 3, 5)) {
+		t.Error("/32 containment wrong")
+	}
+	if host.Size() != 1 {
+		t.Errorf("/32 size = %d", host.Size())
+	}
+}
+
+func buildTestInternet(t *testing.T) *Internet {
+	t.Helper()
+	b := NewBuilder()
+	b.AddAS(3320, "Deutsche Telekom AG", "DEU", TransitAccess, ReassignPolicy{StaticFraction: 0.2, MeanLeaseDays: 1})
+	b.AddAS(7922, "Comcast Cable Comm., Inc.", "USA", TransitAccess, ReassignPolicy{StaticFraction: 0.9, MeanLeaseDays: 60})
+	b.AddAS(26496, "GoDaddy.com, LLC", "USA", Content, ReassignPolicy{StaticFraction: 1})
+	b.Announce(3320, MakePrefix(MakeIP(62, 155, 0, 0), 16))
+	b.Announce(3320, MakePrefix(MakeIP(91, 0, 0, 0), 16))
+	b.Announce(7922, MakePrefix(MakeIP(24, 0, 0, 0), 16))
+	b.Announce(26496, MakePrefix(MakeIP(72, 167, 0, 0), 16))
+	// A more specific prefix inside Comcast's block belongs to GoDaddy to
+	// exercise longest-prefix match.
+	b.Announce(26496, MakePrefix(MakeIP(24, 0, 5, 0), 24))
+	inet, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inet
+}
+
+var t0 = time.Date(2013, 1, 1, 0, 0, 0, 0, time.UTC)
+
+func TestLookup(t *testing.T) {
+	inet := buildTestInternet(t)
+	cases := []struct {
+		ip   IP
+		want int
+	}{
+		{MakeIP(62, 155, 3, 9), 3320},
+		{MakeIP(91, 0, 200, 1), 3320},
+		{MakeIP(24, 0, 77, 1), 7922},
+		{MakeIP(72, 167, 1, 1), 26496},
+	}
+	for _, tc := range cases {
+		as := inet.Lookup(tc.ip, t0)
+		if as == nil || as.ASN != tc.want {
+			t.Errorf("Lookup(%s) = %v, want AS%d", tc.ip, as, tc.want)
+		}
+	}
+}
+
+func TestLookupLongestPrefixWins(t *testing.T) {
+	inet := buildTestInternet(t)
+	as := inet.Lookup(MakeIP(24, 0, 5, 77), t0)
+	if as == nil || as.ASN != 26496 {
+		t.Errorf("more-specific /24 not preferred: %v", as)
+	}
+	// Neighbouring /24 still belongs to the covering /16.
+	as = inet.Lookup(MakeIP(24, 0, 6, 77), t0)
+	if as == nil || as.ASN != 7922 {
+		t.Errorf("covering /16 lost: %v", as)
+	}
+}
+
+func TestLookupUnroutedReturnsNil(t *testing.T) {
+	inet := buildTestInternet(t)
+	if as := inet.Lookup(MakeIP(200, 1, 1, 1), t0); as != nil {
+		t.Errorf("unrouted space mapped to %v", as)
+	}
+}
+
+func TestPrefixOf(t *testing.T) {
+	inet := buildTestInternet(t)
+	p, ok := inet.PrefixOf(MakeIP(62, 155, 9, 9))
+	if !ok || p.String() != "62.155.0.0/16" {
+		t.Errorf("PrefixOf = %v, %v", p, ok)
+	}
+	if _, ok := inet.PrefixOf(MakeIP(200, 1, 1, 1)); ok {
+		t.Error("PrefixOf found unrouted space")
+	}
+}
+
+func TestTransferChangesOwnershipOverTime(t *testing.T) {
+	b := NewBuilder()
+	b.AddAS(19262, "Verizon", "USA", TransitAccess, ReassignPolicy{StaticFraction: 1})
+	b.AddAS(701, "MCI Communications", "USA", TransitAccess, ReassignPolicy{StaticFraction: 1})
+	p := MakePrefix(MakeIP(71, 100, 0, 0), 16)
+	b.Announce(19262, p)
+	cutover := time.Date(2013, 9, 1, 0, 0, 0, 0, time.UTC)
+	b.Transfer(p, 701, cutover)
+	inet, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ip := MakeIP(71, 100, 5, 5)
+	if as := inet.Lookup(ip, cutover.AddDate(0, -1, 0)); as.ASN != 19262 {
+		t.Errorf("before transfer: AS%d", as.ASN)
+	}
+	if as := inet.Lookup(ip, cutover); as.ASN != 701 {
+		t.Errorf("at transfer: AS%d", as.ASN)
+	}
+	if as := inet.Lookup(ip, cutover.AddDate(1, 0, 0)); as.ASN != 701 {
+		t.Errorf("after transfer: AS%d", as.ASN)
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	if _, err := NewBuilder().AddAS(1, "A", "USA", Content, ReassignPolicy{}).AddAS(1, "B", "USA", Content, ReassignPolicy{}).Build(); err == nil {
+		t.Error("duplicate AS accepted")
+	}
+	if _, err := NewBuilder().Announce(99, MakePrefix(0, 8)).Build(); err == nil {
+		t.Error("announce for unknown AS accepted")
+	}
+	b := NewBuilder().AddAS(1, "A", "USA", Content, ReassignPolicy{})
+	p := MakePrefix(MakeIP(1, 0, 0, 0), 8)
+	b.Announce(1, p).Announce(1, p)
+	if _, err := b.Build(); err == nil {
+		t.Error("double announce accepted")
+	}
+	if _, err := NewBuilder().AddAS(1, "A", "USA", Content, ReassignPolicy{}).Transfer(p, 1, t0).Build(); err == nil {
+		t.Error("transfer of unannounced prefix accepted")
+	}
+}
+
+func TestRandomIPStaysInsideAS(t *testing.T) {
+	inet := buildTestInternet(t)
+	as := inet.AS(3320)
+	r := stats.NewRNG(1)
+	for i := 0; i < 2000; i++ {
+		ip := as.RandomIP(r)
+		owner := inet.Lookup(ip, t0)
+		if owner == nil || owner.ASN != 3320 {
+			t.Fatalf("RandomIP produced %s outside AS3320 (got %v)", ip, owner)
+		}
+	}
+}
+
+func TestRandomIPCoversAllPrefixes(t *testing.T) {
+	inet := buildTestInternet(t)
+	as := inet.AS(3320)
+	r := stats.NewRNG(2)
+	seen := map[int]bool{}
+	for i := 0; i < 1000; i++ {
+		seen[as.RandomIP(r).Slash8()] = true
+	}
+	if !seen[62] || !seen[91] {
+		t.Errorf("RandomIP never used one of the prefixes: %v", seen)
+	}
+}
+
+func TestASName(t *testing.T) {
+	inet := buildTestInternet(t)
+	want := "#3320 Deutsche Telekom AG (DEU)"
+	if got := inet.AS(3320).Name(); got != want {
+		t.Errorf("Name = %q, want %q", got, want)
+	}
+}
+
+func TestASTypeStrings(t *testing.T) {
+	cases := map[ASType]string{
+		TransitAccess: "Transit/Access",
+		Content:       "Content",
+		Enterprise:    "Enterprise",
+		UnknownType:   "Unknown",
+	}
+	for typ, want := range cases {
+		if typ.String() != want {
+			t.Errorf("%d.String() = %q", typ, typ.String())
+		}
+	}
+}
+
+func TestASesSortedByASN(t *testing.T) {
+	inet := buildTestInternet(t)
+	ases := inet.ASes()
+	for i := 1; i < len(ases); i++ {
+		if ases[i-1].ASN >= ases[i].ASN {
+			t.Fatalf("ASes not sorted: %d before %d", ases[i-1].ASN, ases[i].ASN)
+		}
+	}
+}
+
+func TestLookupAgainstBruteForce(t *testing.T) {
+	inet := buildTestInternet(t)
+	r := stats.NewRNG(3)
+	// Collect all routes for brute-force comparison.
+	type rt struct {
+		p   Prefix
+		asn int
+	}
+	var routes []rt
+	for _, as := range inet.ASes() {
+		for _, p := range as.Prefixes() {
+			routes = append(routes, rt{p, as.ASN})
+		}
+	}
+	for i := 0; i < 5000; i++ {
+		ip := IP(r.Uint32())
+		wantASN, wantBits := -1, -1
+		for _, rr := range routes {
+			if rr.p.Contains(ip) && rr.p.Bits > wantBits {
+				wantASN, wantBits = rr.asn, rr.p.Bits
+			}
+		}
+		got := inet.Lookup(ip, t0)
+		switch {
+		case wantASN == -1 && got != nil:
+			t.Fatalf("Lookup(%s) = AS%d, want nil", ip, got.ASN)
+		case wantASN != -1 && (got == nil || got.ASN != wantASN):
+			t.Fatalf("Lookup(%s) = %v, want AS%d", ip, got, wantASN)
+		}
+	}
+}

@@ -1,0 +1,144 @@
+package netsim
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// The paper maps addresses to ASes with CAIDA's RouteViews prefix2as files
+// ("<base> <bits> <asn>" per line) joined with an AS-info table. This file
+// implements both formats so a generated Internet can be exported for
+// external tooling and re-imported without the simulator — the moral
+// equivalent of shipping the measurement's supporting datasets.
+
+// WriteRouteViews dumps the current prefix table in prefix2as format,
+// evaluated at time t (prefix transfers before t are reflected).
+func (n *Internet) WriteRouteViews(w io.Writer, t time.Time) error {
+	type row struct {
+		p   Prefix
+		asn int
+	}
+	rows := make([]row, 0, len(n.routes))
+	for _, r := range n.routes {
+		rows = append(rows, row{p: r.prefix, asn: r.ownerAt(t)})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].p.Base != rows[j].p.Base {
+			return rows[i].p.Base < rows[j].p.Base
+		}
+		return rows[i].p.Bits < rows[j].p.Bits
+	})
+	bw := bufio.NewWriter(w)
+	for _, r := range rows {
+		if _, err := fmt.Fprintf(bw, "%s\t%d\t%d\n", r.p.Base, r.p.Bits, r.asn); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteASInfo dumps the AS registry as "asn|org|country|type" lines, in the
+// spirit of CAIDA's as2org + classification datasets.
+func (n *Internet) WriteASInfo(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, as := range n.ASes() {
+		typ := "unknown"
+		switch as.Type {
+		case TransitAccess:
+			typ = "transit"
+		case Content:
+			typ = "content"
+		case Enterprise:
+			typ = "enterprise"
+		}
+		if _, err := fmt.Fprintf(bw, "%d|%s|%s|%s\n", as.ASN, as.Org, as.Country, typ); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadRouteViews builds an Internet from a prefix2as dump plus an AS-info
+// table. ASes appearing in the prefix table but missing from the info table
+// get placeholder metadata; the resulting Internet has static ownership (the
+// dump is a snapshot).
+func ReadRouteViews(prefixes, asInfo io.Reader) (*Internet, error) {
+	b := NewBuilder()
+	seen := map[int]bool{}
+
+	if asInfo != nil {
+		sc := bufio.NewScanner(asInfo)
+		line := 0
+		for sc.Scan() {
+			line++
+			text := strings.TrimSpace(sc.Text())
+			if text == "" || strings.HasPrefix(text, "#") {
+				continue
+			}
+			parts := strings.Split(text, "|")
+			if len(parts) != 4 {
+				return nil, fmt.Errorf("netsim: as-info line %d: want 4 fields, got %d", line, len(parts))
+			}
+			asn, err := strconv.Atoi(parts[0])
+			if err != nil {
+				return nil, fmt.Errorf("netsim: as-info line %d: bad ASN %q", line, parts[0])
+			}
+			var typ ASType
+			switch parts[3] {
+			case "transit":
+				typ = TransitAccess
+			case "content":
+				typ = Content
+			case "enterprise":
+				typ = Enterprise
+			default:
+				typ = UnknownType
+			}
+			b.AddAS(asn, parts[1], parts[2], typ, ReassignPolicy{})
+			seen[asn] = true
+		}
+		if err := sc.Err(); err != nil {
+			return nil, err
+		}
+	}
+
+	sc := bufio.NewScanner(prefixes)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("netsim: prefix2as line %d: want 3 fields, got %d", line, len(fields))
+		}
+		base, err := ParseIP(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("netsim: prefix2as line %d: %w", line, err)
+		}
+		bits, err := strconv.Atoi(fields[1])
+		if err != nil || bits < 0 || bits > 32 {
+			return nil, fmt.Errorf("netsim: prefix2as line %d: bad prefix length %q", line, fields[1])
+		}
+		asn, err := strconv.Atoi(fields[2])
+		if err != nil {
+			return nil, fmt.Errorf("netsim: prefix2as line %d: bad ASN %q", line, fields[2])
+		}
+		if !seen[asn] {
+			b.AddAS(asn, fmt.Sprintf("AS%d", asn), "ZZ", UnknownType, ReassignPolicy{})
+			seen[asn] = true
+		}
+		b.Announce(asn, MakePrefix(base, bits))
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return b.Build()
+}

@@ -1,0 +1,103 @@
+package netsim
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRouteViewsRoundTrip(t *testing.T) {
+	orig := buildTestInternet(t)
+	var prefixes, asInfo bytes.Buffer
+	if err := orig.WriteRouteViews(&prefixes, t0); err != nil {
+		t.Fatal(err)
+	}
+	if err := orig.WriteASInfo(&asInfo); err != nil {
+		t.Fatal(err)
+	}
+
+	back, err := ReadRouteViews(bytes.NewReader(prefixes.Bytes()), bytes.NewReader(asInfo.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumPrefixes() != orig.NumPrefixes() {
+		t.Fatalf("prefixes: %d vs %d", back.NumPrefixes(), orig.NumPrefixes())
+	}
+	// Lookups must agree over a sweep of addresses.
+	for _, ipStr := range []string{"62.155.3.9", "24.0.5.77", "24.0.6.77", "72.167.1.1", "200.1.1.1"} {
+		ip, _ := ParseIP(ipStr)
+		a, b := orig.Lookup(ip, t0), back.Lookup(ip, t0)
+		switch {
+		case a == nil && b == nil:
+		case a == nil || b == nil || a.ASN != b.ASN:
+			t.Errorf("lookup %s disagrees: %v vs %v", ipStr, a, b)
+		}
+	}
+	// Metadata must survive.
+	dt := back.AS(3320)
+	if dt == nil || dt.Org != "Deutsche Telekom AG" || dt.Country != "DEU" || dt.Type != TransitAccess {
+		t.Errorf("AS info lost: %+v", dt)
+	}
+	content := back.AS(26496)
+	if content == nil || content.Type != Content {
+		t.Errorf("content type lost: %+v", content)
+	}
+}
+
+func TestWriteRouteViewsReflectsTransfers(t *testing.T) {
+	b := NewBuilder()
+	b.AddAS(1, "A", "USA", TransitAccess, ReassignPolicy{})
+	b.AddAS(2, "B", "USA", TransitAccess, ReassignPolicy{})
+	p := MakePrefix(MakeIP(50, 0, 0, 0), 16)
+	b.Announce(1, p)
+	cut := time.Date(2013, 6, 1, 0, 0, 0, 0, time.UTC)
+	b.Transfer(p, 2, cut)
+	inet, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var before, after bytes.Buffer
+	inet.WriteRouteViews(&before, cut.AddDate(0, -1, 0))
+	inet.WriteRouteViews(&after, cut.AddDate(0, 1, 0))
+	if !strings.Contains(before.String(), "50.0.0.0\t16\t1") {
+		t.Errorf("pre-transfer dump wrong: %q", before.String())
+	}
+	if !strings.Contains(after.String(), "50.0.0.0\t16\t2") {
+		t.Errorf("post-transfer dump wrong: %q", after.String())
+	}
+}
+
+func TestReadRouteViewsWithoutASInfo(t *testing.T) {
+	dump := "10.0.0.0 8 64512\n# comment\n\n192.168.0.0 16 64513\n"
+	inet, err := ReadRouteViews(strings.NewReader(dump), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ip, _ := ParseIP("10.1.2.3")
+	as := inet.Lookup(ip, t0)
+	if as == nil || as.ASN != 64512 {
+		t.Errorf("lookup = %v", as)
+	}
+	if as.Org != "AS64512" || as.Type != UnknownType {
+		t.Errorf("placeholder metadata wrong: %+v", as)
+	}
+}
+
+func TestReadRouteViewsErrors(t *testing.T) {
+	cases := []string{
+		"10.0.0.0 8",                 // missing ASN
+		"999.0.0.0 8 1",              // bad IP
+		"10.0.0.0 40 1",              // bad prefix length
+		"10.0.0.0 8 notanumber",      // bad ASN
+		"10.0.0.0 8 1\n10.0.0.0 8 1", // duplicate announce
+	}
+	for _, dump := range cases {
+		if _, err := ReadRouteViews(strings.NewReader(dump), nil); err == nil {
+			t.Errorf("dump %q accepted", dump)
+		}
+	}
+	if _, err := ReadRouteViews(strings.NewReader("10.0.0.0 8 1"), strings.NewReader("bad|line")); err == nil {
+		t.Error("bad as-info accepted")
+	}
+}

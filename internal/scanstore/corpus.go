@@ -1,0 +1,288 @@
+// Package scanstore holds the measurement corpus: every distinct certificate
+// observed (deduplicated by SHA-256 fingerprint, as the paper counts "unique
+// certificates"), the series of scans from both operators, and the
+// per-scan (certificate, IP) observations. It also provides the derived
+// indexes the analyses need — per-certificate observation lists, lifetimes,
+// and per-scan IP sets — plus a gzip/gob serialisation so generated corpora
+// can be written by cmd/scangen and consumed by the analysis binaries.
+package scanstore
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"securepki/internal/netsim"
+	"securepki/internal/truststore"
+	"securepki/internal/x509lite"
+)
+
+// CertID indexes the deduplicated certificate table.
+type CertID int32
+
+// ScanID indexes the scan series in chronological order of insertion.
+type ScanID int32
+
+// Operator identifies which scan campaign produced a snapshot.
+type Operator int
+
+// The two scan operators of §4.1.
+const (
+	UMich Operator = iota
+	Rapid7
+)
+
+// String returns the operator label used in reports.
+func (o Operator) String() string {
+	switch o {
+	case UMich:
+		return "Univ. Michigan"
+	case Rapid7:
+		return "Rapid7"
+	default:
+		return "unknown"
+	}
+}
+
+// CertRecord is one deduplicated certificate plus its validation outcome.
+type CertRecord struct {
+	ID     CertID
+	Cert   *x509lite.Certificate
+	Status truststore.Status
+}
+
+// Observation is one (certificate, IP) sighting within a scan.
+type Observation struct {
+	Cert CertID
+	IP   netsim.IP
+}
+
+// Scan is one full-IPv4 snapshot.
+type Scan struct {
+	ID       ScanID
+	Operator Operator
+	Time     time.Time
+	Obs      []Observation
+}
+
+// Day returns the scan's date truncated to UTC midnight.
+func (s *Scan) Day() time.Time {
+	return time.Date(s.Time.Year(), s.Time.Month(), s.Time.Day(), 0, 0, 0, 0, time.UTC)
+}
+
+// Corpus accumulates scans and certificates. Not safe for concurrent
+// mutation; read access after building is safe.
+type Corpus struct {
+	certs []*CertRecord
+	byFP  map[x509lite.Fingerprint]CertID
+	scans []*Scan
+}
+
+// NewCorpus returns an empty corpus.
+func NewCorpus() *Corpus {
+	return &Corpus{byFP: make(map[x509lite.Fingerprint]CertID)}
+}
+
+// Intern deduplicates a parsed certificate, returning its stable ID.
+func (c *Corpus) Intern(cert *x509lite.Certificate) CertID {
+	fp := cert.Fingerprint()
+	if id, ok := c.byFP[fp]; ok {
+		return id
+	}
+	id := CertID(len(c.certs))
+	c.certs = append(c.certs, &CertRecord{ID: id, Cert: cert})
+	c.byFP[fp] = id
+	return id
+}
+
+// Lookup returns the ID for a fingerprint if the certificate is interned.
+func (c *Corpus) Lookup(fp x509lite.Fingerprint) (CertID, bool) {
+	id, ok := c.byFP[fp]
+	return id, ok
+}
+
+// AddScan appends a scan snapshot and returns its ID. Scans must be added in
+// chronological order; out-of-order insertion is an error.
+func (c *Corpus) AddScan(op Operator, at time.Time, obs []Observation) (ScanID, error) {
+	if len(c.scans) > 0 && at.Before(c.scans[len(c.scans)-1].Time) {
+		return 0, fmt.Errorf("scanstore: scan at %v inserted after %v", at, c.scans[len(c.scans)-1].Time)
+	}
+	id := ScanID(len(c.scans))
+	c.scans = append(c.scans, &Scan{ID: id, Operator: op, Time: at, Obs: obs})
+	return id, nil
+}
+
+// NumCerts returns the number of distinct certificates.
+func (c *Corpus) NumCerts() int { return len(c.certs) }
+
+// NumScans returns the number of scans.
+func (c *Corpus) NumScans() int { return len(c.scans) }
+
+// Cert returns the record for an ID.
+func (c *Corpus) Cert(id CertID) *CertRecord { return c.certs[id] }
+
+// Certs returns the certificate table in ID order.
+func (c *Corpus) Certs() []*CertRecord { return c.certs }
+
+// Scan returns one scan by ID.
+func (c *Corpus) Scan(id ScanID) *Scan { return c.scans[id] }
+
+// Scans returns all scans in chronological order.
+func (c *Corpus) Scans() []*Scan { return c.scans }
+
+// Validate classifies every interned certificate against the store,
+// pooling every CA-flagged certificate as an intermediate first so that
+// transvalid chains complete (§4.2). It returns counts per status.
+func (c *Corpus) Validate(store *truststore.Store) map[truststore.Status]int {
+	for _, rec := range c.certs {
+		if rec.Cert.IsCA {
+			store.AddIntermediate(rec.Cert)
+		}
+	}
+	counts := make(map[truststore.Status]int)
+	for _, rec := range c.certs {
+		rec.Status = store.Verify(rec.Cert).Status
+		counts[rec.Status]++
+	}
+	return counts
+}
+
+// Sighting is one appearance of a certificate: which scan and which IP.
+type Sighting struct {
+	Scan ScanID
+	IP   netsim.IP
+}
+
+// Index is the per-certificate view of the corpus the linking and lifetime
+// analyses consume. Build it once with BuildIndex after all scans are added.
+type Index struct {
+	corpus    *Corpus
+	sightings [][]Sighting // by CertID, ordered by scan
+}
+
+// BuildIndex inverts the scan → observation mapping into per-certificate
+// sighting lists.
+func (c *Corpus) BuildIndex() *Index {
+	idx := &Index{corpus: c, sightings: make([][]Sighting, len(c.certs))}
+	for _, scan := range c.scans {
+		for _, obs := range scan.Obs {
+			idx.sightings[obs.Cert] = append(idx.sightings[obs.Cert], Sighting{Scan: scan.ID, IP: obs.IP})
+		}
+	}
+	return idx
+}
+
+// Sightings returns every appearance of the certificate, in scan order.
+func (i *Index) Sightings(id CertID) []Sighting { return i.sightings[id] }
+
+// ScansSeen returns the distinct scan IDs in which the certificate appeared.
+func (i *Index) ScansSeen(id CertID) []ScanID {
+	var out []ScanID
+	var last ScanID = -1
+	for _, s := range i.sightings[id] {
+		if s.Scan != last {
+			out = append(out, s.Scan)
+			last = s.Scan
+		}
+	}
+	return out
+}
+
+// IPsInScan returns the distinct IPs that advertised the certificate in one
+// scan — the quantity the §6.2 scan-duplicate rule thresholds.
+func (i *Index) IPsInScan(id CertID, scan ScanID) []netsim.IP {
+	var out []netsim.IP
+	for _, s := range i.sightings[id] {
+		if s.Scan != scan {
+			continue
+		}
+		dup := false
+		for _, ip := range out {
+			if ip == s.IP {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, s.IP)
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}
+
+// FirstSeen returns the time of the first scan that observed the certificate
+// and false if it was never observed.
+func (i *Index) FirstSeen(id CertID) (time.Time, bool) {
+	s := i.sightings[id]
+	if len(s) == 0 {
+		return time.Time{}, false
+	}
+	return i.corpus.Scan(s[0].Scan).Time, true
+}
+
+// LastSeen returns the time of the last scan that observed the certificate.
+func (i *Index) LastSeen(id CertID) (time.Time, bool) {
+	s := i.sightings[id]
+	if len(s) == 0 {
+		return time.Time{}, false
+	}
+	return i.corpus.Scan(s[len(s)-1].Scan).Time, true
+}
+
+// LifetimeDays computes the paper's (inclusive) lifetime: one day for a
+// single sighting, last−first+1 days otherwise (§5.1's "two scans a week
+// apart → 8 days"). The second return is false if the cert was never seen.
+func (i *Index) LifetimeDays(id CertID) (int, bool) {
+	first, ok := i.FirstSeen(id)
+	if !ok {
+		return 0, false
+	}
+	last, _ := i.LastSeen(id)
+	days := int(last.Sub(first).Hours()/24) + 1
+	return days, true
+}
+
+// AvgIPsPerScan returns the certificate's mean count of distinct advertising
+// IPs over the scans in which it appeared (Figure 7's x-axis).
+func (i *Index) AvgIPsPerScan(id CertID) float64 {
+	s := i.sightings[id]
+	if len(s) == 0 {
+		return 0
+	}
+	perScan := make(map[ScanID]map[netsim.IP]bool)
+	for _, sg := range s {
+		m, ok := perScan[sg.Scan]
+		if !ok {
+			m = make(map[netsim.IP]bool)
+			perScan[sg.Scan] = m
+		}
+		m[sg.IP] = true
+	}
+	total := 0
+	for _, m := range perScan {
+		total += len(m)
+	}
+	return float64(total) / float64(len(perScan))
+}
+
+// MaxIPsInAnyScan returns the maximum distinct advertising IPs in any single
+// scan, the input to the §6.2 uniqueness rule.
+func (i *Index) MaxIPsInAnyScan(id CertID) int {
+	perScan := make(map[ScanID]map[netsim.IP]bool)
+	for _, sg := range i.sightings[id] {
+		m, ok := perScan[sg.Scan]
+		if !ok {
+			m = make(map[netsim.IP]bool)
+			perScan[sg.Scan] = m
+		}
+		m[sg.IP] = true
+	}
+	max := 0
+	for _, m := range perScan {
+		if len(m) > max {
+			max = len(m)
+		}
+	}
+	return max
+}

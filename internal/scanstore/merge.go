@@ -1,0 +1,44 @@
+package scanstore
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Merge combines several corpora — e.g. one per operator, or per collection
+// site — into one, exactly as the paper merged the UMich and Rapid7 datasets:
+// certificates are re-deduplicated by fingerprint and the scan series are
+// interleaved chronologically. The inputs are not modified. Validation
+// statuses are not carried over; run Validate on the result.
+func Merge(parts ...*Corpus) (*Corpus, error) {
+	out := NewCorpus()
+	type pending struct {
+		op    Operator
+		scan  *Scan
+		remap []CertID // old ID -> new ID for the scan's source corpus
+	}
+	var all []pending
+	for pi, part := range parts {
+		if part == nil {
+			return nil, fmt.Errorf("scanstore: merge input %d is nil", pi)
+		}
+		remap := make([]CertID, part.NumCerts())
+		for _, rec := range part.Certs() {
+			remap[rec.ID] = out.Intern(rec.Cert)
+		}
+		for _, scan := range part.Scans() {
+			all = append(all, pending{op: scan.Operator, scan: scan, remap: remap})
+		}
+	}
+	sort.SliceStable(all, func(i, j int) bool { return all[i].scan.Time.Before(all[j].scan.Time) })
+	for _, p := range all {
+		obs := make([]Observation, len(p.scan.Obs))
+		for i, o := range p.scan.Obs {
+			obs[i] = Observation{Cert: p.remap[o.Cert], IP: o.IP}
+		}
+		if _, err := out.AddScan(p.op, p.scan.Time, obs); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,84 @@
+package scanstore
+
+import (
+	"compress/gzip"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"time"
+
+	"securepki/internal/x509lite"
+)
+
+// wire types for gob; certificates travel as raw DER and are re-parsed on
+// load so the on-disk format stays independent of in-memory structure.
+type wireCorpus struct {
+	Version int
+	DERs    [][]byte
+	Scans   []wireScan
+}
+
+type wireScan struct {
+	Operator int
+	Time     time.Time
+	Obs      []Observation
+}
+
+const wireVersion = 1
+
+// Write serialises the corpus as gzip-compressed gob. Validation statuses
+// are not persisted; run Validate after loading.
+func (c *Corpus) Write(w io.Writer) error {
+	zw := gzip.NewWriter(w)
+	wc := wireCorpus{Version: wireVersion}
+	wc.DERs = make([][]byte, len(c.certs))
+	for i, rec := range c.certs {
+		wc.DERs[i] = rec.Cert.Raw
+	}
+	wc.Scans = make([]wireScan, len(c.scans))
+	for i, s := range c.scans {
+		wc.Scans[i] = wireScan{Operator: int(s.Operator), Time: s.Time, Obs: s.Obs}
+	}
+	if err := gob.NewEncoder(zw).Encode(&wc); err != nil {
+		zw.Close()
+		return fmt.Errorf("scanstore: encode: %w", err)
+	}
+	return zw.Close()
+}
+
+// ReadFrom loads a corpus written by Write.
+func ReadFrom(r io.Reader) (*Corpus, error) {
+	zr, err := gzip.NewReader(r)
+	if err != nil {
+		return nil, fmt.Errorf("scanstore: gzip: %w", err)
+	}
+	defer zr.Close()
+	var wc wireCorpus
+	if err := gob.NewDecoder(zr).Decode(&wc); err != nil {
+		return nil, fmt.Errorf("scanstore: decode: %w", err)
+	}
+	if wc.Version != wireVersion {
+		return nil, fmt.Errorf("scanstore: unsupported corpus version %d", wc.Version)
+	}
+	c := NewCorpus()
+	for i, der := range wc.DERs {
+		cert, err := x509lite.Parse(der)
+		if err != nil {
+			return nil, fmt.Errorf("scanstore: cert %d: %w", i, err)
+		}
+		if got := c.Intern(cert); int(got) != i {
+			return nil, fmt.Errorf("scanstore: duplicate cert %d in stream", i)
+		}
+	}
+	for _, ws := range wc.Scans {
+		for _, obs := range ws.Obs {
+			if int(obs.Cert) >= len(c.certs) || obs.Cert < 0 {
+				return nil, fmt.Errorf("scanstore: observation references cert %d of %d", obs.Cert, len(c.certs))
+			}
+		}
+		if _, err := c.AddScan(Operator(ws.Operator), ws.Time, ws.Obs); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}

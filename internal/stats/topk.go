@@ -1,0 +1,65 @@
+package stats
+
+import "sort"
+
+// RankedItem is one row of a top-N table: a label and how many times it was
+// counted.
+type RankedItem struct {
+	Label string
+	Count int
+}
+
+// TopN returns the n most frequent keys of counts, ties broken
+// lexicographically so output is deterministic.
+func TopN(counts map[string]int, n int) []RankedItem {
+	items := make([]RankedItem, 0, len(counts))
+	for k, v := range counts {
+		items = append(items, RankedItem{Label: k, Count: v})
+	}
+	sort.Slice(items, func(i, j int) bool {
+		if items[i].Count != items[j].Count {
+			return items[i].Count > items[j].Count
+		}
+		return items[i].Label < items[j].Label
+	})
+	if n > len(items) {
+		n = len(items)
+	}
+	return items[:n]
+}
+
+// Counter accumulates string-keyed counts.
+type Counter struct {
+	m map[string]int
+}
+
+// NewCounter returns an empty counter.
+func NewCounter() *Counter { return &Counter{m: make(map[string]int)} }
+
+// Add increments the count for key by delta.
+func (c *Counter) Add(key string, delta int) { c.m[key] += delta }
+
+// Inc increments the count for key by one.
+func (c *Counter) Inc(key string) { c.m[key]++ }
+
+// Get returns the count for key.
+func (c *Counter) Get(key string) int { return c.m[key] }
+
+// Len returns the number of distinct keys.
+func (c *Counter) Len() int { return len(c.m) }
+
+// Map exposes the underlying counts; callers must not modify it.
+func (c *Counter) Map() map[string]int { return c.m }
+
+// Top returns the n most frequent keys.
+func (c *Counter) Top(n int) []RankedItem { return TopN(c.m, n) }
+
+// Values returns the multiset of counts, in unspecified order — the input
+// CoverageCurve expects.
+func (c *Counter) Values() []int {
+	out := make([]int, 0, len(c.m))
+	for _, v := range c.m {
+		out = append(out, v)
+	}
+	return out
+}

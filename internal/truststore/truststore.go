@@ -1,0 +1,207 @@
+// Package truststore implements certificate-chain validation with the exact
+// semantics the paper's pipeline used (§4.2):
+//
+//   - a configurable root store stands in for the OS X 10.9.2 store the
+//     authors trusted;
+//   - expiry is ignored — a certificate is "valid" if some client could ever
+//     have validated it;
+//   - intermediates harvested from the scans are pooled so chains can be
+//     completed even when servers present broken chains ("transvalid"
+//     certificates);
+//   - self-signed certificates are detected by verifying the signature with
+//     the certificate's own key, not just by comparing subject and issuer
+//     (openssl only reports error 19 when the names match).
+//
+// The outcome is a Status that mirrors the paper's invalidity taxonomy:
+// 88.0% self-signed, 11.99% untrusted issuer, 0.01% other (signature or
+// version errors).
+package truststore
+
+import (
+	"securepki/internal/x509lite"
+)
+
+// Status classifies the validation outcome of one certificate.
+type Status int
+
+// Validation outcomes, ordered so that Valid == 0.
+const (
+	// Valid: a signature chain exists from the certificate to a trusted
+	// root (expiry intentionally ignored).
+	Valid Status = iota
+	// SelfSigned: the certificate verifies under its own public key and no
+	// trusted chain exists. 88.0% of the paper's invalid certificates.
+	SelfSigned
+	// UntrustedIssuer: the certificate is signed by some other certificate
+	// that does not chain to a trusted root (or names an issuer we never
+	// observed). 11.99% of the paper's invalid certificates.
+	UntrustedIssuer
+	// BadSignature: no candidate key (own, pooled, or trusted) verifies the
+	// signature — the "signature errors" sliver of the paper's 0.01%.
+	BadSignature
+	// BadVersion: the certificate advertises an X.509 version other than 1
+	// or 3 (the corpus contained versions 2, 4 and 13); the paper discards
+	// these before analysis.
+	BadVersion
+)
+
+// String returns the classification label used in reports.
+func (s Status) String() string {
+	switch s {
+	case Valid:
+		return "valid"
+	case SelfSigned:
+		return "self-signed"
+	case UntrustedIssuer:
+		return "untrusted-issuer"
+	case BadSignature:
+		return "bad-signature"
+	case BadVersion:
+		return "bad-version"
+	case Expired:
+		return "expired"
+	default:
+		return "unknown"
+	}
+}
+
+// Invalid reports whether the status is any of the invalid classes.
+func (s Status) Invalid() bool { return s != Valid }
+
+// Result carries the validation outcome and, when a trusted chain was found,
+// the chain from leaf to root.
+type Result struct {
+	Status Status
+	// Chain is the verified path (leaf first, root last); nil unless Valid.
+	Chain []*x509lite.Certificate
+}
+
+// maxChainDepth bounds path building; real web PKI chains are ≤5 deep, and
+// the bound also defends against signature loops among pooled intermediates.
+const maxChainDepth = 8
+
+// Store holds trusted roots and an intermediate pool and validates leaves
+// against them. It is not safe for concurrent mutation; concurrent Verify
+// calls after setup are safe.
+type Store struct {
+	roots        map[x509lite.Fingerprint]*x509lite.Certificate
+	rootsByName  map[string][]*x509lite.Certificate
+	inters       map[x509lite.Fingerprint]*x509lite.Certificate
+	intersByName map[string][]*x509lite.Certificate
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{
+		roots:        make(map[x509lite.Fingerprint]*x509lite.Certificate),
+		rootsByName:  make(map[string][]*x509lite.Certificate),
+		inters:       make(map[x509lite.Fingerprint]*x509lite.Certificate),
+		intersByName: make(map[string][]*x509lite.Certificate),
+	}
+}
+
+// AddRoot installs a trusted root. Duplicate fingerprints are ignored.
+func (s *Store) AddRoot(c *x509lite.Certificate) {
+	fp := c.Fingerprint()
+	if _, ok := s.roots[fp]; ok {
+		return
+	}
+	s.roots[fp] = c
+	name := c.Subject.String()
+	s.rootsByName[name] = append(s.rootsByName[name], c)
+}
+
+// AddIntermediate pools a CA certificate observed in the scans so that
+// transvalid chains can be completed. Duplicates are ignored.
+func (s *Store) AddIntermediate(c *x509lite.Certificate) {
+	fp := c.Fingerprint()
+	if _, ok := s.inters[fp]; ok {
+		return
+	}
+	s.inters[fp] = c
+	name := c.Subject.String()
+	s.intersByName[name] = append(s.intersByName[name], c)
+}
+
+// NumRoots reports the number of installed roots (the paper's store had 222).
+func (s *Store) NumRoots() int { return len(s.roots) }
+
+// NumIntermediates reports the size of the transvalid completion pool.
+func (s *Store) NumIntermediates() int { return len(s.inters) }
+
+// IsRoot reports whether the exact certificate is a trusted root.
+func (s *Store) IsRoot(c *x509lite.Certificate) bool {
+	_, ok := s.roots[c.Fingerprint()]
+	return ok
+}
+
+// Verify classifies a certificate per the paper's §4.2 procedure.
+func (s *Store) Verify(c *x509lite.Certificate) Result {
+	if c.Version != 1 && c.Version != 3 {
+		return Result{Status: BadVersion}
+	}
+	if s.IsRoot(c) {
+		return Result{Status: Valid, Chain: []*x509lite.Certificate{c}}
+	}
+	if chain := s.buildChain(c, 0, map[x509lite.Fingerprint]bool{c.Fingerprint(): true}); chain != nil {
+		return Result{Status: Valid, Chain: chain}
+	}
+	// No trusted chain: distinguish the invalid classes.
+	if c.SelfSigned() {
+		return Result{Status: SelfSigned}
+	}
+	if s.signedByAnyKnown(c) {
+		return Result{Status: UntrustedIssuer}
+	}
+	// Issuer unknown: the signature may be fine under a key we never saw,
+	// or broken outright. Without the issuer's key these are
+	// indistinguishable; the paper's openssl run reports both under its
+	// residual 0.01%. A self-issued name with a failing self-check is a
+	// definite signature error.
+	if c.SelfIssued() {
+		return Result{Status: BadSignature}
+	}
+	return Result{Status: UntrustedIssuer}
+}
+
+// buildChain searches depth-first for a signature path from c to a trusted
+// root, returning the chain (c first) or nil.
+func (s *Store) buildChain(c *x509lite.Certificate, depth int, visited map[x509lite.Fingerprint]bool) []*x509lite.Certificate {
+	if depth >= maxChainDepth {
+		return nil
+	}
+	issuerName := c.Issuer.String()
+	for _, root := range s.rootsByName[issuerName] {
+		if c.CheckSignatureFrom(root) == nil {
+			return []*x509lite.Certificate{c, root}
+		}
+	}
+	for _, inter := range s.intersByName[issuerName] {
+		fp := inter.Fingerprint()
+		if visited[fp] {
+			continue
+		}
+		if c.CheckSignatureFrom(inter) != nil {
+			continue
+		}
+		visited[fp] = true
+		if rest := s.buildChain(inter, depth+1, visited); rest != nil {
+			return append([]*x509lite.Certificate{c}, rest...)
+		}
+		// Leave visited set: a cert that cannot reach a root from here
+		// cannot reach it via another path either (paths only depend on
+		// the cert itself).
+	}
+	return nil
+}
+
+// signedByAnyKnown reports whether any pooled certificate's key verifies c's
+// signature (i.e. c was genuinely signed by another, untrusted certificate).
+func (s *Store) signedByAnyKnown(c *x509lite.Certificate) bool {
+	for _, inter := range s.intersByName[c.Issuer.String()] {
+		if c.CheckSignatureFrom(inter) == nil {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,36 @@
+package truststore
+
+import (
+	"time"
+
+	"securepki/internal/x509lite"
+)
+
+// Expired extends Status for time-aware verification: the chain is fine but
+// the certificate (or something on its path) was outside its validity window
+// at the evaluation time. The paper deliberately ignores expiry (§4.2); this
+// mode exists for callers that want browser-like semantics.
+const Expired Status = 100
+
+// VerifyAt classifies a certificate as a browser would at time t: in
+// addition to the chain checks of Verify, every certificate on the path must
+// be within its validity period. A certificate whose only defect is being
+// outside its window is classified Expired — the class the paper's "valid at
+// some point in time" rule folds back into Valid.
+func (s *Store) VerifyAt(c *x509lite.Certificate, t time.Time) Result {
+	res := s.Verify(c)
+	if res.Status != Valid {
+		return res
+	}
+	for _, link := range res.Chain {
+		if t.Before(link.NotBefore) || t.After(link.NotAfter) {
+			return Result{Status: Expired}
+		}
+	}
+	return res
+}
+
+// WithinValidity reports whether t falls inside the certificate's window.
+func WithinValidity(c *x509lite.Certificate, t time.Time) bool {
+	return !t.Before(c.NotBefore) && !t.After(c.NotAfter)
+}

@@ -1,0 +1,67 @@
+package truststore
+
+import (
+	"testing"
+	"time"
+
+	"securepki/internal/x509lite"
+)
+
+func TestVerifyAtWithinWindow(t *testing.T) {
+	root := makeCA(t, 50, "Clock Root")
+	leaf := makeLeaf(t, 51, "clock.example.com", root, nil) // valid 2013-2014
+	s := NewStore()
+	s.AddRoot(root.cert)
+
+	inWindow := time.Date(2013, 6, 1, 0, 0, 0, 0, time.UTC)
+	if got := s.VerifyAt(leaf, inWindow).Status; got != Valid {
+		t.Errorf("in-window = %v", got)
+	}
+	after := time.Date(2016, 1, 1, 0, 0, 0, 0, time.UTC)
+	if got := s.VerifyAt(leaf, after).Status; got != Expired {
+		t.Errorf("after window = %v", got)
+	}
+	before := time.Date(2010, 1, 1, 0, 0, 0, 0, time.UTC)
+	if got := s.VerifyAt(leaf, before).Status; got != Expired {
+		t.Errorf("before window = %v", got)
+	}
+}
+
+func TestVerifyAtChainExpiryCounts(t *testing.T) {
+	// Leaf window is wide but the root expires in 2030: time beyond the
+	// root's window must be Expired even though the leaf is fine.
+	root := makeCA(t, 52, "Short Root") // valid 2010-2030
+	leaf := makeLeaf(t, 53, "wide.example.com", root, func(tmpl *x509lite.Template) {
+		tmpl.NotBefore = time.Date(2012, 1, 1, 0, 0, 0, 0, time.UTC)
+		tmpl.NotAfter = time.Date(2040, 1, 1, 0, 0, 0, 0, time.UTC)
+	})
+	s := NewStore()
+	s.AddRoot(root.cert)
+	if got := s.VerifyAt(leaf, time.Date(2035, 1, 1, 0, 0, 0, 0, time.UTC)).Status; got != Expired {
+		t.Errorf("expired root = %v", got)
+	}
+}
+
+func TestVerifyAtInvalidStaysInvalid(t *testing.T) {
+	s := NewStore()
+	self := makeSelfSigned(t, 54, "device.local", nil)
+	if got := s.VerifyAt(self, time.Date(2013, 6, 1, 0, 0, 0, 0, time.UTC)).Status; got != SelfSigned {
+		t.Errorf("self-signed at time = %v", got)
+	}
+}
+
+func TestWithinValidity(t *testing.T) {
+	leaf := makeSelfSigned(t, 55, "w.example", nil) // 2013-2033
+	if !WithinValidity(leaf, time.Date(2020, 1, 1, 0, 0, 0, 0, time.UTC)) {
+		t.Error("mid-window reported outside")
+	}
+	if WithinValidity(leaf, time.Date(2040, 1, 1, 0, 0, 0, 0, time.UTC)) {
+		t.Error("post-expiry reported inside")
+	}
+}
+
+func TestExpiredStatusString(t *testing.T) {
+	if Expired.String() != "expired" || !Expired.Invalid() {
+		t.Error("Expired status misbehaves")
+	}
+}

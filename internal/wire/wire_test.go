@@ -1,0 +1,363 @@
+package wire
+
+import (
+	"bytes"
+	"context"
+	"crypto/ed25519"
+	"errors"
+	"fmt"
+	"math/big"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"securepki/internal/x509lite"
+)
+
+func testChain(t *testing.T, cn string) [][]byte {
+	t.Helper()
+	seed := make([]byte, ed25519.SeedSize)
+	copy(seed, cn)
+	priv := ed25519.NewKeyFromSeed(seed)
+	pub := priv.Public().(ed25519.PublicKey)
+	der, err := x509lite.CreateCertificate(&x509lite.Template{
+		Version:      3,
+		SerialNumber: big.NewInt(77),
+		Subject:      x509lite.Name{CommonName: cn},
+		Issuer:       x509lite.Name{CommonName: cn},
+		NotBefore:    time.Date(2013, 1, 1, 0, 0, 0, 0, time.UTC),
+		NotAfter:     time.Date(2033, 1, 1, 0, 0, 0, 0, time.UTC),
+	}, pub, priv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return [][]byte{der}
+}
+
+func TestHandshakeRoundTrip(t *testing.T) {
+	chain := testChain(t, "device.local")
+	srv, err := NewServer("127.0.0.1:0", StaticChain(chain))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	got, err := FetchChain(context.Background(), srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || !bytes.Equal(got[0], chain[0]) {
+		t.Fatal("chain corrupted in transit")
+	}
+	cert, err := x509lite.Parse(got[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cert.Subject.CommonName != "device.local" {
+		t.Errorf("CN = %q", cert.Subject.CommonName)
+	}
+}
+
+func TestMultiCertChain(t *testing.T) {
+	chain := append(testChain(t, "leaf.example"), testChain(t, "Intermediate CA")[0])
+	srv, err := NewServer("127.0.0.1:0", StaticChain(chain))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	got, err := FetchChain(context.Background(), srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("chain length = %d", len(got))
+	}
+	for i := range chain {
+		if !bytes.Equal(got[i], chain[i]) {
+			t.Fatalf("cert %d corrupted", i)
+		}
+	}
+}
+
+func TestProviderCalledPerHandshake(t *testing.T) {
+	// A device that reissues: each fetch must observe the current cert.
+	var n atomic.Int32
+	a := testChain(t, "gen-a")
+	b := testChain(t, "gen-b")
+	srv, err := NewServer("127.0.0.1:0", func() [][]byte {
+		if n.Add(1) == 1 {
+			return a
+		}
+		return b
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	first, err := FetchChain(context.Background(), srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := FetchChain(context.Background(), srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(first[0], second[0]) {
+		t.Error("rotating provider served the same cert twice")
+	}
+}
+
+func TestClientRejectsBadMagic(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		buf := make([]byte, 5)
+		conn.Read(buf)
+		conn.Write([]byte{'N', 'O', 'P', 'E', Version, 1})
+	}()
+	_, err = FetchChain(context.Background(), ln.Addr().String())
+	if !errors.Is(err, ErrProtocol) {
+		t.Errorf("want ErrProtocol, got %v", err)
+	}
+}
+
+func TestClientRejectsOversizedChain(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		buf := make([]byte, 5)
+		conn.Read(buf)
+		conn.Write(append(magic[:], Version, 200)) // 200 certs: over limit
+	}()
+	_, err = FetchChain(context.Background(), ln.Addr().String())
+	if !errors.Is(err, ErrProtocol) {
+		t.Errorf("want ErrProtocol, got %v", err)
+	}
+}
+
+func TestServerIgnoresBadClients(t *testing.T) {
+	srv, err := NewServer("127.0.0.1:0", StaticChain(testChain(t, "x")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	// A garbage client must not break the server for later clients.
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn.Write([]byte("GET / HTTP/1.1\r\n"))
+	conn.Close()
+	if _, err := FetchChain(context.Background(), srv.Addr()); err != nil {
+		t.Errorf("server broken after garbage client: %v", err)
+	}
+}
+
+func TestFetchChainTimeout(t *testing.T) {
+	// A listener that accepts but never responds must hit the deadline.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			defer conn.Close()
+		}
+	}()
+	ctx, cancel := context.WithTimeout(context.Background(), 200*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err = FetchChain(ctx, ln.Addr().String())
+	if err == nil {
+		t.Fatal("silent server produced a chain")
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Error("timeout not honoured")
+	}
+}
+
+func TestScanSweep(t *testing.T) {
+	const n = 20
+	targets := make([]string, 0, n+1)
+	want := make(map[string]string)
+	var servers []*Server
+	for i := 0; i < n; i++ {
+		cn := string(rune('a'+i%26)) + "-host.example"
+		srv, err := NewServer("127.0.0.1:0", StaticChain(testChain(t, cn)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		servers = append(servers, srv)
+		targets = append(targets, srv.Addr())
+		want[srv.Addr()] = cn
+	}
+	defer func() {
+		for _, s := range servers {
+			s.Close()
+		}
+	}()
+	// One dead target mixed in: the sweep must not abort.
+	dead, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadAddr := dead.Addr().String()
+	dead.Close()
+	targets = append(targets, deadAddr)
+
+	results := Scan(context.Background(), targets, 8, 2*time.Second)
+	if len(results) != n+1 {
+		t.Fatalf("results = %d", len(results))
+	}
+	okCount := 0
+	for _, r := range results {
+		if r.Addr == deadAddr {
+			if r.Err == nil {
+				t.Error("dead target produced a chain")
+			}
+			continue
+		}
+		if r.Err != nil {
+			t.Fatalf("target %s: %v", r.Addr, r.Err)
+		}
+		cert, err := x509lite.Parse(r.Chain[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cert.Subject.CommonName != want[r.Addr] {
+			t.Errorf("target %s served %q, want %q", r.Addr, cert.Subject.CommonName, want[r.Addr])
+		}
+		okCount++
+	}
+	if okCount != n {
+		t.Errorf("ok targets = %d", okCount)
+	}
+}
+
+func TestScanCancellation(t *testing.T) {
+	srv, err := NewServer("127.0.0.1:0", StaticChain(testChain(t, "c")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // cancelled before the sweep starts
+	targets := []string{srv.Addr(), srv.Addr(), srv.Addr()}
+	results := Scan(ctx, targets, 2, time.Second)
+	if len(results) != 3 {
+		t.Fatalf("results = %d", len(results))
+	}
+}
+
+func TestNewServerRejectsNilProvider(t *testing.T) {
+	if _, err := NewServer("127.0.0.1:0", nil); err == nil {
+		t.Error("nil provider accepted")
+	}
+}
+
+func TestCloseIsIdempotentAndFast(t *testing.T) {
+	srv, err := NewServer("127.0.0.1:0", StaticChain(testChain(t, "z")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		srv.Close()
+		srv.Close()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close hung")
+	}
+}
+
+func TestMaxLengthChain(t *testing.T) {
+	// A full 8-cert chain with a near-max-size certificate must transit.
+	chain := make([][]byte, 0, MaxChainLen)
+	for i := 0; i < MaxChainLen; i++ {
+		chain = append(chain, testChain(t, fmt.Sprintf("link-%d.example", i))[0])
+	}
+	srv, err := NewServer("127.0.0.1:0", StaticChain(chain))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	got, err := FetchChain(context.Background(), srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != MaxChainLen {
+		t.Fatalf("chain length = %d", len(got))
+	}
+	for i := range chain {
+		if !bytes.Equal(got[i], chain[i]) {
+			t.Fatalf("cert %d corrupted", i)
+		}
+	}
+}
+
+func TestServerRefusesOversizedProviderChain(t *testing.T) {
+	// A provider returning too many certs must cause a clean client error,
+	// not a partial response.
+	chain := make([][]byte, MaxChainLen+1)
+	for i := range chain {
+		chain[i] = testChain(t, "too-many.example")[0]
+	}
+	srv, err := NewServer("127.0.0.1:0", StaticChain(chain))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if _, err := FetchChain(context.Background(), srv.Addr()); err == nil {
+		t.Error("oversized chain delivered")
+	}
+}
+
+func TestConcurrentFetchesAgainstOneServer(t *testing.T) {
+	chain := testChain(t, "concurrent.example")
+	srv, err := NewServer("127.0.0.1:0", StaticChain(chain))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	const n = 30
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		go func() {
+			got, err := FetchChain(context.Background(), srv.Addr())
+			if err == nil && !bytes.Equal(got[0], chain[0]) {
+				err = fmt.Errorf("corrupted chain")
+			}
+			errs <- err
+		}()
+	}
+	for i := 0; i < n; i++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+}

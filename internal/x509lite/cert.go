@@ -1,0 +1,141 @@
+package x509lite
+
+import (
+	"crypto/ed25519"
+	"crypto/sha256"
+	"encoding/hex"
+	"math/big"
+	"net"
+	"time"
+)
+
+// Name is the subset of an X.509 distinguished name the studied corpus
+// exercises. Only populated attributes are encoded, in RFC 4514-recommended
+// order (C, L, O, OU, CN).
+type Name struct {
+	Country            string
+	Locality           string
+	Organization       string
+	OrganizationalUnit string
+	CommonName         string
+}
+
+// String renders the name like openssl's oneline format, e.g.
+// "C=DE, O=AVM, CN=fritz.box". An entirely empty name renders as "".
+func (n Name) String() string {
+	var s string
+	add := func(prefix, v string) {
+		if v == "" {
+			return
+		}
+		if s != "" {
+			s += ", "
+		}
+		s += prefix + "=" + v
+	}
+	add("C", n.Country)
+	add("L", n.Locality)
+	add("O", n.Organization)
+	add("OU", n.OrganizationalUnit)
+	add("CN", n.CommonName)
+	return s
+}
+
+// Empty reports whether no attribute is populated — the corpus contains
+// 925k certificates issued under a completely empty name.
+func (n Name) Empty() bool {
+	return n == Name{}
+}
+
+// Fingerprint is the SHA-256 digest of a certificate or key, the identity
+// used for deduplication across the scan corpus.
+type Fingerprint [32]byte
+
+// String returns the lowercase hex form.
+func (f Fingerprint) String() string { return hex.EncodeToString(f[:]) }
+
+// FingerprintBytes hashes arbitrary bytes into a Fingerprint.
+func FingerprintBytes(b []byte) Fingerprint { return sha256.Sum256(b) }
+
+// Certificate is a parsed X.509 certificate. All fields are populated by
+// Parse; Raw and RawTBS retain the exact DER so signatures stay verifiable
+// and fingerprints stable.
+type Certificate struct {
+	Raw    []byte // complete DER encoding
+	RawTBS []byte // DER of the to-be-signed structure
+
+	// Version is the X.509 version as written on the wire plus one
+	// (1 for v1, 3 for v3). The corpus contains nonsense versions (2, 4,
+	// 13); Parse preserves them for the classifier to reject.
+	Version      int
+	SerialNumber *big.Int
+	Issuer       Name
+	Subject      Name
+	NotBefore    time.Time
+	NotAfter     time.Time
+
+	PublicKey ed25519.PublicKey
+	Signature []byte
+
+	// v3 extensions; zero values mean "absent".
+	IsCA                  bool
+	BasicConstraintsValid bool
+	DNSNames              []string
+	IPAddresses           []net.IP
+	SubjectKeyID          []byte
+	AuthorityKeyID        []byte
+	CRLDistributionPoints []string
+	IssuingCertificateURL []string // AIA caIssuers
+	OCSPServer            []string // AIA OCSP responders
+	PolicyOIDs            [][]int
+	KeyUsage              int
+}
+
+// Fingerprint returns the SHA-256 of the full DER encoding.
+func (c *Certificate) Fingerprint() Fingerprint { return FingerprintBytes(c.Raw) }
+
+// PublicKeyFingerprint returns the SHA-256 of the subject public key bytes;
+// the paper's key-sharing analyses group certificates by exactly this.
+func (c *Certificate) PublicKeyFingerprint() Fingerprint { return FingerprintBytes(c.PublicKey) }
+
+// ValidityDays returns NotAfter − NotBefore in days. It is computed from
+// Unix seconds rather than time.Duration because the corpus contains
+// NotAfter dates past the year 3000, whose spans overflow a Duration
+// (~292-year cap); it is negative for the 5.38% of invalid certs whose
+// NotAfter precedes NotBefore.
+func (c *Certificate) ValidityDays() float64 {
+	return float64(c.NotAfter.Unix()-c.NotBefore.Unix()) / 86400
+}
+
+// SelfIssued reports whether issuer and subject names match — a necessary
+// but not sufficient condition for self-signed (openssl's error 19 subtlety:
+// a cert can be self-signed under different names, which only a signature
+// check with its own key reveals).
+func (c *Certificate) SelfIssued() bool { return c.Issuer == c.Subject }
+
+// SelfSigned reports whether the certificate verifies under its own public
+// key, regardless of the names.
+func (c *Certificate) SelfSigned() bool {
+	return c.CheckSignatureFrom(c) == nil
+}
+
+// CheckSignatureFrom verifies that parent's key signed c.
+func (c *Certificate) CheckSignatureFrom(parent *Certificate) error {
+	if len(parent.PublicKey) != ed25519.PublicKeySize {
+		return &VerifyError{Reason: "parent key malformed"}
+	}
+	if len(c.Signature) != ed25519.SignatureSize {
+		return &VerifyError{Reason: "signature malformed"}
+	}
+	if !ed25519.Verify(parent.PublicKey, c.RawTBS, c.Signature) {
+		return &VerifyError{Reason: "signature verification failed"}
+	}
+	return nil
+}
+
+// VerifyError reports a failed signature or chain check.
+type VerifyError struct {
+	Reason string
+}
+
+func (e *VerifyError) Error() string { return "x509lite: " + e.Reason }

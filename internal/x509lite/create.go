@@ -1,0 +1,238 @@
+package x509lite
+
+import (
+	"crypto/ed25519"
+	"fmt"
+	"math/big"
+	"net"
+	"time"
+
+	"securepki/internal/asn1der"
+)
+
+// Template describes the certificate to create. CreateCertificate reads every
+// field; zero values mean "omit". Unlike crypto/x509 the Version is honoured
+// verbatim so the simulator can emit the malformed version numbers (2, 4, 13)
+// observed in the wild.
+type Template struct {
+	Version      int // 1 or 3 for well-formed certs; anything else is emitted as-is
+	SerialNumber *big.Int
+	Issuer       Name
+	Subject      Name
+	NotBefore    time.Time
+	NotAfter     time.Time
+
+	IsCA                    bool
+	IncludeBasicConstraints bool
+	DNSNames                []string
+	IPAddresses             []net.IP
+	SubjectKeyID            []byte
+	AuthorityKeyID          []byte
+	CRLDistributionPoints   []string
+	IssuingCertificateURL   []string
+	OCSPServer              []string
+	PolicyOIDs              [][]int
+	KeyUsage                int
+
+	// CorruptSignature flips a signature byte after signing, producing the
+	// rare "signature error" class of invalid certificates (0.01% of the
+	// paper's corpus).
+	CorruptSignature bool
+}
+
+// CreateCertificate builds and signs a DER certificate binding pub to the
+// template's subject, signed by signer (the issuer's private key). For a
+// self-signed certificate, pass the key pair's own halves and identical
+// Subject/Issuer names.
+func CreateCertificate(tmpl *Template, pub ed25519.PublicKey, signer ed25519.PrivateKey) ([]byte, error) {
+	if tmpl.SerialNumber == nil {
+		return nil, fmt.Errorf("x509lite: template missing serial number")
+	}
+	if len(pub) != ed25519.PublicKeySize {
+		return nil, fmt.Errorf("x509lite: bad public key length %d", len(pub))
+	}
+	if len(signer) != ed25519.PrivateKeySize {
+		return nil, fmt.Errorf("x509lite: bad signer key length %d", len(signer))
+	}
+
+	var tbs asn1der.Encoder
+	tbs.Sequence(func(e *asn1der.Encoder) {
+		// version [0] EXPLICIT; omitted entirely for v1 per RFC 5280.
+		if tmpl.Version != 1 {
+			e.ContextExplicit(0, func(e *asn1der.Encoder) {
+				e.Int(int64(tmpl.Version - 1))
+			})
+		}
+		e.BigInt(tmpl.SerialNumber)
+		encodeAlgorithm(e)
+		encodeName(e, tmpl.Issuer)
+		e.Sequence(func(e *asn1der.Encoder) { // validity
+			e.Time(tmpl.NotBefore)
+			e.Time(tmpl.NotAfter)
+		})
+		encodeName(e, tmpl.Subject)
+		e.Sequence(func(e *asn1der.Encoder) { // SubjectPublicKeyInfo
+			encodeAlgorithm(e)
+			e.BitString(pub)
+		})
+		if exts := buildExtensions(tmpl); exts != nil && tmpl.Version != 1 {
+			e.ContextExplicit(3, func(e *asn1der.Encoder) {
+				e.Raw(exts)
+			})
+		}
+	})
+	tbsDER := append([]byte(nil), tbs.Bytes()...)
+
+	sig := ed25519.Sign(signer, tbsDER)
+	if tmpl.CorruptSignature {
+		sig[0] ^= 0xff
+	}
+
+	var cert asn1der.Encoder
+	cert.Sequence(func(e *asn1der.Encoder) {
+		e.Raw(tbsDER)
+		encodeAlgorithm(e)
+		e.BitString(sig)
+	})
+	return cert.Bytes(), nil
+}
+
+func encodeAlgorithm(e *asn1der.Encoder) {
+	e.Sequence(func(e *asn1der.Encoder) {
+		e.OID(oidEd25519)
+	})
+}
+
+func encodeName(e *asn1der.Encoder, n Name) {
+	e.Sequence(func(e *asn1der.Encoder) {
+		attr := func(oid []int, v string) {
+			if v == "" {
+				return
+			}
+			e.Set(func(e *asn1der.Encoder) {
+				e.Sequence(func(e *asn1der.Encoder) {
+					e.OID(oid)
+					e.UTF8String(v)
+				})
+			})
+		}
+		attr(oidCountry, n.Country)
+		attr(oidLocality, n.Locality)
+		attr(oidOrganization, n.Organization)
+		attr(oidOrganizationUnit, n.OrganizationalUnit)
+		attr(oidCommonName, n.CommonName)
+	})
+}
+
+// buildExtensions renders the extension list, or nil if the template
+// requests none.
+func buildExtensions(tmpl *Template) []byte {
+	var list asn1der.Encoder
+	n := 0
+	ext := func(oid []int, critical bool, value func(*asn1der.Encoder)) {
+		n++
+		list.Sequence(func(e *asn1der.Encoder) {
+			e.OID(oid)
+			if critical {
+				e.Bool(true)
+			}
+			var inner asn1der.Encoder
+			value(&inner)
+			e.OctetString(inner.Bytes())
+		})
+	}
+
+	if tmpl.IncludeBasicConstraints {
+		ext(oidExtBasicConstraints, true, func(e *asn1der.Encoder) {
+			e.Sequence(func(e *asn1der.Encoder) {
+				if tmpl.IsCA {
+					e.Bool(true)
+				}
+			})
+		})
+	}
+	if tmpl.KeyUsage != 0 {
+		ext(oidExtKeyUsage, true, func(e *asn1der.Encoder) {
+			e.BitString([]byte{byte(tmpl.KeyUsage)})
+		})
+	}
+	if len(tmpl.SubjectKeyID) > 0 {
+		ext(oidExtSubjectKeyID, false, func(e *asn1der.Encoder) {
+			e.OctetString(tmpl.SubjectKeyID)
+		})
+	}
+	if len(tmpl.AuthorityKeyID) > 0 {
+		ext(oidExtAuthorityKeyID, false, func(e *asn1der.Encoder) {
+			e.Sequence(func(e *asn1der.Encoder) {
+				e.ContextImplicitPrimitive(0, tmpl.AuthorityKeyID)
+			})
+		})
+	}
+	if len(tmpl.DNSNames) > 0 || len(tmpl.IPAddresses) > 0 {
+		ext(oidExtSAN, false, func(e *asn1der.Encoder) {
+			e.Sequence(func(e *asn1der.Encoder) {
+				for _, dns := range tmpl.DNSNames {
+					e.ContextImplicitPrimitive(2, []byte(dns))
+				}
+				for _, ip := range tmpl.IPAddresses {
+					v4 := ip.To4()
+					if v4 == nil {
+						v4 = ip
+					}
+					e.ContextImplicitPrimitive(7, v4)
+				}
+			})
+		})
+	}
+	if len(tmpl.CRLDistributionPoints) > 0 {
+		ext(oidExtCRLDistribution, false, func(e *asn1der.Encoder) {
+			e.Sequence(func(e *asn1der.Encoder) {
+				for _, url := range tmpl.CRLDistributionPoints {
+					e.Sequence(func(e *asn1der.Encoder) { // DistributionPoint
+						e.ContextImplicitConstructed(0, func(e *asn1der.Encoder) { // distributionPoint
+							e.ContextImplicitConstructed(0, func(e *asn1der.Encoder) { // fullName
+								e.ContextImplicitPrimitive(6, []byte(url)) // uniformResourceIdentifier
+							})
+						})
+					})
+				}
+			})
+		})
+	}
+	if len(tmpl.IssuingCertificateURL) > 0 || len(tmpl.OCSPServer) > 0 {
+		ext(oidExtAIA, false, func(e *asn1der.Encoder) {
+			e.Sequence(func(e *asn1der.Encoder) {
+				for _, url := range tmpl.OCSPServer {
+					e.Sequence(func(e *asn1der.Encoder) {
+						e.OID(oidAIAOCSP)
+						e.ContextImplicitPrimitive(6, []byte(url))
+					})
+				}
+				for _, url := range tmpl.IssuingCertificateURL {
+					e.Sequence(func(e *asn1der.Encoder) {
+						e.OID(oidAIACAIssuers)
+						e.ContextImplicitPrimitive(6, []byte(url))
+					})
+				}
+			})
+		})
+	}
+	if len(tmpl.PolicyOIDs) > 0 {
+		ext(oidExtCertPolicies, false, func(e *asn1der.Encoder) {
+			e.Sequence(func(e *asn1der.Encoder) {
+				for _, oid := range tmpl.PolicyOIDs {
+					e.Sequence(func(e *asn1der.Encoder) {
+						e.OID(oid)
+					})
+				}
+			})
+		})
+	}
+
+	if n == 0 {
+		return nil
+	}
+	var wrapped asn1der.Encoder
+	wrapped.Sequence(func(e *asn1der.Encoder) { e.Raw(list.Bytes()) })
+	return wrapped.Bytes()
+}

@@ -1,0 +1,380 @@
+package x509lite
+
+import (
+	"crypto/ed25519"
+	"errors"
+	"fmt"
+	"net"
+
+	"securepki/internal/asn1der"
+)
+
+// ParseError reports a certificate that could not be decoded; the studied
+// corpus contains certificates that openssl itself fails to parse, and the
+// validation pipeline classifies these separately rather than dropping them.
+type ParseError struct {
+	Field string
+	Err   error
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("x509lite: parsing %s: %v", e.Field, e.Err)
+}
+
+func (e *ParseError) Unwrap() error { return e.Err }
+
+func parseErr(field string, err error) error { return &ParseError{Field: field, Err: err} }
+
+// Parse decodes a DER certificate. The input is retained (not copied) in
+// Raw/RawTBS — gopacket-style NoCopy semantics; callers that reuse buffers
+// must copy first.
+func Parse(der []byte) (*Certificate, error) {
+	top := asn1der.NewDecoder(der)
+	outer, err := top.Sequence()
+	if err != nil {
+		return nil, parseErr("certificate", err)
+	}
+	if !top.Empty() {
+		return nil, parseErr("certificate", errors.New("trailing bytes after certificate"))
+	}
+
+	cert := &Certificate{Raw: der}
+
+	// tbsCertificate — capture raw bytes for signature verification.
+	_, rawTBS, err := outer.ReadElement()
+	if err != nil {
+		return nil, parseErr("tbsCertificate", err)
+	}
+	cert.RawTBS = rawTBS
+	tbs, err := asn1der.NewDecoder(rawTBS).Sequence()
+	if err != nil {
+		return nil, parseErr("tbsCertificate", err)
+	}
+
+	// signatureAlgorithm
+	if err := parseAlgorithm(outer); err != nil {
+		return nil, parseErr("signatureAlgorithm", err)
+	}
+	// signatureValue
+	sig, err := outer.BitString()
+	if err != nil {
+		return nil, parseErr("signatureValue", err)
+	}
+	cert.Signature = sig
+	if !outer.Empty() {
+		return nil, parseErr("certificate", errors.New("trailing bytes after signature"))
+	}
+
+	// --- TBS fields ---
+	cert.Version = 1
+	if tbs.PeekContextExplicit(0) {
+		vd, err := tbs.ContextExplicit(0)
+		if err != nil {
+			return nil, parseErr("version", err)
+		}
+		v, err := vd.Int()
+		if err != nil {
+			return nil, parseErr("version", err)
+		}
+		cert.Version = int(v) + 1
+	}
+
+	if cert.SerialNumber, err = tbs.BigInt(); err != nil {
+		return nil, parseErr("serialNumber", err)
+	}
+	if err := parseAlgorithm(tbs); err != nil {
+		return nil, parseErr("signature", err)
+	}
+	if cert.Issuer, err = parseName(tbs); err != nil {
+		return nil, parseErr("issuer", err)
+	}
+
+	validity, err := tbs.Sequence()
+	if err != nil {
+		return nil, parseErr("validity", err)
+	}
+	if cert.NotBefore, err = validity.Time(); err != nil {
+		return nil, parseErr("notBefore", err)
+	}
+	if cert.NotAfter, err = validity.Time(); err != nil {
+		return nil, parseErr("notAfter", err)
+	}
+
+	if cert.Subject, err = parseName(tbs); err != nil {
+		return nil, parseErr("subject", err)
+	}
+
+	spki, err := tbs.Sequence()
+	if err != nil {
+		return nil, parseErr("subjectPublicKeyInfo", err)
+	}
+	if err := parseAlgorithm(spki); err != nil {
+		return nil, parseErr("publicKeyAlgorithm", err)
+	}
+	keyBytes, err := spki.BitString()
+	if err != nil {
+		return nil, parseErr("subjectPublicKey", err)
+	}
+	if len(keyBytes) != ed25519.PublicKeySize {
+		return nil, parseErr("subjectPublicKey", fmt.Errorf("bad key length %d", len(keyBytes)))
+	}
+	cert.PublicKey = ed25519.PublicKey(keyBytes)
+
+	if tbs.PeekContextExplicit(3) {
+		extWrap, err := tbs.ContextExplicit(3)
+		if err != nil {
+			return nil, parseErr("extensions", err)
+		}
+		if err := parseExtensions(cert, extWrap); err != nil {
+			return nil, err
+		}
+	}
+	return cert, nil
+}
+
+func parseAlgorithm(d *asn1der.Decoder) error {
+	alg, err := d.Sequence()
+	if err != nil {
+		return err
+	}
+	oid, err := alg.OID()
+	if err != nil {
+		return err
+	}
+	if !oidEqual(oid, oidEd25519) {
+		return fmt.Errorf("unsupported algorithm %s", OIDString(oid))
+	}
+	return nil
+}
+
+func parseName(d *asn1der.Decoder) (Name, error) {
+	var n Name
+	rdns, err := d.Sequence()
+	if err != nil {
+		return n, err
+	}
+	for !rdns.Empty() {
+		set, err := rdns.Set()
+		if err != nil {
+			return n, err
+		}
+		for !set.Empty() {
+			atv, err := set.Sequence()
+			if err != nil {
+				return n, err
+			}
+			oid, err := atv.OID()
+			if err != nil {
+				return n, err
+			}
+			val, err := atv.String()
+			if err != nil {
+				return n, err
+			}
+			switch {
+			case oidEqual(oid, oidCommonName):
+				n.CommonName = val
+			case oidEqual(oid, oidCountry):
+				n.Country = val
+			case oidEqual(oid, oidLocality):
+				n.Locality = val
+			case oidEqual(oid, oidOrganization):
+				n.Organization = val
+			case oidEqual(oid, oidOrganizationUnit):
+				n.OrganizationalUnit = val
+			}
+		}
+	}
+	return n, nil
+}
+
+func parseExtensions(cert *Certificate, wrap *asn1der.Decoder) error {
+	exts, err := wrap.Sequence()
+	if err != nil {
+		return parseErr("extensions", err)
+	}
+	for !exts.Empty() {
+		ext, err := exts.Sequence()
+		if err != nil {
+			return parseErr("extension", err)
+		}
+		oid, err := ext.OID()
+		if err != nil {
+			return parseErr("extension oid", err)
+		}
+		// optional critical flag
+		if tag, err := ext.PeekTag(); err == nil && tag == asn1der.TagBoolean {
+			if _, err := ext.Bool(); err != nil {
+				return parseErr("extension critical", err)
+			}
+		}
+		value, err := ext.OctetString()
+		if err != nil {
+			return parseErr("extension value", err)
+		}
+		if err := parseExtensionValue(cert, oid, value); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func parseExtensionValue(cert *Certificate, oid []int, value []byte) error {
+	d := asn1der.NewDecoder(value)
+	switch {
+	case oidEqual(oid, oidExtBasicConstraints):
+		bc, err := d.Sequence()
+		if err != nil {
+			return parseErr("basicConstraints", err)
+		}
+		cert.BasicConstraintsValid = true
+		if !bc.Empty() {
+			isCA, err := bc.Bool()
+			if err != nil {
+				return parseErr("basicConstraints", err)
+			}
+			cert.IsCA = isCA
+		}
+	case oidEqual(oid, oidExtKeyUsage):
+		bits, err := d.BitString()
+		if err != nil {
+			return parseErr("keyUsage", err)
+		}
+		if len(bits) > 0 {
+			cert.KeyUsage = int(bits[0])
+		}
+	case oidEqual(oid, oidExtSubjectKeyID):
+		id, err := d.OctetString()
+		if err != nil {
+			return parseErr("subjectKeyID", err)
+		}
+		cert.SubjectKeyID = id
+	case oidEqual(oid, oidExtAuthorityKeyID):
+		aki, err := d.Sequence()
+		if err != nil {
+			return parseErr("authorityKeyID", err)
+		}
+		for !aki.Empty() {
+			tag, content, err := aki.ReadAny()
+			if err != nil {
+				return parseErr("authorityKeyID", err)
+			}
+			if tag == byte(asn1der.ClassContextSpecific|0) {
+				cert.AuthorityKeyID = content
+			}
+		}
+	case oidEqual(oid, oidExtSAN):
+		san, err := d.Sequence()
+		if err != nil {
+			return parseErr("subjectAltName", err)
+		}
+		for !san.Empty() {
+			tag, content, err := san.ReadAny()
+			if err != nil {
+				return parseErr("subjectAltName", err)
+			}
+			switch tag {
+			case byte(asn1der.ClassContextSpecific | 2):
+				cert.DNSNames = append(cert.DNSNames, string(content))
+			case byte(asn1der.ClassContextSpecific | 7):
+				cert.IPAddresses = append(cert.IPAddresses, net.IP(content))
+			}
+		}
+	case oidEqual(oid, oidExtCRLDistribution):
+		urls, err := parseCRLDistribution(d)
+		if err != nil {
+			return err
+		}
+		cert.CRLDistributionPoints = urls
+	case oidEqual(oid, oidExtAIA):
+		aia, err := d.Sequence()
+		if err != nil {
+			return parseErr("authorityInfoAccess", err)
+		}
+		for !aia.Empty() {
+			desc, err := aia.Sequence()
+			if err != nil {
+				return parseErr("accessDescription", err)
+			}
+			method, err := desc.OID()
+			if err != nil {
+				return parseErr("accessMethod", err)
+			}
+			tag, content, err := desc.ReadAny()
+			if err != nil {
+				return parseErr("accessLocation", err)
+			}
+			if tag != byte(asn1der.ClassContextSpecific|6) {
+				continue
+			}
+			switch {
+			case oidEqual(method, oidAIAOCSP):
+				cert.OCSPServer = append(cert.OCSPServer, string(content))
+			case oidEqual(method, oidAIACAIssuers):
+				cert.IssuingCertificateURL = append(cert.IssuingCertificateURL, string(content))
+			}
+		}
+	case oidEqual(oid, oidExtCertPolicies):
+		pols, err := d.Sequence()
+		if err != nil {
+			return parseErr("certificatePolicies", err)
+		}
+		for !pols.Empty() {
+			pol, err := pols.Sequence()
+			if err != nil {
+				return parseErr("policyInformation", err)
+			}
+			pOID, err := pol.OID()
+			if err != nil {
+				return parseErr("policyIdentifier", err)
+			}
+			cert.PolicyOIDs = append(cert.PolicyOIDs, pOID)
+		}
+	}
+	// Unknown extensions are skipped, matching openssl's tolerance.
+	return nil
+}
+
+func parseCRLDistribution(d *asn1der.Decoder) ([]string, error) {
+	var urls []string
+	points, err := d.Sequence()
+	if err != nil {
+		return nil, parseErr("crlDistributionPoints", err)
+	}
+	for !points.Empty() {
+		point, err := points.Sequence()
+		if err != nil {
+			return nil, parseErr("distributionPoint", err)
+		}
+		for !point.Empty() {
+			tag, content, err := point.ReadAny()
+			if err != nil {
+				return nil, parseErr("distributionPoint", err)
+			}
+			if tag != byte(asn1der.ClassContextSpecific|0x20|0) { // [0] constructed distributionPointName
+				continue
+			}
+			dpn := asn1der.NewDecoder(content)
+			for !dpn.Empty() {
+				t2, c2, err := dpn.ReadAny()
+				if err != nil {
+					return nil, parseErr("distributionPointName", err)
+				}
+				if t2 != byte(asn1der.ClassContextSpecific|0x20|0) { // [0] constructed fullName
+					continue
+				}
+				names := asn1der.NewDecoder(c2)
+				for !names.Empty() {
+					t3, c3, err := names.ReadAny()
+					if err != nil {
+						return nil, parseErr("fullName", err)
+					}
+					if t3 == byte(asn1der.ClassContextSpecific|6) { // URI
+						urls = append(urls, string(c3))
+					}
+				}
+			}
+		}
+	}
+	return urls, nil
+}

@@ -1,0 +1,125 @@
+package x509lite
+
+import (
+	"crypto/ed25519"
+	"math/big"
+	"net"
+	"reflect"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// arbitraryTemplate derives a well-formed template from fuzz inputs.
+func arbitraryTemplate(serial uint64, cn, org string, v1 bool, days int16, sans []bool) *Template {
+	tmpl := &Template{
+		Version:      3,
+		SerialNumber: new(big.Int).SetUint64(serial%1<<62 + 1),
+		Subject:      Name{CommonName: sanitize(cn), Organization: sanitize(org)},
+		NotBefore:    time.Date(2013, 2, 3, 4, 5, 6, 0, time.UTC),
+	}
+	tmpl.Issuer = tmpl.Subject
+	tmpl.NotAfter = tmpl.NotBefore.AddDate(0, 0, int(days))
+	if v1 {
+		tmpl.Version = 1
+	}
+	for i := range sans {
+		if sans[i] {
+			tmpl.DNSNames = append(tmpl.DNSNames, sanitize(cn)+".example")
+		}
+	}
+	return tmpl
+}
+
+// sanitize keeps fuzz strings inside what the UTF8String encoder emits
+// losslessly.
+func sanitize(s string) string {
+	out := make([]rune, 0, len(s))
+	for _, r := range s {
+		if r >= 0x20 && r < 0x7f {
+			out = append(out, r)
+		}
+	}
+	if len(out) > 60 {
+		out = out[:60]
+	}
+	return string(out)
+}
+
+// Property: every field of a well-formed template survives the
+// create→parse round trip.
+func TestCreateParseRoundTripProperty(t *testing.T) {
+	seed := make([]byte, ed25519.SeedSize)
+	seed[0] = 0x77
+	priv := ed25519.NewKeyFromSeed(seed)
+	pub := priv.Public().(ed25519.PublicKey)
+
+	f := func(serial uint64, cn, org string, v1 bool, days int16, sans []bool) bool {
+		tmpl := arbitraryTemplate(serial, cn, org, v1, days, sans)
+		der, err := CreateCertificate(tmpl, pub, priv)
+		if err != nil {
+			return false
+		}
+		cert, err := Parse(der)
+		if err != nil {
+			return false
+		}
+		if cert.Version != tmpl.Version ||
+			cert.SerialNumber.Cmp(tmpl.SerialNumber) != 0 ||
+			cert.Subject != tmpl.Subject ||
+			!cert.NotBefore.Equal(tmpl.NotBefore) ||
+			!cert.NotAfter.Equal(tmpl.NotAfter) {
+			return false
+		}
+		if tmpl.Version != 1 && !reflect.DeepEqual(cert.DNSNames, tmpl.DNSNames) {
+			return false
+		}
+		// Self-signed by construction.
+		return cert.SelfSigned()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: fingerprints are injective over distinct serials.
+func TestFingerprintInjectiveProperty(t *testing.T) {
+	seed := make([]byte, ed25519.SeedSize)
+	priv := ed25519.NewKeyFromSeed(seed)
+	pub := priv.Public().(ed25519.PublicKey)
+	seen := map[Fingerprint]uint64{}
+	f := func(serial uint64) bool {
+		tmpl := arbitraryTemplate(serial, "inj.example", "", false, 365, nil)
+		der, err := CreateCertificate(tmpl, pub, priv)
+		if err != nil {
+			return false
+		}
+		fp := FingerprintBytes(der)
+		if prev, ok := seen[fp]; ok {
+			return prev == serial%1<<62+1
+		}
+		seen[fp] = serial%1<<62 + 1
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIPAddressSANRoundTrip(t *testing.T) {
+	pub, priv := testKey(t, 70)
+	tmpl := baseTemplate()
+	tmpl.IPAddresses = []net.IP{
+		net.IPv4(10, 0, 0, 1),
+		net.IPv4(255, 255, 255, 254),
+	}
+	cert := mustCreate(t, tmpl, pub, priv)
+	if len(cert.IPAddresses) != 2 {
+		t.Fatalf("IP SANs = %v", cert.IPAddresses)
+	}
+	for i, want := range tmpl.IPAddresses {
+		if !cert.IPAddresses[i].Equal(want) {
+			t.Errorf("IP SAN %d = %v, want %v", i, cert.IPAddresses[i], want)
+		}
+	}
+}

@@ -1,0 +1,70 @@
+package securepki
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// The facade is exercised end-to-end by examples and benches; these tests
+// cover the thin wrappers themselves.
+
+func TestExperimentRegistryExposed(t *testing.T) {
+	exps := Experiments()
+	if len(exps) < 23 {
+		t.Fatalf("registry has %d experiments", len(exps))
+	}
+	if _, ok := FindExperiment("table6"); !ok {
+		t.Error("table6 not found via facade")
+	}
+	if _, ok := FindExperiment("bogus"); ok {
+		t.Error("bogus experiment found")
+	}
+}
+
+func TestParseCertificateRejectsGarbage(t *testing.T) {
+	if _, err := ParseCertificate([]byte("not DER")); err == nil {
+		t.Error("garbage parsed")
+	}
+}
+
+func TestServeAndScanViaFacade(t *testing.T) {
+	// Build a real certificate with the facade types, serve it, scan it.
+	p, err := Run(func() Config {
+		cfg := SmallConfig()
+		cfg.World.NumDevices = 40
+		cfg.World.NumSites = 5
+		cfg.Scan.UMichScans = 3
+		cfg.Scan.Rapid7Scans = 2
+		return cfg
+	}())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev := p.World.Devices[0]
+	srv, err := ServeChain("127.0.0.1:0", func() [][]byte {
+		return [][]byte{dev.CurrentCert().Raw}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	results := ScanTargets(context.Background(), []string{srv.Addr()}, 2, 2*time.Second)
+	if len(results) != 1 || results[0].Err != nil {
+		t.Fatalf("scan failed: %+v", results)
+	}
+	cert, err := ParseCertificate(results[0].Chain[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cert.Fingerprint() != dev.CurrentCert().Fingerprint() {
+		t.Error("served certificate corrupted in transit")
+	}
+}
+
+func TestYearConstant(t *testing.T) {
+	if Year != 365*24*time.Hour {
+		t.Errorf("Year = %v", Year)
+	}
+}
