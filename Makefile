@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: all build test vet race bench check
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# Full suite under the race detector — exercises the serial-vs-parallel
+# equivalence tests (scanstore, linking, core) with real concurrency.
+race:
+	$(GO) test -race ./...
+
+check: vet race
+
+bench:
+	$(GO) test -bench=. -benchmem .

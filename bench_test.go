@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"securepki/internal/linking"
+	"securepki/internal/truststore"
 	"securepki/internal/x509lite"
 )
 
@@ -439,6 +440,56 @@ func BenchmarkAblationSigning(b *testing.B) {
 			}
 		}
 	})
+}
+
+// --- parallel execution layer --------------------------------------------
+
+// benchValidate re-validates the full corpus against a fresh root store each
+// iteration (so the issuer-chain cache starts cold, as in a real run) and
+// reports throughput. Serial and parallel produce identical counts — the
+// equivalence tests enforce it — so the two benches differ only in speed.
+func benchValidate(b *testing.B, workers int) {
+	p := pipeline(b)
+	roots := p.World.Roots()
+	numCerts := p.Corpus.NumCerts()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		store := truststore.NewStore()
+		for _, r := range roots {
+			store.AddRoot(r)
+		}
+		p.Corpus.ValidateWorkers(store, workers)
+	}
+	b.ReportMetric(float64(numCerts*b.N)/b.Elapsed().Seconds(), "certs/sec")
+}
+
+func BenchmarkValidateSerial(b *testing.B)   { benchValidate(b, 1) }
+func BenchmarkValidateParallel(b *testing.B) { benchValidate(b, 0) }
+
+// BenchmarkLinkerParallel runs the full §6 pipeline (eligibility filter,
+// per-field evaluation, iterative linking) at Workers=1 versus GOMAXPROCS.
+func BenchmarkLinkerParallel(b *testing.B) {
+	p := pipeline(b)
+	for _, c := range []struct {
+		name    string
+		workers int
+	}{{"serial", 1}, {"parallel", 0}} {
+		b.Run(c.name, func(b *testing.B) {
+			cfg := linking.DefaultConfig()
+			cfg.Workers = c.workers
+			numCerts := p.Corpus.NumCerts()
+			b.ReportAllocs()
+			b.ResetTimer()
+			var linked int
+			for i := 0; i < b.N; i++ {
+				linker := linking.NewLinker(p.Dataset, cfg)
+				linked = linker.Link().LinkedCerts
+			}
+			b.ReportMetric(float64(linked), "linked-certs")
+			b.ReportMetric(float64(numCerts*b.N)/b.Elapsed().Seconds(), "certs/sec")
+		})
+	}
 }
 
 // BenchmarkEndToEndSmall measures the whole pipeline at the reduced sizing:

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	analyze [-small] [-seed 1] [-exp all|fig3,table6,...] [-list]
+//	analyze [-small] [-seed 1] [-workers 0] [-exp all|fig3,table6,...] [-list]
 package main
 
 import (
@@ -21,6 +21,7 @@ func main() {
 	var (
 		small   = flag.Bool("small", false, "use the reduced sizing (seconds instead of tens of seconds)")
 		seed    = flag.Uint64("seed", 0, "world seed (0 = default)")
+		workers = flag.Int("workers", 0, "worker pool size for validation/indexing/linking (0 = GOMAXPROCS); output is identical at any setting")
 		exp     = flag.String("exp", "all", "comma-separated experiment IDs, or 'all'")
 		list    = flag.Bool("list", false, "list experiment IDs and exit")
 		plotDir = flag.String("plotdir", "", "also write gnuplot-ready .dat files and plots.gp to this directory")
@@ -42,6 +43,7 @@ func main() {
 	if *seed != 0 {
 		cfg.World.Seed = *seed
 	}
+	cfg.Workers = *workers
 
 	var selected []core.Experiment
 	if *exp == "all" {

@@ -19,9 +19,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 	"time"
 
+	"securepki/internal/parallel"
 	"securepki/internal/truststore"
 	"securepki/internal/wire"
 	"securepki/internal/x509lite"
@@ -52,40 +54,64 @@ func main() {
 	lastSeen := make(map[string]x509lite.Fingerprint)
 	rotated := 0
 
+	// Per-result parse + Ed25519 verification is the CPU-heavy half of a
+	// sweep, so it fans out across the worker pool; printing then walks the
+	// verdicts serially in target order, keeping output stable.
+	type verdict struct {
+		cert     *x509lite.Certificate
+		status   truststore.Status
+		parseErr error
+	}
+
 	for sweep := 0; sweep < *repeat; sweep++ {
 		if sweep > 0 {
 			time.Sleep(*interval)
 		}
 		start := time.Now()
 		results := wire.Scan(context.Background(), targets, *workers, *timeout)
+		verdicts := parallel.Map(0, len(results), func(i int) verdict {
+			r := results[i]
+			if r.Err != nil {
+				return verdict{}
+			}
+			cert, err := x509lite.Parse(r.Chain[0])
+			if err != nil {
+				return verdict{parseErr: err}
+			}
+			return verdict{cert: cert, status: store.Verify(cert).Status}
+		})
 		var ok, failed int
 		statusCounts := map[truststore.Status]int{}
-		for _, r := range results {
+		for i, r := range results {
 			if r.Err != nil {
 				failed++
 				fmt.Printf("%-22s ERROR %v\n", r.Addr, r.Err)
 				continue
 			}
 			ok++
-			cert, err := x509lite.Parse(r.Chain[0])
-			if err != nil {
-				fmt.Printf("%-22s PARSE-ERROR %v\n", r.Addr, err)
+			v := verdicts[i]
+			if v.parseErr != nil {
+				fmt.Printf("%-22s PARSE-ERROR %v\n", r.Addr, v.parseErr)
 				continue
 			}
-			st := store.Verify(cert).Status
-			statusCounts[st]++
-			fp := cert.Fingerprint()
+			statusCounts[v.status]++
+			fp := v.cert.Fingerprint()
 			if prev, seen := lastSeen[r.Addr]; seen && prev != fp {
 				rotated++
-				fmt.Printf("%-22s %-16s CN=%q serial=%s (REISSUED)\n", r.Addr, st, cert.Subject.CommonName, cert.SerialNumber)
+				fmt.Printf("%-22s %-16s CN=%q serial=%s (REISSUED)\n", r.Addr, v.status, v.cert.Subject.CommonName, v.cert.SerialNumber)
 			} else {
-				fmt.Printf("%-22s %-16s CN=%q serial=%s\n", r.Addr, st, cert.Subject.CommonName, cert.SerialNumber)
+				fmt.Printf("%-22s %-16s CN=%q serial=%s\n", r.Addr, v.status, v.cert.Subject.CommonName, v.cert.SerialNumber)
 			}
 			lastSeen[r.Addr] = fp
 		}
 		fmt.Printf("# sweep %d: %d ok, %d failed in %v;", sweep+1, ok, failed, time.Since(start).Round(time.Millisecond))
-		for st, n := range statusCounts {
-			fmt.Printf(" %s=%d", st, n)
+		statuses := make([]truststore.Status, 0, len(statusCounts))
+		for st := range statusCounts {
+			statuses = append(statuses, st)
+		}
+		sort.Slice(statuses, func(i, j int) bool { return statuses[i] < statuses[j] })
+		for _, st := range statuses {
+			fmt.Printf(" %s=%d", st, statusCounts[st])
 		}
 		fmt.Println()
 	}

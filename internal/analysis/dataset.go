@@ -29,7 +29,13 @@ type Dataset struct {
 // corpus must already have been validated (Corpus.Validate), or every
 // certificate will count as valid.
 func NewDataset(corpus *scanstore.Corpus, inet *netsim.Internet) *Dataset {
-	return &Dataset{Corpus: corpus, Index: corpus.BuildIndex(), Internet: inet}
+	return NewDatasetWorkers(corpus, inet, 0)
+}
+
+// NewDatasetWorkers is NewDataset with an explicit worker count for the
+// index build (<= 0 means GOMAXPROCS); the index is identical at any count.
+func NewDatasetWorkers(corpus *scanstore.Corpus, inet *netsim.Internet, workers int) *Dataset {
+	return &Dataset{Corpus: corpus, Index: corpus.BuildIndexWorkers(workers), Internet: inet}
 }
 
 // Invalid reports whether the certificate with the given ID is invalid.

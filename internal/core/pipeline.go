@@ -23,6 +23,11 @@ type Config struct {
 	World   devicesim.Config
 	Scan    scanner.Config
 	Linking linking.Config
+	// Workers bounds the pipeline's parallel stages — validation, index
+	// building and linking; <= 0 means GOMAXPROCS. The scan stage has its
+	// own knob (Scan.Workers). Results are byte-identical at any worker
+	// count; see DESIGN.md "Concurrency model & determinism".
+	Workers int
 }
 
 // DefaultConfig returns the standard experiment sizing.
@@ -104,19 +109,25 @@ func (p *Pipeline) Scan() error {
 }
 
 // Validate classifies every certificate against the world's root store
-// (stage 3) and builds the analysis dataset.
+// (stage 3) and builds the analysis dataset. Both fan out across
+// Config.Workers.
 func (p *Pipeline) Validate() {
 	store := truststore.NewStore()
 	for _, r := range p.World.Roots() {
 		store.AddRoot(r)
 	}
-	p.ValidationCounts = p.Corpus.Validate(store)
-	p.Dataset = analysis.NewDataset(p.Corpus, p.World.Internet)
+	p.ValidationCounts = p.Corpus.ValidateWorkers(store, p.Config.Workers)
+	p.Dataset = analysis.NewDatasetWorkers(p.Corpus, p.World.Internet, p.Config.Workers)
 }
 
-// Link runs the §6 pipeline (stage 4).
+// Link runs the §6 pipeline (stage 4). The pipeline-level Workers knob
+// applies unless the linking config pins its own.
 func (p *Pipeline) Link() {
-	p.Linker = linking.NewLinker(p.Dataset, p.Config.Linking)
+	cfg := p.Config.Linking
+	if cfg.Workers == 0 {
+		cfg.Workers = p.Config.Workers
+	}
+	p.Linker = linking.NewLinker(p.Dataset, cfg)
 	p.LinkResult = p.Linker.Link()
 }
 

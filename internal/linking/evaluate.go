@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"securepki/internal/netsim"
+	"securepki/internal/parallel"
 	"securepki/internal/scanstore"
 	"securepki/internal/stats"
 )
@@ -27,16 +28,26 @@ type FieldEval struct {
 // Table 6 does: link on the field alone, then measure IP//24/AS consistency
 // of the resulting groups.
 func (l *Linker) Evaluate(f Feature) FieldEval {
-	groups := l.LinkOn(f, nil)
+	return l.evalGroups(f, l.LinkOn(f, nil))
+}
+
+// evalGroups scores already-linked groups for one field. The per-group modal
+// counts fan out across the worker pool; the final sums are order-free
+// integer additions, so the score is identical at any worker count.
+func (l *Linker) evalGroups(f Feature, groups []Group) FieldEval {
 	ev := FieldEval{Feature: f, NumGroups: len(groups)}
+	type modal struct{ ip, s24, as, total int }
+	perGroup := parallel.Map(l.cfg.Workers, len(groups), func(i int) modal {
+		im, sm, am, n := l.groupConsistencyCounts(groups[i])
+		return modal{im, sm, am, n}
+	})
 	var ipMax, s24Max, asMax, total int
-	for _, g := range groups {
-		ev.TotalLinked += len(g.Certs)
-		im, sm, am, n := l.groupConsistencyCounts(g)
-		ipMax += im
-		s24Max += sm
-		asMax += am
-		total += n
+	for i, m := range perGroup {
+		ev.TotalLinked += len(groups[i].Certs)
+		ipMax += m.ip
+		s24Max += m.s24
+		asMax += m.as
+		total += m.total
 	}
 	if total > 0 {
 		ev.IPConsistency = float64(ipMax) / float64(total)
@@ -82,27 +93,44 @@ func (l *Linker) groupConsistencyCounts(g Group) (ipMax, s24Max, asMax, total in
 }
 
 // EvaluateAll produces Table 6: every field scored independently, with the
-// uniquely-linked counts computed across fields.
+// uniquely-linked counts computed across fields. Fields fan out across the
+// worker pool (each links and scores once — the serial version used to link
+// every field twice); the cross-field uniqueness merge runs serially in
+// Table 6 column order.
 func (l *Linker) EvaluateAll() []FieldEval {
-	evals := make([]FieldEval, 0, numFeatures)
-	linkedBy := make(map[scanstore.CertID][]Feature)
-	for _, f := range AllFeatures() {
-		ev := l.Evaluate(f)
-		for _, g := range l.LinkOn(f, nil) {
-			for _, id := range g.Certs {
-				linkedBy[id] = append(linkedBy[id], f)
-			}
+	type fieldResult struct {
+		ev     FieldEval
+		linked []scanstore.CertID
+	}
+	results := parallel.Map(l.cfg.Workers, int(numFeatures), func(fi int) fieldResult {
+		f := Feature(fi)
+		groups := l.LinkOn(f, nil)
+		var linked []scanstore.CertID
+		for _, g := range groups {
+			linked = append(linked, g.Certs...)
 		}
-		evals = append(evals, ev)
+		return fieldResult{ev: l.evalGroups(f, groups), linked: linked}
+	})
+
+	linkedBy := make(map[scanstore.CertID]int)
+	lastField := make(map[scanstore.CertID]Feature)
+	for fi, r := range results {
+		for _, id := range r.linked {
+			linkedBy[id]++
+			lastField[id] = Feature(fi)
+		}
 	}
 	unique := make(map[Feature]int)
-	for _, fields := range linkedBy {
-		if len(fields) == 1 {
-			unique[fields[0]]++
+	for id, n := range linkedBy {
+		if n == 1 {
+			unique[lastField[id]]++
 		}
 	}
-	for i := range evals {
-		evals[i].UniquelyLinked = unique[evals[i].Feature]
+	evals := make([]FieldEval, 0, numFeatures)
+	for _, r := range results {
+		ev := r.ev
+		ev.UniquelyLinked = unique[ev.Feature]
+		evals = append(evals, ev)
 	}
 	return evals
 }

@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"securepki/internal/analysis"
+	"securepki/internal/parallel"
 	"securepki/internal/scanstore"
 )
 
@@ -19,6 +20,10 @@ type Config struct {
 	// below this bound when building the final iterative linking (§6.4.3;
 	// the paper uses 90%).
 	MinASConsistency float64
+	// Workers bounds the linker's parallel passes (eligibility filtering,
+	// per-feature fan-out, group consistency checks); <= 0 means GOMAXPROCS.
+	// Results are identical at any worker count.
+	Workers int
 }
 
 // DefaultConfig returns the paper's parameters.
@@ -47,29 +52,52 @@ type Linker struct {
 }
 
 // NewLinker applies the §6.2 scan-duplicate rule to the dataset's invalid
-// certificates and prepares the eligible population.
+// certificates and prepares the eligible population. The per-certificate
+// uniqueness checks fan out across cfg.Workers; the eligible slice is then
+// assembled serially in certificate-ID order, so the population is identical
+// at any worker count.
 func NewLinker(ds *analysis.Dataset, cfg Config) *Linker {
 	l := &Linker{cfg: cfg, ds: ds, byID: make(map[scanstore.CertID]*certInfo)}
-	for _, rec := range ds.Corpus.Certs() {
+	certs := ds.Corpus.Certs()
+
+	// verdict per certificate: 0 not invalid/unseen, 1 excluded shared,
+	// 2 eligible.
+	const (
+		skip = iota
+		shared
+		eligible
+	)
+	verdicts := parallel.Map(cfg.Workers, len(certs), func(i int) int8 {
+		rec := certs[i]
 		if !rec.Status.Invalid() {
-			continue
+			return skip
 		}
 		scans := ds.Index.ScansSeen(rec.ID)
 		if len(scans) == 0 {
-			continue
+			return skip
 		}
-		l.invalidTotal++
 		if !l.passesUniqueness(rec.ID, scans) {
+			return shared
+		}
+		return eligible
+	})
+
+	for i, v := range verdicts {
+		switch v {
+		case shared:
+			l.invalidTotal++
 			l.excludedShared++
-			continue
+		case eligible:
+			l.invalidTotal++
+			rec := certs[i]
+			scans := ds.Index.ScansSeen(rec.ID)
+			l.eligible = append(l.eligible, certInfo{
+				id:        rec.ID,
+				firstScan: int(scans[0]),
+				lastScan:  int(scans[len(scans)-1]),
+				ipCN:      IPFormattedCN(rec.Cert),
+			})
 		}
-		info := certInfo{
-			id:        rec.ID,
-			firstScan: int(scans[0]),
-			lastScan:  int(scans[len(scans)-1]),
-			ipCN:      IPFormattedCN(rec.Cert),
-		}
-		l.eligible = append(l.eligible, info)
 	}
 	for i := range l.eligible {
 		l.byID[l.eligible[i].id] = &l.eligible[i]
@@ -127,10 +155,12 @@ type FeatureStat struct {
 	PresentFrac float64
 }
 
-// FeatureUniqueness computes Table 5 over the eligible population.
+// FeatureUniqueness computes Table 5 over the eligible population, one
+// worker per feature (the AllFeatures fan-out); output stays in Table 5
+// column order because results are keyed by feature index.
 func (l *Linker) FeatureUniqueness() []FeatureStat {
-	out := make([]FeatureStat, 0, numFeatures)
-	for _, f := range AllFeatures() {
+	return parallel.Map(l.cfg.Workers, int(numFeatures), func(fi int) FeatureStat {
+		f := Feature(fi)
 		counts := make(map[string]int)
 		present := 0
 		for i := range l.eligible {
@@ -155,9 +185,8 @@ func (l *Linker) FeatureUniqueness() []FeatureStat {
 			stat.NonUniqueFrac = float64(nonUnique) / float64(n)
 			stat.PresentFrac = float64(present) / float64(n)
 		}
-		out = append(out, stat)
-	}
-	return out
+		return stat
+	})
 }
 
 // Group is one linked set of certificates attributed to a single device.
@@ -224,22 +253,39 @@ func (l *Linker) linkable(group []*certInfo) bool {
 }
 
 // LinkOn links certificates by a single feature, returning only the groups
-// that pass the overlap rule. include restricts the population (nil = all
-// eligible certs).
+// that pass the overlap rule, sorted by value. include restricts the
+// population (nil = all eligible certs). The per-group pairwise overlap
+// checks fan out across the worker pool; candidate values are sorted before
+// the fan-out, so group order never depends on scheduling (or on map
+// iteration order).
 func (l *Linker) LinkOn(f Feature, include map[scanstore.CertID]bool) []Group {
-	var out []Group
-	for v, members := range l.groupCandidates(f, include) {
+	cands := l.groupCandidates(f, include)
+	values := make([]string, 0, len(cands))
+	for v := range cands {
+		values = append(values, v)
+	}
+	sort.Strings(values)
+
+	checked := parallel.Map(l.cfg.Workers, len(values), func(i int) *Group {
+		v := values[i]
+		members := cands[v]
 		if !l.linkable(members) {
-			continue
+			return nil
 		}
-		g := Group{Feature: f, Value: v, Certs: make([]scanstore.CertID, len(members))}
-		for i, m := range members {
-			g.Certs[i] = m.id
+		g := &Group{Feature: f, Value: v, Certs: make([]scanstore.CertID, len(members))}
+		for j, m := range members {
+			g.Certs[j] = m.id
 		}
 		sort.Slice(g.Certs, func(a, b int) bool { return g.Certs[a] < g.Certs[b] })
-		out = append(out, g)
+		return g
+	})
+
+	var out []Group
+	for _, g := range checked {
+		if g != nil {
+			out = append(out, *g)
+		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Value < out[j].Value })
 	return out
 }
 

@@ -1,0 +1,132 @@
+// Package parallel provides the bounded worker-pool primitives shared by the
+// pipeline's hot stages (validation, index building, linking). The paper's
+// measurement only worked because the tooling saturated the hardware; this
+// package is the reproduction's equivalent, with one extra constraint the
+// original did not have: every parallel stage must produce byte-identical
+// results to its serial counterpart, at any worker count.
+//
+// The determinism recipe is the same everywhere:
+//
+//   - work is split into contiguous index chunks, one per worker, so each
+//     output position is owned by exactly one goroutine;
+//   - per-worker accumulators are indexed by a stable shard number (the chunk
+//     index, not goroutine identity) and merged in shard order after the
+//     barrier;
+//   - nothing iterates a shared map inside a worker.
+//
+// Callers pass the configured worker count straight through; zero or negative
+// means GOMAXPROCS.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Workers resolves a worker-count knob: values <= 0 mean GOMAXPROCS.
+func Workers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// NumShards returns how many chunks Do will split n items into for the given
+// worker knob — the size callers need for per-shard accumulators. It is zero
+// when there is no work.
+func NumShards(workers, n int) int {
+	if n <= 0 {
+		return 0
+	}
+	w := Workers(workers)
+	if w > n {
+		w = n
+	}
+	chunk := (n + w - 1) / w
+	return (n + chunk - 1) / chunk
+}
+
+// Do splits [0, n) into NumShards(workers, n) contiguous chunks and invokes
+// fn(shard, lo, hi) for each on its own goroutine, returning after all
+// complete. Shard numbers follow chunk order (shard 0 holds the lowest
+// indices), so shard-ordered merges preserve input order.
+func Do(workers, n int, fn func(shard, lo, hi int)) {
+	shards := NumShards(workers, n)
+	if shards == 0 {
+		return
+	}
+	if shards == 1 {
+		fn(0, 0, n)
+		return
+	}
+	chunk := (n + shards - 1) / shards
+	var wg sync.WaitGroup
+	shard := 0
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(shard, lo, hi int) {
+			defer wg.Done()
+			fn(shard, lo, hi)
+		}(shard, lo, hi)
+		shard++
+	}
+	wg.Wait()
+}
+
+// ForEach invokes fn(i) for every i in [0, n) across the worker pool.
+func ForEach(workers, n int, fn func(i int)) {
+	Do(workers, n, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			fn(i)
+		}
+	})
+}
+
+// Map computes out[i] = fn(i) for every i in [0, n) across the worker pool.
+// Output order matches input order regardless of scheduling.
+func Map[T any](workers, n int, fn func(i int) T) []T {
+	if n <= 0 {
+		return nil
+	}
+	out := make([]T, n)
+	ForEach(workers, n, func(i int) {
+		out[i] = fn(i)
+	})
+	return out
+}
+
+// Counter accumulates integer counts per key across workers without locks:
+// each shard is written by exactly one worker (identified by the shard number
+// Do hands out) and Total merges shards after the barrier.
+type Counter[K comparable] struct {
+	shards []map[K]int
+}
+
+// NewCounter returns a Counter with the given shard count (use NumShards).
+func NewCounter[K comparable](shards int) *Counter[K] {
+	c := &Counter[K]{shards: make([]map[K]int, shards)}
+	for i := range c.shards {
+		c.shards[i] = make(map[K]int)
+	}
+	return c
+}
+
+// Add increments key k on the worker-owned shard.
+func (c *Counter[K]) Add(shard int, k K, n int) {
+	c.shards[shard][k] += n
+}
+
+// Total merges every shard into one map. Call only after the Do barrier.
+func (c *Counter[K]) Total() map[K]int {
+	out := make(map[K]int)
+	for _, sh := range c.shards {
+		for k, n := range sh {
+			out[k] += n
+		}
+	}
+	return out
+}

@@ -1,0 +1,115 @@
+package parallel
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkersResolution(t *testing.T) {
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(0) = %d, want GOMAXPROCS", got)
+	}
+	if got := Workers(-3); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(-3) = %d, want GOMAXPROCS", got)
+	}
+	if got := Workers(7); got != 7 {
+		t.Errorf("Workers(7) = %d", got)
+	}
+}
+
+func TestNumShards(t *testing.T) {
+	cases := []struct{ workers, n, want int }{
+		{1, 100, 1},
+		{4, 100, 4},
+		{4, 3, 3},   // never more shards than items
+		{8, 0, 0},   // no work, no shards
+		{3, 10, 3},  // chunk=4 → shards 4,4,2
+		{16, 17, 9}, // chunk=2 → 9 chunks
+	}
+	for _, c := range cases {
+		if got := NumShards(c.workers, c.n); got != c.want {
+			t.Errorf("NumShards(%d, %d) = %d, want %d", c.workers, c.n, got, c.want)
+		}
+	}
+}
+
+func TestDoCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 5, 16, 0} {
+		for _, n := range []int{0, 1, 2, 7, 64, 101} {
+			seen := make([]int32, n)
+			var chunks atomic.Int32
+			Do(workers, n, func(shard, lo, hi int) {
+				chunks.Add(1)
+				if lo >= hi {
+					t.Errorf("workers=%d n=%d: empty chunk [%d,%d)", workers, n, lo, hi)
+				}
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&seen[i], 1)
+				}
+				if shard >= NumShards(workers, n) {
+					t.Errorf("workers=%d n=%d: shard %d out of range", workers, n, shard)
+				}
+			})
+			for i, c := range seen {
+				if c != 1 {
+					t.Fatalf("workers=%d n=%d: index %d visited %d times", workers, n, i, c)
+				}
+			}
+			if int(chunks.Load()) != NumShards(workers, n) {
+				t.Errorf("workers=%d n=%d: %d chunks ran, NumShards says %d",
+					workers, n, chunks.Load(), NumShards(workers, n))
+			}
+		}
+	}
+}
+
+func TestMapPreservesOrder(t *testing.T) {
+	n := 257
+	out := Map(4, n, func(i int) int { return i * i })
+	if len(out) != n {
+		t.Fatalf("len = %d", len(out))
+	}
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d", i, v)
+		}
+	}
+	if Map(4, 0, func(i int) int { return i }) != nil {
+		t.Error("Map over empty range should be nil")
+	}
+}
+
+func TestCounterMergesShards(t *testing.T) {
+	n := 1000
+	shards := NumShards(4, n)
+	c := NewCounter[string](shards)
+	Do(4, n, func(shard, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if i%3 == 0 {
+				c.Add(shard, "fizz", 1)
+			} else {
+				c.Add(shard, "other", 1)
+			}
+		}
+	})
+	total := c.Total()
+	if total["fizz"] != 334 || total["other"] != 666 {
+		t.Errorf("Total = %v", total)
+	}
+}
+
+// Map with any worker count must equal the serial result — the property every
+// pipeline stage built on this package relies on.
+func TestSerialParallelEquivalence(t *testing.T) {
+	n := 512
+	want := Map(1, n, func(i int) int { return i*31 + 7 })
+	for _, workers := range []int{2, 3, 8, 0} {
+		got := Map(workers, n, func(i int) int { return i*31 + 7 })
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, got[i], want[i])
+			}
+		}
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"securepki/internal/netsim"
+	"securepki/internal/parallel"
 	"securepki/internal/truststore"
 	"securepki/internal/x509lite"
 )
@@ -133,18 +134,36 @@ func (c *Corpus) Scans() []*Scan { return c.scans }
 // Validate classifies every interned certificate against the store,
 // pooling every CA-flagged certificate as an intermediate first so that
 // transvalid chains complete (§4.2). It returns counts per status.
+// Validation fans out across GOMAXPROCS workers; use ValidateWorkers to pin
+// the worker count. Calling it again re-classifies without growing the store
+// (AddIntermediate is idempotent).
 func (c *Corpus) Validate(store *truststore.Store) map[truststore.Status]int {
+	return c.ValidateWorkers(store, 0)
+}
+
+// ValidateWorkers is Validate with an explicit worker count (<= 0 means
+// GOMAXPROCS). Results are identical at any worker count: each worker owns a
+// contiguous slice of the certificate table, per-worker status counts are
+// merged after the barrier, and the store's chain cache fills with values
+// that do not depend on scheduling.
+func (c *Corpus) ValidateWorkers(store *truststore.Store, workers int) map[truststore.Status]int {
+	// Pool serially: the store is not safe for concurrent mutation, and the
+	// pool must be complete before any chain is memoized.
 	for _, rec := range c.certs {
 		if rec.Cert.IsCA {
 			store.AddIntermediate(rec.Cert)
 		}
 	}
-	counts := make(map[truststore.Status]int)
-	for _, rec := range c.certs {
-		rec.Status = store.Verify(rec.Cert).Status
-		counts[rec.Status]++
-	}
-	return counts
+	n := len(c.certs)
+	counts := parallel.NewCounter[truststore.Status](parallel.NumShards(workers, n))
+	parallel.Do(workers, n, func(shard, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			rec := c.certs[i]
+			rec.Status = store.Verify(rec.Cert).Status
+			counts.Add(shard, rec.Status, 1)
+		}
+	})
+	return counts.Total()
 }
 
 // Sighting is one appearance of a certificate: which scan and which IP.
@@ -153,62 +172,140 @@ type Sighting struct {
 	IP   netsim.IP
 }
 
+// scanIPs is one certificate's distinct advertising IPs within one scan,
+// sorted ascending — precomputed so the linking loops stop re-deduplicating
+// and re-sorting on every call.
+type scanIPs struct {
+	Scan ScanID
+	IPs  []netsim.IP
+}
+
 // Index is the per-certificate view of the corpus the linking and lifetime
 // analyses consume. Build it once with BuildIndex after all scans are added.
+// All accessors return precomputed slices; callers must not modify them.
 type Index struct {
 	corpus    *Corpus
 	sightings [][]Sighting // by CertID, ordered by scan
+	scansSeen [][]ScanID   // by CertID: distinct scans, ascending
+	perScan   [][]scanIPs  // by CertID: distinct sorted IPs per scan, by scan
 }
 
 // BuildIndex inverts the scan → observation mapping into per-certificate
-// sighting lists.
+// sighting lists and precomputes the per-scan views (distinct scans, distinct
+// IPs per scan) that the §6 loops hammer. The inversion fans out across
+// GOMAXPROCS workers; use BuildIndexWorkers to pin the count.
 func (c *Corpus) BuildIndex() *Index {
+	return c.BuildIndexWorkers(0)
+}
+
+// BuildIndexWorkers is BuildIndex with an explicit worker count (<= 0 means
+// GOMAXPROCS). Each worker inverts a contiguous chunk of the scan series
+// into its own sighting shard; shards are then concatenated in chunk order,
+// which is scan order, so the result is identical to the serial build.
+func (c *Corpus) BuildIndexWorkers(workers int) *Index {
 	idx := &Index{corpus: c, sightings: make([][]Sighting, len(c.certs))}
-	for _, scan := range c.scans {
-		for _, obs := range scan.Obs {
-			idx.sightings[obs.Cert] = append(idx.sightings[obs.Cert], Sighting{Scan: scan.ID, IP: obs.IP})
+	nScans := len(c.scans)
+	shards := parallel.NumShards(workers, nScans)
+	if shards <= 1 {
+		for _, scan := range c.scans {
+			for _, obs := range scan.Obs {
+				idx.sightings[obs.Cert] = append(idx.sightings[obs.Cert], Sighting{Scan: scan.ID, IP: obs.IP})
+			}
 		}
+	} else {
+		partial := make([][][]Sighting, shards)
+		parallel.Do(workers, nScans, func(shard, lo, hi int) {
+			sh := make([][]Sighting, len(c.certs))
+			for _, scan := range c.scans[lo:hi] {
+				for _, obs := range scan.Obs {
+					sh[obs.Cert] = append(sh[obs.Cert], Sighting{Scan: scan.ID, IP: obs.IP})
+				}
+			}
+			partial[shard] = sh
+		})
+		// Merge per certificate, shards in scan-chunk order; certificates are
+		// independent, so the merge itself fans out.
+		parallel.ForEach(workers, len(c.certs), func(i int) {
+			total := 0
+			for _, sh := range partial {
+				total += len(sh[i])
+			}
+			if total == 0 {
+				return
+			}
+			merged := make([]Sighting, 0, total)
+			for _, sh := range partial {
+				merged = append(merged, sh[i]...)
+			}
+			idx.sightings[i] = merged
+		})
 	}
+	idx.precompute(workers)
 	return idx
+}
+
+// precompute derives the per-certificate scan lists and per-scan IP sets from
+// the sighting lists. Sightings arrive grouped by scan (scans are inverted in
+// order), so each certificate's list splits into contiguous runs.
+func (i *Index) precompute(workers int) {
+	n := len(i.sightings)
+	i.scansSeen = make([][]ScanID, n)
+	i.perScan = make([][]scanIPs, n)
+	parallel.ForEach(workers, n, func(id int) {
+		s := i.sightings[id]
+		if len(s) == 0 {
+			return
+		}
+		var scans []ScanID
+		var runs []scanIPs
+		for lo := 0; lo < len(s); {
+			hi := lo
+			for hi < len(s) && s[hi].Scan == s[lo].Scan {
+				hi++
+			}
+			ips := make([]netsim.IP, 0, hi-lo)
+			for _, sg := range s[lo:hi] {
+				dup := false
+				for _, ip := range ips {
+					if ip == sg.IP {
+						dup = true
+						break
+					}
+				}
+				if !dup {
+					ips = append(ips, sg.IP)
+				}
+			}
+			sort.Slice(ips, func(a, b int) bool { return ips[a] < ips[b] })
+			scans = append(scans, s[lo].Scan)
+			runs = append(runs, scanIPs{Scan: s[lo].Scan, IPs: ips})
+			lo = hi
+		}
+		i.scansSeen[id] = scans
+		i.perScan[id] = runs
+	})
 }
 
 // Sightings returns every appearance of the certificate, in scan order.
 func (i *Index) Sightings(id CertID) []Sighting { return i.sightings[id] }
 
-// ScansSeen returns the distinct scan IDs in which the certificate appeared.
-func (i *Index) ScansSeen(id CertID) []ScanID {
-	var out []ScanID
-	var last ScanID = -1
-	for _, s := range i.sightings[id] {
-		if s.Scan != last {
-			out = append(out, s.Scan)
-			last = s.Scan
-		}
-	}
-	return out
-}
+// ScansSeen returns the distinct scan IDs in which the certificate appeared,
+// ascending. The slice is precomputed; do not modify it.
+func (i *Index) ScansSeen(id CertID) []ScanID { return i.scansSeen[id] }
 
 // IPsInScan returns the distinct IPs that advertised the certificate in one
-// scan — the quantity the §6.2 scan-duplicate rule thresholds.
+// scan — the quantity the §6.2 scan-duplicate rule thresholds — sorted
+// ascending. The slice is precomputed; do not modify it.
 func (i *Index) IPsInScan(id CertID, scan ScanID) []netsim.IP {
-	var out []netsim.IP
-	for _, s := range i.sightings[id] {
-		if s.Scan != scan {
-			continue
+	for _, run := range i.perScan[id] {
+		if run.Scan == scan {
+			return run.IPs
 		}
-		dup := false
-		for _, ip := range out {
-			if ip == s.IP {
-				dup = true
-				break
-			}
-		}
-		if !dup {
-			out = append(out, s.IP)
+		if run.Scan > scan {
+			break // runs are ascending
 		}
 	}
-	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
-	return out
+	return nil
 }
 
 // FirstSeen returns the time of the first scan that observed the certificate
@@ -246,42 +343,24 @@ func (i *Index) LifetimeDays(id CertID) (int, bool) {
 // AvgIPsPerScan returns the certificate's mean count of distinct advertising
 // IPs over the scans in which it appeared (Figure 7's x-axis).
 func (i *Index) AvgIPsPerScan(id CertID) float64 {
-	s := i.sightings[id]
-	if len(s) == 0 {
+	runs := i.perScan[id]
+	if len(runs) == 0 {
 		return 0
 	}
-	perScan := make(map[ScanID]map[netsim.IP]bool)
-	for _, sg := range s {
-		m, ok := perScan[sg.Scan]
-		if !ok {
-			m = make(map[netsim.IP]bool)
-			perScan[sg.Scan] = m
-		}
-		m[sg.IP] = true
-	}
 	total := 0
-	for _, m := range perScan {
-		total += len(m)
+	for _, run := range runs {
+		total += len(run.IPs)
 	}
-	return float64(total) / float64(len(perScan))
+	return float64(total) / float64(len(runs))
 }
 
 // MaxIPsInAnyScan returns the maximum distinct advertising IPs in any single
 // scan, the input to the §6.2 uniqueness rule.
 func (i *Index) MaxIPsInAnyScan(id CertID) int {
-	perScan := make(map[ScanID]map[netsim.IP]bool)
-	for _, sg := range i.sightings[id] {
-		m, ok := perScan[sg.Scan]
-		if !ok {
-			m = make(map[netsim.IP]bool)
-			perScan[sg.Scan] = m
-		}
-		m[sg.IP] = true
-	}
 	max := 0
-	for _, m := range perScan {
-		if len(m) > max {
-			max = len(m)
+	for _, run := range i.perScan[id] {
+		if len(run.IPs) > max {
+			max = len(run.IPs)
 		}
 	}
 	return max

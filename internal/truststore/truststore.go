@@ -18,6 +18,8 @@
 package truststore
 
 import (
+	"sync"
+
 	"securepki/internal/x509lite"
 )
 
@@ -82,12 +84,22 @@ const maxChainDepth = 8
 
 // Store holds trusted roots and an intermediate pool and validates leaves
 // against them. It is not safe for concurrent mutation; concurrent Verify
-// calls after setup are safe.
+// calls after setup are safe (the chain cache takes its own lock).
 type Store struct {
 	roots        map[x509lite.Fingerprint]*x509lite.Certificate
 	rootsByName  map[string][]*x509lite.Certificate
 	inters       map[x509lite.Fingerprint]*x509lite.Certificate
 	intersByName map[string][]*x509lite.Certificate
+
+	// chainMu guards chainUp, the memoized issuer-side chain resolution:
+	// issuer fingerprint → chain from that issuer to a trusted root (issuer
+	// first), or nil when no such chain exists. Thousands of leaves share a
+	// handful of CAs, so each CA's upward path is searched once instead of
+	// per leaf. Entries are pure functions of the store's contents (the DFS
+	// is deterministic), so concurrent fills always agree; any mutation of
+	// the root/intermediate sets drops the whole cache.
+	chainMu sync.Mutex
+	chainUp map[x509lite.Fingerprint][]*x509lite.Certificate
 }
 
 // NewStore returns an empty store.
@@ -97,10 +109,21 @@ func NewStore() *Store {
 		rootsByName:  make(map[string][]*x509lite.Certificate),
 		inters:       make(map[x509lite.Fingerprint]*x509lite.Certificate),
 		intersByName: make(map[string][]*x509lite.Certificate),
+		chainUp:      make(map[x509lite.Fingerprint][]*x509lite.Certificate),
 	}
 }
 
-// AddRoot installs a trusted root. Duplicate fingerprints are ignored.
+// dropChainCache forgets every memoized chain; called when the trust material
+// changes so stale negative (and positive) entries cannot leak.
+func (s *Store) dropChainCache() {
+	s.chainMu.Lock()
+	s.chainUp = make(map[x509lite.Fingerprint][]*x509lite.Certificate)
+	s.chainMu.Unlock()
+}
+
+// AddRoot installs a trusted root. Duplicate fingerprints are ignored
+// without touching the store (idempotent), so re-running validation over a
+// corpus neither grows the store nor invalidates the chain cache.
 func (s *Store) AddRoot(c *x509lite.Certificate) {
 	fp := c.Fingerprint()
 	if _, ok := s.roots[fp]; ok {
@@ -109,10 +132,14 @@ func (s *Store) AddRoot(c *x509lite.Certificate) {
 	s.roots[fp] = c
 	name := c.Subject.String()
 	s.rootsByName[name] = append(s.rootsByName[name], c)
+	s.dropChainCache()
 }
 
 // AddIntermediate pools a CA certificate observed in the scans so that
-// transvalid chains can be completed. Duplicates are ignored.
+// transvalid chains can be completed. Duplicate fingerprints are ignored
+// without touching the store (idempotent): Corpus.Validate pools every
+// CA-flagged certificate on each call, and re-validation must not re-add
+// them or flush the memoized chains.
 func (s *Store) AddIntermediate(c *x509lite.Certificate) {
 	fp := c.Fingerprint()
 	if _, ok := s.inters[fp]; ok {
@@ -121,6 +148,7 @@ func (s *Store) AddIntermediate(c *x509lite.Certificate) {
 	s.inters[fp] = c
 	name := c.Subject.String()
 	s.intersByName[name] = append(s.intersByName[name], c)
+	s.dropChainCache()
 }
 
 // NumRoots reports the number of installed roots (the paper's store had 222).
@@ -143,7 +171,7 @@ func (s *Store) Verify(c *x509lite.Certificate) Result {
 	if s.IsRoot(c) {
 		return Result{Status: Valid, Chain: []*x509lite.Certificate{c}}
 	}
-	if chain := s.buildChain(c, 0, map[x509lite.Fingerprint]bool{c.Fingerprint(): true}); chain != nil {
+	if chain := s.trustedChain(c); chain != nil {
 		return Result{Status: Valid, Chain: chain}
 	}
 	// No trusted chain: distinguish the invalid classes.
@@ -162,6 +190,72 @@ func (s *Store) Verify(c *x509lite.Certificate) Result {
 		return Result{Status: BadSignature}
 	}
 	return Result{Status: UntrustedIssuer}
+}
+
+// trustedChain finds a signature path from c to a trusted root (c first), or
+// nil. The leaf's own signature is checked against every candidate parent —
+// that work is per-certificate and cannot be shared — but the parent's path
+// to a root is resolved through the memoized chainFrom, so a CA that signed
+// thousands of leaves has its upward chain built exactly once.
+func (s *Store) trustedChain(c *x509lite.Certificate) []*x509lite.Certificate {
+	issuerName := c.Issuer.String()
+	for _, root := range s.rootsByName[issuerName] {
+		if c.CheckSignatureFrom(root) == nil {
+			return []*x509lite.Certificate{c, root}
+		}
+	}
+	leafFP := c.Fingerprint()
+	for _, inter := range s.intersByName[issuerName] {
+		fp := inter.Fingerprint()
+		if fp == leafFP {
+			continue // the leaf itself, pooled as a CA, is not its own parent
+		}
+		if c.CheckSignatureFrom(inter) != nil {
+			continue
+		}
+		up := s.chainFrom(inter, fp)
+		if up == nil {
+			continue
+		}
+		if chainContains(up, leafFP) {
+			// The memoized path loops back through the leaf, which the
+			// per-leaf search must exclude (only possible when two certs
+			// share a key). Fall back to the exact per-leaf DFS.
+			return s.buildChain(c, 0, map[x509lite.Fingerprint]bool{leafFP: true})
+		}
+		return append([]*x509lite.Certificate{c}, up...)
+	}
+	return nil
+}
+
+// chainFrom memoizes the path from a pooled parent certificate to a trusted
+// root (parent first; nil when none exists). Negative results are cached too:
+// a certificate that cannot reach a root from a fresh search cannot reach it
+// as part of any leaf's chain either, because path existence depends only on
+// the certificate itself (see the note in buildChain).
+func (s *Store) chainFrom(parent *x509lite.Certificate, fp x509lite.Fingerprint) []*x509lite.Certificate {
+	s.chainMu.Lock()
+	defer s.chainMu.Unlock()
+	if chain, ok := s.chainUp[fp]; ok {
+		return chain
+	}
+	var chain []*x509lite.Certificate
+	if s.IsRoot(parent) {
+		chain = []*x509lite.Certificate{parent}
+	} else {
+		chain = s.buildChain(parent, 0, map[x509lite.Fingerprint]bool{fp: true})
+	}
+	s.chainUp[fp] = chain
+	return chain
+}
+
+func chainContains(chain []*x509lite.Certificate, fp x509lite.Fingerprint) bool {
+	for _, link := range chain {
+		if link.Fingerprint() == fp {
+			return true
+		}
+	}
+	return false
 }
 
 // buildChain searches depth-first for a signature path from c to a trusted
