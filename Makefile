@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race bench check
+.PHONY: all build test vet lint race bench check ci
 
 all: build test
 
@@ -13,12 +13,22 @@ test:
 vet:
 	$(GO) vet ./...
 
+# Repo-specific static analysis: the determinism & concurrency contract
+# (detmap, wallclock, seedrand, bannedimport, locksafe). Configured by
+# repolint.json; suppress single findings with //lint:ignore <rule> <reason>.
+lint:
+	$(GO) run ./cmd/repolint ./...
+
 # Full suite under the race detector — exercises the serial-vs-parallel
 # equivalence tests (scanstore, linking, core) with real concurrency.
 race:
 	$(GO) test -race ./...
 
-check: vet race
+check: vet lint race
+
+# Everything CI runs, in CI order; fails on any new repolint finding.
+ci: build vet lint
+	$(GO) test -race ./...
 
 bench:
 	$(GO) test -bench=. -benchmem .

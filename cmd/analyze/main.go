@@ -12,9 +12,9 @@ import (
 	"fmt"
 	"os"
 	"strings"
-	"time"
 
 	"securepki/internal/core"
+	"securepki/internal/stats"
 )
 
 func main() {
@@ -59,14 +59,14 @@ func main() {
 		}
 	}
 
-	start := time.Now()
+	timer := stats.StartTimer()
 	p, err := core.Run(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "analyze:", err)
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "pipeline complete in %v (%d certs, %d scans)\n\n",
-		time.Since(start).Round(time.Millisecond), p.Corpus.NumCerts(), p.Corpus.NumScans())
+		timer, p.Corpus.NumCerts(), p.Corpus.NumScans())
 
 	if *asJSON {
 		if err := core.Summarize(p).WriteJSON(os.Stdout); err != nil {

@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"securepki/internal/parallel"
+	"securepki/internal/stats"
 	"securepki/internal/truststore"
 	"securepki/internal/wire"
 	"securepki/internal/x509lite"
@@ -67,7 +68,7 @@ func main() {
 		if sweep > 0 {
 			time.Sleep(*interval)
 		}
-		start := time.Now()
+		timer := stats.StartTimer()
 		results := wire.Scan(context.Background(), targets, *workers, *timeout)
 		verdicts := parallel.Map(0, len(results), func(i int) verdict {
 			r := results[i]
@@ -104,7 +105,7 @@ func main() {
 			}
 			lastSeen[r.Addr] = fp
 		}
-		fmt.Printf("# sweep %d: %d ok, %d failed in %v;", sweep+1, ok, failed, time.Since(start).Round(time.Millisecond))
+		fmt.Printf("# sweep %d: %d ok, %d failed in %v;", sweep+1, ok, failed, timer)
 		statuses := make([]truststore.Status, 0, len(statusCounts))
 		for st := range statusCounts {
 			statuses = append(statuses, st)

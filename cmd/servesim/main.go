@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"securepki/internal/devicesim"
+	"securepki/internal/stats"
 	"securepki/internal/wire"
 )
 
@@ -54,7 +55,7 @@ func main() {
 		out = f
 	}
 
-	start := time.Now()
+	timer := stats.StartTimer()
 	var servers []*wire.Server
 	defer func() {
 		for _, s := range servers {
@@ -66,7 +67,7 @@ func main() {
 		// The provider advances the simulated clock with real time, so the
 		// device reissues live: 1 real second = 1 simulated day.
 		provider := func() [][]byte {
-			days := int(time.Since(start).Seconds())
+			days := int(timer.Seconds())
 			dev.AdvanceTo(dev.Birth.AddDate(0, 0, days))
 			return [][]byte{dev.CurrentCert().Raw}
 		}

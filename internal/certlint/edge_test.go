@@ -1,0 +1,108 @@
+package certlint
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"securepki/internal/x509lite"
+)
+
+// TestEmptyCommonName covers the empty-CN corner: an empty CN inside an
+// otherwise-populated subject is not an empty subject, and the IP lints must
+// not misparse "" as an address.
+func TestEmptyCommonName(t *testing.T) {
+	c := lintCert(t, func(tmpl *x509lite.Template) {
+		tmpl.Subject = x509lite.Name{Organization: "AVM", CommonName: ""}
+	})
+	fs := RunAll(c, nil)
+	if hasLint(fs, "subject_empty") {
+		t.Error("subject with an Organization but empty CN flagged as empty subject")
+	}
+	if hasLint(fs, "subject_ip") || hasLint(fs, "subject_private_ip") {
+		t.Error("empty CN misparsed as an IP address")
+	}
+
+	// A fully empty subject still triggers subject_empty and nothing IP-ish.
+	empty := lintCert(t, func(tmpl *x509lite.Template) {
+		tmpl.Subject = x509lite.Name{}
+	})
+	fs = RunAll(empty, nil)
+	if !hasLint(fs, "subject_empty") {
+		t.Error("fully empty subject not flagged")
+	}
+	if hasLint(fs, "subject_ip") || hasLint(fs, "subject_private_ip") {
+		t.Error("empty subject misparsed as an IP address")
+	}
+}
+
+// TestNotAfterBeforeNotBefore covers the inverted-validity boundary: a
+// certificate that expires before it starts is negative, but a zero-length
+// validity window is not.
+func TestNotAfterBeforeNotBefore(t *testing.T) {
+	inverted := lintCert(t, func(tmpl *x509lite.Template) {
+		tmpl.NotBefore = time.Date(2014, 3, 1, 0, 0, 0, 0, time.UTC)
+		tmpl.NotAfter = time.Date(2014, 2, 28, 23, 59, 59, 0, time.UTC)
+	})
+	fs := RunAll(inverted, nil)
+	if !hasLint(fs, "validity_negative") {
+		t.Errorf("NotAfter one second before NotBefore not flagged: %v", fs)
+	}
+	if hasLint(fs, "validity_excessive") {
+		t.Error("inverted validity cannot also be excessive")
+	}
+
+	zero := lintCert(t, func(tmpl *x509lite.Template) {
+		at := time.Date(2014, 3, 1, 0, 0, 0, 0, time.UTC)
+		tmpl.NotBefore = at
+		tmpl.NotAfter = at
+	})
+	if hasLint(RunAll(zero, nil), "validity_negative") {
+		t.Error("zero-length validity flagged as negative")
+	}
+}
+
+// TestEmptySANWithIPCommonName covers the paper's most common device shape:
+// no SAN extension at all while the CN parses as an IP address. Both
+// pathologies must be reported independently.
+func TestEmptySANWithIPCommonName(t *testing.T) {
+	cases := []struct {
+		cn     string
+		ipLint string
+	}{
+		{"8.8.8.8", "subject_ip"},
+		{"192.168.1.1", "subject_private_ip"},
+	}
+	for _, tc := range cases {
+		c := lintCert(t, func(tmpl *x509lite.Template) {
+			tmpl.Subject.CommonName = tc.cn
+			tmpl.DNSNames = nil
+			tmpl.IPAddresses = nil
+		})
+		if len(c.DNSNames) != 0 || len(c.IPAddresses) != 0 {
+			t.Fatalf("CN %s: fixture unexpectedly has a SAN", tc.cn)
+		}
+		fs := RunAll(c, nil)
+		if !hasLint(fs, "san_missing") {
+			t.Errorf("CN %s: SAN-less leaf not flagged san_missing (%v)", tc.cn, fs)
+		}
+		if !hasLint(fs, tc.ipLint) {
+			t.Errorf("CN %s: %s not flagged alongside san_missing (%v)", tc.cn, tc.ipLint, fs)
+		}
+	}
+
+	// The CN being an IP must not count as an IP SAN: only a real SAN
+	// extension satisfies san_missing.
+	withSAN := lintCert(t, func(tmpl *x509lite.Template) {
+		tmpl.Subject.CommonName = "8.8.8.8"
+		tmpl.DNSNames = nil
+		tmpl.IPAddresses = []net.IP{net.IPv4(8, 8, 8, 8)}
+	})
+	fs := RunAll(withSAN, nil)
+	if hasLint(fs, "san_missing") {
+		t.Errorf("leaf with an IP SAN flagged san_missing (%v)", fs)
+	}
+	if !hasLint(fs, "subject_ip") {
+		t.Errorf("IP CN not flagged once a SAN exists (%v)", fs)
+	}
+}

@@ -1,0 +1,215 @@
+// Package gostatic is a small stdlib-only static-analysis framework
+// (go/parser + go/ast + go/types, no external dependencies) purpose-built to
+// enforce this repository's determinism and concurrency contract at analysis
+// time instead of after a flaky golden-test diff.
+//
+// The pieces:
+//
+//   - Loader parses and type-checks every package in the module, resolving
+//     module-internal imports itself and standard-library imports through the
+//     go/importer source importer.
+//   - Analyzer is one rule; a Pass hands it a type-checked package and
+//     collects file:line findings with a stable rule ID and a fix hint.
+//   - Driver runs a rule set over loaded packages, applies `//lint:ignore`
+//     suppressions and the repolint.json allowlist config, and returns
+//     findings in deterministic order.
+//
+// cmd/repolint is the CLI front end; the repo-specific rules live in
+// internal/gostatic/rules.
+package gostatic
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Finding is one rule violation at a source position.
+type Finding struct {
+	// Rule is the stable rule ID (e.g. "detmap").
+	Rule string `json:"rule"`
+	// File is the path of the offending file relative to the module root.
+	File string `json:"file"`
+	Line int    `json:"line"`
+	Col  int    `json:"col"`
+	// Message states what is wrong.
+	Message string `json:"message"`
+	// Fix is a short hint for how to repair the violation.
+	Fix string `json:"fix,omitempty"`
+}
+
+func (f Finding) String() string {
+	s := fmt.Sprintf("%s:%d:%d: %s: %s", f.File, f.Line, f.Col, f.Rule, f.Message)
+	if f.Fix != "" {
+		s += " (fix: " + f.Fix + ")"
+	}
+	return s
+}
+
+// Analyzer is one static-analysis rule.
+type Analyzer struct {
+	// Name is the stable rule ID used in findings, config and suppressions.
+	Name string
+	// Doc is a one-line description of what the rule enforces.
+	Doc string
+	// Run inspects one package and reports findings through the pass.
+	Run func(*Pass)
+}
+
+// Pass carries one type-checked package through one analyzer run.
+type Pass struct {
+	Fset *token.FileSet
+	// Files are the parsed non-test files of the package.
+	Files []*ast.File
+	// Pkg is the type-checked package (possibly incomplete if the package
+	// had type errors; analyzers must tolerate missing type info).
+	Pkg *types.Package
+	// Info holds the type-checker's resolution results.
+	Info *types.Info
+	// Rel is the package path relative to the module root ("." for the
+	// module root package itself).
+	Rel string
+	// Config is the effective per-rule configuration (never nil).
+	Config *RuleConfig
+
+	rule    string
+	relFile func(token.Position) string
+	report  func(Finding)
+}
+
+// Report emits a finding at pos.
+func (p *Pass) Report(pos token.Pos, message, fix string) {
+	position := p.Fset.Position(pos)
+	p.report(Finding{
+		Rule:    p.rule,
+		File:    p.relFile(position),
+		Line:    position.Line,
+		Col:     position.Column,
+		Message: message,
+		Fix:     fix,
+	})
+}
+
+// Reportf emits a formatted finding at pos.
+func (p *Pass) Reportf(pos token.Pos, fix, format string, args ...any) {
+	p.Report(pos, fmt.Sprintf(format, args...), fix)
+}
+
+// PkgFunc resolves a call expression to a package-level function and reports
+// whether it is pkgPath.name (e.g. "time", "Now"). It follows the
+// type-checker's resolution, so renamed imports and dot imports are handled;
+// when type information is incomplete it falls back to matching the selector
+// syntactically against the plain import name.
+func (p *Pass) PkgFunc(call *ast.CallExpr, pkgPath, name string) bool {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		if fun.Sel.Name != name {
+			return false
+		}
+		if obj := p.Info.Uses[fun.Sel]; obj != nil {
+			return obj.Pkg() != nil && obj.Pkg().Path() == pkgPath
+		}
+		// Degraded mode: match the qualifier against the import's base name.
+		if id, ok := ast.Unparen(fun.X).(*ast.Ident); ok {
+			if pn, ok := p.Info.Uses[id].(*types.PkgName); ok {
+				return pn.Imported().Path() == pkgPath
+			}
+			return id.Name == pathBase(pkgPath)
+		}
+	case *ast.Ident:
+		// Dot import.
+		if fun.Name == name {
+			if obj := p.Info.Uses[fun]; obj != nil {
+				return obj.Pkg() != nil && obj.Pkg().Path() == pkgPath
+			}
+		}
+	}
+	return false
+}
+
+// ObjectOf resolves an identifier to its object (definition or use).
+func (p *Pass) ObjectOf(id *ast.Ident) types.Object {
+	if obj := p.Info.Defs[id]; obj != nil {
+		return obj
+	}
+	return p.Info.Uses[id]
+}
+
+// TypeOf returns the type of e, or nil if unknown.
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	return p.Info.TypeOf(e)
+}
+
+// FuncBodies yields every function body in the package — declarations and
+// function literals — each paired with the body of the function that
+// lexically encloses the yielded one (nil for top-level declarations).
+// Analyzers that reason about "the enclosing function" (detmap's
+// sort-after-loop check, locksafe's unlock pairing) iterate these so that a
+// closure is analysed as its own scope, not its parent's.
+func (p *Pass) FuncBodies() []FuncBody {
+	var out []FuncBody
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					out = append(out, FuncBody{Name: fn.Name.Name, Body: fn.Body, Type: fn.Type, Recv: fn.Recv})
+				}
+			case *ast.FuncLit:
+				out = append(out, FuncBody{Name: "func literal", Body: fn.Body, Type: fn.Type})
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// FuncBody is one function's body together with its signature.
+type FuncBody struct {
+	Name string
+	Body *ast.BlockStmt
+	Type *ast.FuncType
+	Recv *ast.FieldList // method receiver, nil for plain functions and literals
+}
+
+// InspectShallow walks the statements of body without descending into nested
+// function literals (they are separate FuncBodies).
+func (fb FuncBody) InspectShallow(visit func(ast.Node) bool) {
+	ast.Inspect(fb.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok && n.Pos() != fb.Body.Pos() {
+			return false
+		}
+		return visit(n)
+	})
+}
+
+func pathBase(p string) string {
+	if i := strings.LastIndexByte(p, '/'); i >= 0 {
+		return p[i+1:]
+	}
+	return p
+}
+
+// SortFindings orders findings deterministically: by file, line, column,
+// rule, then message.
+func SortFindings(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		if a.Rule != b.Rule {
+			return a.Rule < b.Rule
+		}
+		return a.Message < b.Message
+	})
+}

@@ -1,0 +1,56 @@
+package gostatic
+
+import (
+	"go/token"
+	"strings"
+)
+
+// ignoreDirective is one parsed `//lint:ignore <rule>[,<rule>...] <reason>`
+// comment. It suppresses matching findings on its own line and on the line
+// directly below it — i.e. it is written either at the end of the offending
+// line or on the line immediately above it. "*" matches every rule. A
+// directive without a reason is inert, so suppressions stay documented.
+type ignoreDirective struct {
+	file  string
+	line  int
+	rules []string
+}
+
+func (d ignoreDirective) matches(f Finding) bool {
+	if f.File != d.file || (f.Line != d.line && f.Line != d.line+1) {
+		return false
+	}
+	for _, r := range d.rules {
+		if r == "*" || r == f.Rule {
+			return true
+		}
+	}
+	return false
+}
+
+// collectIgnores parses the suppression directives of one package.
+func collectIgnores(pkg *Package, fset *token.FileSet, relFile func(token.Position) string) []ignoreDirective {
+	var out []ignoreDirective
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				rest, ok := strings.CutPrefix(text, "lint:ignore")
+				if !ok {
+					continue
+				}
+				fields := strings.Fields(rest)
+				if len(fields) < 2 {
+					continue // no reason given: directive is inert
+				}
+				pos := fset.Position(c.Pos())
+				out = append(out, ignoreDirective{
+					file:  relFile(pos),
+					line:  pos.Line,
+					rules: strings.Split(fields[0], ","),
+				})
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,319 @@
+package gostatic
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one parsed and type-checked package.
+type Package struct {
+	// ImportPath is the full import path (modulePath/rel).
+	ImportPath string
+	// Rel is the path relative to the module root ("." for the root).
+	Rel string
+	// Dir is the absolute directory.
+	Dir string
+	// Files are the parsed non-test Go files, sorted by file name.
+	Files []*ast.File
+	// Types is the type-checked package (possibly incomplete on errors).
+	Types *types.Package
+	// Info holds type-checking results for Files.
+	Info *types.Info
+	// TypeErrors collects type-checker diagnostics; analysis continues
+	// despite them, with analyzers degrading to syntactic matching.
+	TypeErrors []error
+}
+
+// Loader parses and type-checks packages of one Go module without shelling
+// out to the go tool. Module-internal imports are resolved against the
+// module tree; everything else is delegated to the go/importer source
+// importer (which type-checks the standard library from GOROOT source).
+type Loader struct {
+	Fset       *token.FileSet
+	ModuleRoot string
+	ModulePath string
+
+	std     types.Importer
+	pkgs    map[string]*Package // memoized by import path
+	loading map[string]bool     // cycle guard
+}
+
+// NewLoader locates the enclosing module of dir (by walking up to go.mod)
+// and returns a loader rooted there.
+func NewLoader(dir string) (*Loader, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	root := abs
+	for {
+		if _, err := os.Stat(filepath.Join(root, "go.mod")); err == nil {
+			break
+		}
+		parent := filepath.Dir(root)
+		if parent == root {
+			return nil, fmt.Errorf("gostatic: no go.mod found above %s", abs)
+		}
+		root = parent
+	}
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	modPath := modulePath(data)
+	if modPath == "" {
+		return nil, fmt.Errorf("gostatic: cannot read module path from %s/go.mod", root)
+	}
+	fset := token.NewFileSet()
+	return &Loader{
+		Fset:       fset,
+		ModuleRoot: root,
+		ModulePath: modPath,
+		std:        importer.ForCompiler(fset, "source", nil),
+		pkgs:       make(map[string]*Package),
+		loading:    make(map[string]bool),
+	}, nil
+}
+
+// modulePath extracts the module path from go.mod contents.
+func modulePath(gomod []byte) string {
+	for _, line := range strings.Split(string(gomod), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			rest = strings.TrimSpace(rest)
+			return strings.Trim(rest, `"`)
+		}
+	}
+	return ""
+}
+
+// Load expands patterns (a directory, or a "dir/..." wildcard, relative to
+// base if not absolute) and returns the matched packages sorted by Rel.
+// Like the go tool, wildcard expansion skips testdata, vendor, hidden and
+// underscore-prefixed directories — unless the pattern root itself points
+// inside one, which is how the fixture packages are loaded explicitly.
+func (l *Loader) Load(base string, patterns ...string) ([]*Package, error) {
+	dirs := map[string]bool{}
+	for _, pat := range patterns {
+		recursive := false
+		if strings.HasSuffix(pat, "/...") {
+			recursive = true
+			pat = strings.TrimSuffix(pat, "/...")
+		} else if pat == "..." {
+			recursive = true
+			pat = "."
+		}
+		dir := pat
+		if !filepath.IsAbs(dir) {
+			dir = filepath.Join(base, dir)
+		}
+		dir = filepath.Clean(dir)
+		if !recursive {
+			dirs[dir] = true
+			continue
+		}
+		err := filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if path != dir && (name == "testdata" || name == "vendor" ||
+				strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			if hasGoFiles(path) {
+				dirs[path] = true
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, fmt.Errorf("gostatic: expand %s: %w", pat, err)
+		}
+	}
+
+	var out []*Package
+	for dir := range dirs {
+		pkg, err := l.LoadDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		if pkg != nil {
+			out = append(out, pkg)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Rel < out[j].Rel })
+	return out, nil
+}
+
+// LoadDir loads the package in one directory (which must live inside the
+// module tree). Returns nil if the directory contains no buildable Go files.
+func (l *Loader) LoadDir(dir string) (*Package, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	rel, err := filepath.Rel(l.ModuleRoot, abs)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return nil, fmt.Errorf("gostatic: %s is outside module %s", dir, l.ModuleRoot)
+	}
+	rel = filepath.ToSlash(rel)
+	importPath := l.ModulePath
+	if rel != "." {
+		importPath = l.ModulePath + "/" + rel
+	}
+	return l.loadPath(importPath)
+}
+
+// loadPath loads a module-internal package by import path.
+func (l *Loader) loadPath(importPath string) (*Package, error) {
+	if pkg, ok := l.pkgs[importPath]; ok {
+		return pkg, nil
+	}
+	if l.loading[importPath] {
+		return nil, fmt.Errorf("gostatic: import cycle through %s", importPath)
+	}
+	l.loading[importPath] = true
+	defer delete(l.loading, importPath)
+
+	rel := "."
+	if importPath != l.ModulePath {
+		rel = strings.TrimPrefix(importPath, l.ModulePath+"/")
+	}
+	dir := filepath.Join(l.ModuleRoot, filepath.FromSlash(rel))
+
+	files, err := l.parseDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(files) == 0 {
+		l.pkgs[importPath] = nil
+		return nil, nil
+	}
+
+	pkg := &Package{ImportPath: importPath, Rel: rel, Dir: dir, Files: files}
+	pkg.Info = &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	conf := types.Config{
+		Importer:    (*loaderImporter)(l),
+		FakeImportC: true,
+		Error:       func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
+	}
+	// Check returns a usable (if incomplete) package even on type errors;
+	// those are recorded via conf.Error above, so the returned error adds
+	// nothing and analysis proceeds on what resolved.
+	tpkg, _ := conf.Check(importPath, l.Fset, files, pkg.Info)
+	pkg.Types = tpkg
+	l.pkgs[importPath] = pkg
+	return pkg, nil
+}
+
+// parseDir parses the non-test Go files of dir, skipping ignore-tagged files.
+func (l *Loader) parseDir(dir string) ([]*ast.File, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasSuffix(name, "_test.go") ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var files []*ast.File
+	pkgName := ""
+	for _, name := range names {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("gostatic: parse: %w", err)
+		}
+		if buildIgnored(f) {
+			continue
+		}
+		// A directory may hold a second package (e.g. a main with a build
+		// tag); keep the package of the first buildable file.
+		if pkgName == "" {
+			pkgName = f.Name.Name
+		} else if f.Name.Name != pkgName {
+			continue
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// buildIgnored reports whether f carries a `//go:build ignore` (or legacy
+// `// +build ignore`) constraint.
+func buildIgnored(f *ast.File) bool {
+	for _, cg := range f.Comments {
+		if cg.Pos() > f.Package {
+			break
+		}
+		for _, c := range cg.List {
+			text := strings.TrimSpace(c.Text)
+			if strings.HasPrefix(text, "//go:build") && strings.Contains(text, "ignore") {
+				return true
+			}
+			if strings.HasPrefix(text, "// +build") && strings.Contains(text, "ignore") {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// hasGoFiles reports whether dir directly contains at least one non-test Go
+// file.
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !e.IsDir() && strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go") {
+			return true
+		}
+	}
+	return false
+}
+
+// loaderImporter adapts the loader into a types.Importer: module-internal
+// paths load from the module tree, anything else falls through to the
+// standard-library source importer.
+type loaderImporter Loader
+
+func (li *loaderImporter) Import(path string) (*types.Package, error) {
+	l := (*Loader)(li)
+	if path == l.ModulePath || strings.HasPrefix(path, l.ModulePath+"/") {
+		pkg, err := l.loadPath(path)
+		if err != nil {
+			return nil, err
+		}
+		if pkg == nil || pkg.Types == nil {
+			return nil, fmt.Errorf("gostatic: no buildable package at %s", path)
+		}
+		return pkg.Types, nil
+	}
+	return l.std.Import(path)
+}

@@ -1,0 +1,53 @@
+package rules
+
+import (
+	"strconv"
+
+	"securepki/internal/gostatic"
+)
+
+// Bannedimport enforces the layering contract from repolint.json: the
+// from-scratch codecs (internal/x509lite, internal/asn1der) must not import
+// the stdlib X.509/ASN.1 parsers they exist to replace, and
+// internal/parallel must stay free of module-internal dependencies so every
+// layer can use it. The banned pairs live in the rule's config so new
+// layering rules need no code change.
+var Bannedimport = &gostatic.Analyzer{
+	Name: "bannedimport",
+	Doc:  "layering: packages must not import what repolint.json bans for them",
+	Run:  runBannedimport,
+}
+
+func runBannedimport(pass *gostatic.Pass) {
+	var banned []gostatic.BannedImport
+	for _, b := range pass.Config.Banned {
+		if gostatic.MatchPath(pass.Rel, b.Package) {
+			banned = append(banned, b)
+		}
+	}
+	if len(banned) == 0 {
+		return
+	}
+	for _, f := range pass.Files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			for _, b := range banned {
+				for _, pattern := range b.Imports {
+					if !gostatic.MatchImport(path, pattern) {
+						continue
+					}
+					reason := b.Reason
+					if reason == "" {
+						reason = "layering rule in repolint.json"
+					}
+					pass.Reportf(imp.Pos(),
+						"drop the import or move the code out of "+b.Package,
+						"package %s must not import %s: %s", b.Package, path, reason)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,242 @@
+package rules
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"securepki/internal/gostatic"
+)
+
+// Detmap flags `range` over a map whose body feeds an order-sensitive sink —
+// appending to a slice declared outside the loop, concatenating onto an
+// outer string, writing to a builder/buffer/encoder, or printing — without
+// the accumulated slice being sorted later in the same function. Map
+// iteration order is deliberately randomized by the runtime, so any of these
+// turns byte-identical output into a coin flip: exactly the bug class the
+// serial-vs-parallel golden tests in internal/scanstore, internal/linking
+// and internal/core exist to catch, surfaced at analysis time instead.
+var Detmap = &gostatic.Analyzer{
+	Name: "detmap",
+	Doc:  "no order-sensitive output accumulated from an unsorted map range",
+	Run:  runDetmap,
+}
+
+// orderSensitiveMethods write bytes in call order; invoking one inside a map
+// range makes the emitted byte stream nondeterministic.
+var orderSensitiveMethods = map[string]bool{
+	"WriteString": true,
+	"WriteByte":   true,
+	"WriteRune":   true,
+	"Write":       true,
+	"Encode":      true,
+}
+
+// printFuncs are fmt functions whose output order is observable.
+var printFuncs = []string{"Fprintf", "Fprintln", "Fprint", "Printf", "Println", "Print"}
+
+func runDetmap(pass *gostatic.Pass) {
+	for _, fb := range pass.FuncBodies() {
+		fb := fb
+		fb.InspectShallow(func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := pass.TypeOf(rng.X)
+			if t == nil {
+				return true
+			}
+			if _, ok := t.Underlying().(*types.Map); !ok {
+				return true
+			}
+			checkMapRange(pass, fb, rng)
+			return true
+		})
+	}
+}
+
+func checkMapRange(pass *gostatic.Pass, fb gostatic.FuncBody, rng *ast.RangeStmt) {
+	mapName := types.ExprString(rng.X)
+	// The whole loop body is scanned, including closures defined inside it:
+	// a closure created per-iteration still runs once per key.
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch stmt := n.(type) {
+		case *ast.AssignStmt:
+			checkAssign(pass, fb, rng, mapName, stmt)
+		case *ast.CallExpr:
+			checkCall(pass, rng, mapName, stmt)
+		}
+		return true
+	})
+}
+
+func checkAssign(pass *gostatic.Pass, fb gostatic.FuncBody, rng *ast.RangeStmt, mapName string, stmt *ast.AssignStmt) {
+	// s += expr on an outer string accumulates in iteration order.
+	if stmt.Tok == token.ADD_ASSIGN && len(stmt.Lhs) == 1 {
+		if t := pass.TypeOf(stmt.Lhs[0]); t != nil && isString(t) {
+			if obj := rootObj(pass, stmt.Lhs[0]); declaredOutside(obj, rng) {
+				pass.Reportf(stmt.Pos(),
+					"collect the parts into a slice, sort, then join",
+					"string concatenation onto %s inside a range over map %s depends on map iteration order",
+					types.ExprString(stmt.Lhs[0]), mapName)
+			}
+		}
+		return
+	}
+	if stmt.Tok != token.ASSIGN && stmt.Tok != token.DEFINE {
+		return
+	}
+	for i, rhs := range stmt.Rhs {
+		call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+		if !ok || !isBuiltinAppend(pass, call) || i >= len(stmt.Lhs) {
+			continue
+		}
+		lhs := stmt.Lhs[i]
+		// m[k] = append(m[k], v) grows per-key buckets; order-independent.
+		if _, ok := ast.Unparen(lhs).(*ast.IndexExpr); ok {
+			continue
+		}
+		obj := rootObj(pass, lhs)
+		if !declaredOutside(obj, rng) {
+			continue
+		}
+		if sortedAfter(pass, fb, rng, obj) {
+			continue
+		}
+		pass.Reportf(stmt.Pos(),
+			"sort "+types.ExprString(lhs)+" (sort.Slice / slices.Sort) before it reaches any output, or range over sorted keys",
+			"append to %s inside a range over map %s without a subsequent sort makes its element order nondeterministic",
+			types.ExprString(lhs), mapName)
+	}
+}
+
+func checkCall(pass *gostatic.Pass, rng *ast.RangeStmt, mapName string, call *ast.CallExpr) {
+	for _, name := range printFuncs {
+		if pass.PkgFunc(call, "fmt", name) {
+			pass.Reportf(call.Pos(),
+				"collect rows, sort them, then print after the loop",
+				"fmt.%s inside a range over map %s emits output in map iteration order", name, mapName)
+			return
+		}
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || !orderSensitiveMethods[sel.Sel.Name] {
+		return
+	}
+	// Only writers that outlive the loop matter; a builder created inside
+	// the body is flushed per iteration.
+	if obj := rootObj(pass, sel.X); !declaredOutside(obj, rng) {
+		return
+	}
+	pass.Reportf(call.Pos(),
+		"range over sorted keys (collect, sort, loop) before writing",
+		"%s.%s inside a range over map %s writes in map iteration order",
+		types.ExprString(sel.X), sel.Sel.Name, mapName)
+}
+
+// sortedAfter reports whether obj is passed to a sort call after the range
+// loop within the same function body — the canonical
+// "accumulate, then sort.Slice" pattern.
+func sortedAfter(pass *gostatic.Pass, fb gostatic.FuncBody, rng *ast.RangeStmt, obj types.Object) bool {
+	if obj == nil {
+		return false
+	}
+	found := false
+	fb.InspectShallow(func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() <= rng.End() {
+			return true
+		}
+		if !isSortCall(pass, call) {
+			return true
+		}
+		for _, arg := range call.Args {
+			if mentionsObj(pass, arg, obj) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+var sortFuncs = map[string]bool{
+	"Slice": true, "SliceStable": true, "Sort": true, "Stable": true,
+	"Strings": true, "Ints": true, "Float64s": true,
+	"SortFunc": true, "SortStableFunc": true,
+}
+
+func isSortCall(pass *gostatic.Pass, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || !sortFuncs[sel.Sel.Name] {
+		return false
+	}
+	return pass.PkgFunc(call, "sort", sel.Sel.Name) || pass.PkgFunc(call, "slices", sel.Sel.Name)
+}
+
+// mentionsObj reports whether expr references obj anywhere.
+func mentionsObj(pass *gostatic.Pass, expr ast.Expr, obj types.Object) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && pass.ObjectOf(id) == obj {
+			found = true
+			return false
+		}
+		return !found
+	})
+	return found
+}
+
+// rootObj unwraps selectors, indexing, derefs and parens to the base
+// identifier's object: for `a.b[i].c` it resolves `a`.
+func rootObj(pass *gostatic.Pass, expr ast.Expr) types.Object {
+	for {
+		switch e := expr.(type) {
+		case *ast.ParenExpr:
+			expr = e.X
+		case *ast.SelectorExpr:
+			expr = e.X
+		case *ast.IndexExpr:
+			expr = e.X
+		case *ast.StarExpr:
+			expr = e.X
+		case *ast.Ident:
+			return pass.ObjectOf(e)
+		default:
+			return nil
+		}
+	}
+}
+
+// declaredOutside reports whether obj is declared outside the range
+// statement — an accumulator that survives the loop. Unresolvable
+// expressions count as outside (conservative: report).
+func declaredOutside(obj types.Object, rng *ast.RangeStmt) bool {
+	if obj == nil {
+		return true
+	}
+	return obj.Pos() < rng.Pos() || obj.Pos() > rng.End()
+}
+
+func isBuiltinAppend(pass *gostatic.Pass, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return false
+	}
+	obj := pass.ObjectOf(id)
+	if obj == nil {
+		return true // unresolved: assume the builtin
+	}
+	_, builtin := obj.(*types.Builtin)
+	return builtin
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}

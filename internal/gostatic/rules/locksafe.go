@@ -1,0 +1,235 @@
+package rules
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"securepki/internal/gostatic"
+)
+
+// Locksafe enforces two mutex hygiene rules that the race detector only
+// catches when a test happens to interleave badly:
+//
+//  1. no mutex value copies — parameters, results, receivers, assignments
+//     and range bindings whose type is (or contains) a sync.Mutex/RWMutex
+//     copy the lock state, silently splitting one lock into two;
+//  2. every Lock/RLock must be released in the same function, either by a
+//     deferred Unlock or by an Unlock on every path — an early `return`
+//     between Lock and the first Unlock leaves the mutex held.
+var Locksafe = &gostatic.Analyzer{
+	Name: "locksafe",
+	Doc:  "no mutex value copies; Lock paired with defer Unlock or Unlock on every path",
+	Run:  runLocksafe,
+}
+
+func runLocksafe(pass *gostatic.Pass) {
+	for _, fb := range pass.FuncBodies() {
+		checkMutexSignature(pass, fb)
+		checkLockBalance(pass, fb)
+	}
+	checkMutexCopies(pass)
+}
+
+// checkMutexSignature flags by-value locks in parameters, results and
+// receivers.
+func checkMutexSignature(pass *gostatic.Pass, fb gostatic.FuncBody) {
+	flag := func(fl *ast.FieldList, what string) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			t := pass.TypeOf(field.Type)
+			if t == nil || !containsMutex(t, 0) {
+				continue
+			}
+			pass.Reportf(field.Pos(),
+				"pass *"+types.TypeString(t, types.RelativeTo(pass.Pkg))+" instead",
+				"%s of %s passes a mutex by value, copying its lock state", what, fb.Name)
+		}
+	}
+	flag(fb.Recv, "receiver")
+	if fb.Type != nil {
+		flag(fb.Type.Params, "parameter")
+		flag(fb.Type.Results, "result")
+	}
+}
+
+// checkMutexCopies flags assignments and range bindings that copy a value
+// containing a mutex.
+func checkMutexCopies(pass *gostatic.Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch stmt := n.(type) {
+			case *ast.AssignStmt:
+				for i, rhs := range stmt.Rhs {
+					if i >= len(stmt.Lhs) {
+						break
+					}
+					// Assigning to the blank identifier discards the value,
+					// so no second lock comes alive.
+					if id, ok := ast.Unparen(stmt.Lhs[i]).(*ast.Ident); ok && id.Name == "_" {
+						continue
+					}
+					checkCopyExpr(pass, rhs)
+				}
+			case *ast.ValueSpec:
+				for _, v := range stmt.Values {
+					checkCopyExpr(pass, v)
+				}
+			case *ast.RangeStmt:
+				if stmt.Value != nil {
+					if t := pass.TypeOf(stmt.Value); t != nil && containsMutex(t, 0) {
+						pass.Reportf(stmt.Value.Pos(),
+							"range over indices, or make the element type a pointer",
+							"range binding %s copies a value containing a mutex each iteration", types.ExprString(stmt.Value))
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// checkCopyExpr flags rhs when it reads an existing mutex-bearing value.
+// Composite literals and calls construct fresh values, so only plain reads
+// (identifiers, selectors, derefs, indexing) are copies of live state.
+func checkCopyExpr(pass *gostatic.Pass, rhs ast.Expr) {
+	switch ast.Unparen(rhs).(type) {
+	case *ast.Ident, *ast.SelectorExpr, *ast.StarExpr, *ast.IndexExpr:
+	default:
+		return
+	}
+	t := pass.TypeOf(rhs)
+	if t == nil || !containsMutex(t, 0) {
+		return
+	}
+	pass.Reportf(rhs.Pos(),
+		"take a pointer to it instead of copying",
+		"assignment copies %s, a value containing a mutex; the copy has its own lock state", types.ExprString(rhs))
+}
+
+// lockOp is one Lock/Unlock-family call found in a function body.
+type lockOp struct {
+	recv     string // printed receiver expression, e.g. "s.mu"
+	method   string
+	pos      token.Pos
+	deferred bool
+}
+
+// checkLockBalance pairs each Lock/RLock with its release within one
+// function body (closures are separate bodies — a goroutine that unlocks a
+// mutex its parent locked is beyond this rule and needs a //lint:ignore).
+func checkLockBalance(pass *gostatic.Pass, fb gostatic.FuncBody) {
+	var locks, unlocks []lockOp
+	var returns []token.Pos
+	fb.InspectShallow(func(n ast.Node) bool {
+		switch stmt := n.(type) {
+		case *ast.DeferStmt:
+			if op, ok := asLockOp(pass, stmt.Call); ok {
+				op.deferred = true
+				if op.method == "Unlock" || op.method == "RUnlock" {
+					unlocks = append(unlocks, op)
+				}
+				return false
+			}
+		case *ast.CallExpr:
+			if op, ok := asLockOp(pass, stmt); ok {
+				switch op.method {
+				case "Lock", "RLock":
+					locks = append(locks, op)
+				case "Unlock", "RUnlock":
+					unlocks = append(unlocks, op)
+				}
+			}
+		case *ast.ReturnStmt:
+			returns = append(returns, stmt.Pos())
+		}
+		return true
+	})
+
+	for _, l := range locks {
+		want := "Unlock"
+		if l.method == "RLock" {
+			want = "RUnlock"
+		}
+		var deferOK bool
+		first := token.Pos(-1)
+		for _, u := range unlocks {
+			if u.recv != l.recv || u.method != want {
+				continue
+			}
+			if u.deferred {
+				deferOK = true
+				break
+			}
+			if u.pos > l.pos && (first < 0 || u.pos < first) {
+				first = u.pos
+			}
+		}
+		if deferOK {
+			continue
+		}
+		if first < 0 {
+			pass.Reportf(l.pos,
+				"add `defer "+l.recv+"."+want+"()` right after the "+l.method,
+				"%s.%s() in %s has no matching %s in this function", l.recv, l.method, fb.Name, want)
+			continue
+		}
+		for _, r := range returns {
+			if r > l.pos && r < first {
+				pass.Reportf(l.pos,
+					"use `defer "+l.recv+"."+want+"()` so every path releases the lock",
+					"%s.%s() in %s: a return between Lock and the first %s can leave the mutex held", l.recv, l.method, fb.Name, want)
+				break
+			}
+		}
+	}
+}
+
+// asLockOp recognizes calls to the sync lock methods, including promoted
+// methods of embedded mutexes, via the type-checker's method resolution.
+func asLockOp(pass *gostatic.Pass, call *ast.CallExpr) (lockOp, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return lockOp{}, false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+	default:
+		return lockOp{}, false
+	}
+	obj := pass.Info.Uses[sel.Sel]
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return lockOp{}, false
+	}
+	return lockOp{recv: types.ExprString(sel.X), method: sel.Sel.Name, pos: call.Pos()}, true
+}
+
+// containsMutex reports whether t is, or has a field/element that is,
+// sync.Mutex or sync.RWMutex. Pointers, slices, maps and channels share the
+// pointed-to lock and are fine.
+func containsMutex(t types.Type, depth int) bool {
+	if depth > 8 {
+		return false
+	}
+	switch u := t.(type) {
+	case *types.Named:
+		if obj := u.Obj(); obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "sync" {
+			if obj.Name() == "Mutex" || obj.Name() == "RWMutex" {
+				return true
+			}
+			return false // other sync types handle their own copying rules
+		}
+		return containsMutex(u.Underlying(), depth+1)
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if containsMutex(u.Field(i).Type(), depth+1) {
+				return true
+			}
+		}
+	case *types.Array:
+		return containsMutex(u.Elem(), depth+1)
+	}
+	return false
+}

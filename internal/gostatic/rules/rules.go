@@ -1,0 +1,14 @@
+package rules
+
+import "securepki/internal/gostatic"
+
+// Default returns the full rule battery in the order repolint runs it.
+func Default() []*gostatic.Analyzer {
+	return []*gostatic.Analyzer{
+		Detmap,
+		Wallclock,
+		Seedrand,
+		Bannedimport,
+		Locksafe,
+	}
+}

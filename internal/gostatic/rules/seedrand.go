@@ -1,0 +1,60 @@
+package rules
+
+import (
+	"go/ast"
+	"go/types"
+
+	"securepki/internal/gostatic"
+)
+
+// Seedrand flags math/rand use. The repository's contract is that every
+// random draw flows from internal/stats.RNG seeded by the world config:
+// math/rand's package-level functions share hidden global state (a data race
+// under parallel workers and irreproducible across runs), and even a locally
+// constructed rand.Rand has no cross-version stream stability guarantee.
+// The seeded simulation entry points (devicesim, netsim) are allowlisted in
+// repolint.json for the rare shim that needs a math/rand adaptor.
+var Seedrand = &gostatic.Analyzer{
+	Name: "seedrand",
+	Doc:  "no math/rand global state or ad-hoc RNG construction; use the seeded internal/stats.RNG",
+	Run:  runSeedrand,
+}
+
+func runSeedrand(pass *gostatic.Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := ast.Unparen(sel.X).(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pn, ok := pass.ObjectOf(id).(*types.PkgName)
+			if !ok {
+				return true
+			}
+			path := pn.Imported().Path()
+			if path != "math/rand" && path != "math/rand/v2" {
+				return true
+			}
+			// Referring to a type (e.g. *rand.Rand in a signature) is not
+			// itself a draw or a construction; the construction site is.
+			if _, isType := pass.Info.Uses[sel.Sel].(*types.TypeName); isType {
+				return true
+			}
+			switch sel.Sel.Name {
+			case "New", "NewSource", "NewPCG", "NewChaCha8":
+				pass.Reportf(sel.Pos(),
+					"construct a stats.NewRNG(seed) derived from the world seed instead",
+					"%s RNG construction: math/rand streams are not stable across Go versions, so runs stop being reproducible", path)
+			default:
+				pass.Reportf(sel.Pos(),
+					"draw from a seeded internal/stats.RNG threaded from the config",
+					"%s.%s uses math/rand global state (unseeded, shared across goroutines)", path, sel.Sel.Name)
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,102 @@
+// Package detmap is a repolint fixture: order-sensitive sinks fed from map
+// ranges. `// want <rule> <substring>` comments are the golden findings.
+package detmap
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// BadAppend accumulates map values in iteration order and never sorts.
+func BadAppend(m map[string]int) []int {
+	var out []int
+	for _, v := range m {
+		out = append(out, v) // want detmap append to out
+	}
+	return out
+}
+
+// GoodAppendSorted is the canonical fix: accumulate, then sort.
+func GoodAppendSorted(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// GoodSortSlice sorts with sort.Slice after the loop.
+func GoodSortSlice(m map[string]int) []int {
+	var vals []int
+	for _, v := range m {
+		vals = append(vals, v)
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	return vals
+}
+
+// BadBuilder writes to an outer strings.Builder per iteration.
+func BadBuilder(m map[string]int) string {
+	var b strings.Builder
+	for k, v := range m {
+		fmt.Fprintf(&b, "%s=%d\n", k, v) // want detmap fmt.Fprintf
+		b.WriteString(k)                 // want detmap b.WriteString
+	}
+	return b.String()
+}
+
+// BadPrint emits directly in map order.
+func BadPrint(m map[string]int) {
+	for k := range m {
+		fmt.Println(k) // want detmap fmt.Println
+	}
+}
+
+// BadConcat builds a string in map order.
+func BadConcat(m map[string]int) string {
+	s := ""
+	for k := range m {
+		s += k // want detmap string concatenation
+	}
+	return s
+}
+
+// GoodPerKeyBuckets grows per-key map entries; order-independent.
+func GoodPerKeyBuckets(m map[string][]int) map[string][]int {
+	out := make(map[string][]int)
+	for k, vs := range m {
+		out[k] = append(out[k], vs...)
+	}
+	return out
+}
+
+// GoodInnerAccumulator appends to a slice scoped to one iteration.
+func GoodInnerAccumulator(m map[string][]int, emit func([]int)) {
+	for _, vs := range m {
+		var local []int
+		local = append(local, vs...)
+		sort.Ints(local)
+		emit(local)
+	}
+}
+
+// GoodCounting mutates order-independent state.
+func GoodCounting(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// SuppressedAppend documents a deliberate violation.
+func SuppressedAppend(m map[string]int, sink chan<- int) []int {
+	var out []int
+	for _, v := range m {
+		//lint:ignore detmap order is re-established by the consumer
+		out = append(out, v)
+	}
+	return out
+}

@@ -1,0 +1,29 @@
+// Package parallel is a repolint fixture named after the real worker pool:
+// the pool must stay dependency-free, so the module-internal import below is
+// a layering violation.
+package parallel
+
+import (
+	"sync"
+
+	"securepki/internal/stats" // want bannedimport must not import securepki/internal/stats
+)
+
+// Shard is a fake helper that drags a module dependency into the pool.
+func Shard(n int, seed uint64) []int {
+	rng := stats.NewRNG(seed)
+	var mu sync.Mutex
+	out := make([]int, n)
+	var wg sync.WaitGroup
+	for i := range out {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			mu.Lock()
+			defer mu.Unlock()
+			out[i] = rng.Intn(n)
+		}(i)
+	}
+	wg.Wait()
+	return out
+}

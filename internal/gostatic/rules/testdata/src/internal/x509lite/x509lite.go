@@ -1,0 +1,26 @@
+// Package x509lite is a repolint fixture named after the real codec
+// package: its path matches the bannedimport layering rule, so the stdlib
+// parser imports below are violations.
+package x509lite
+
+import (
+	"crypto/x509"   // want bannedimport must not import crypto/x509
+	"encoding/asn1" // want bannedimport must not import encoding/asn1
+	"encoding/hex"  // a harmless stdlib import stays allowed
+)
+
+// LeakedParse leans on the stdlib parser the codec exists to replace.
+func LeakedParse(der []byte) (*x509.Certificate, error) {
+	return x509.ParseCertificate(der)
+}
+
+// LeakedUnmarshal round-trips through encoding/asn1.
+func LeakedUnmarshal(der []byte, v any) error {
+	_, err := asn1.Unmarshal(der, v)
+	return err
+}
+
+// Fingerprint is fine: hex is not a banned dependency.
+func Fingerprint(sum []byte) string {
+	return hex.EncodeToString(sum)
+}

@@ -1,0 +1,121 @@
+// Package locksafe is a repolint fixture: mutex value copies and unbalanced
+// Lock/Unlock pairs.
+package locksafe
+
+import (
+	"errors"
+	"sync"
+)
+
+// Counter embeds lock state, so copying a Counter copies the lock.
+type Counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+// BadParam takes the counter (and its mutex) by value.
+func BadParam(c Counter) int { // want locksafe passes a mutex by value
+	return c.n
+}
+
+// BadReceiver copies the counter on every call.
+func (c Counter) BadReceiver() int { // want locksafe passes a mutex by value
+	return c.n
+}
+
+// BadCopy duplicates live lock state.
+func BadCopy(c *Counter) {
+	snapshot := *c // want locksafe copies
+	_ = snapshot
+}
+
+// BadRange copies each element's mutex per iteration.
+func BadRange(cs []Counter) int {
+	total := 0
+	for _, c := range cs { // want locksafe range binding
+		total += c.n
+	}
+	return total
+}
+
+// BadEarlyReturn leaves the mutex held on the error path.
+func (c *Counter) BadEarlyReturn(v int) error {
+	c.mu.Lock() // want locksafe return between Lock
+	if v < 0 {
+		return errors.New("negative")
+	}
+	c.n += v
+	c.mu.Unlock()
+	return nil
+}
+
+// BadNoUnlock never releases.
+func (c *Counter) BadNoUnlock() {
+	c.mu.Lock() // want locksafe no matching Unlock
+	c.n++
+}
+
+// GoodDefer releases on every path.
+func (c *Counter) GoodDefer(v int) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if v < 0 {
+		return errors.New("negative")
+	}
+	c.n += v
+	return nil
+}
+
+// GoodStraightLine unlocks with no intervening return.
+func (c *Counter) GoodStraightLine() int {
+	c.mu.Lock()
+	n := c.n
+	c.mu.Unlock()
+	return n
+}
+
+// GoodBranchUnlock mirrors the accept-loop pattern: both paths unlock
+// before control leaves.
+func (c *Counter) GoodBranchUnlock(stop bool) bool {
+	c.mu.Lock()
+	if stop {
+		c.mu.Unlock()
+		return false
+	}
+	c.n++
+	c.mu.Unlock()
+	return true
+}
+
+// GoodRW pairs reader locks correctly.
+type GoodRW struct {
+	mu sync.RWMutex
+	m  map[string]int
+}
+
+// Get uses RLock/defer RUnlock.
+func (g *GoodRW) Get(k string) int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.m[k]
+}
+
+// BadRW pairs RLock with the wrong release.
+func (g *GoodRW) BadRW(k string) int {
+	g.mu.RLock() // want locksafe no matching RUnlock
+	defer g.mu.Unlock()
+	return g.m[k]
+}
+
+// SuppressedHandoff documents a cross-function lock handoff.
+func (c *Counter) SuppressedHandoff() {
+	//lint:ignore locksafe released by the paired unlockLater helper
+	c.mu.Lock()
+	go c.unlockLater()
+}
+
+func (c *Counter) unlockLater() {
+	c.n++
+	//lint:ignore locksafe pairs with SuppressedHandoff's Lock
+	c.mu.Unlock()
+}

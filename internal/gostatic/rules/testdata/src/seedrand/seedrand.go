@@ -1,0 +1,30 @@
+// Package seedrand is a repolint fixture: math/rand global state and ad-hoc
+// RNG construction.
+package seedrand
+
+import (
+	"math/rand"
+
+	"securepki/internal/stats"
+)
+
+// BadGlobal draws from math/rand's hidden global state.
+func BadGlobal() int {
+	return rand.Intn(10) // want seedrand global state
+}
+
+// BadShuffle permutes via the global source.
+func BadShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want seedrand global state
+}
+
+// BadConstruct builds a rand.Rand, whose stream is not stable across Go
+// versions even when seeded.
+func BadConstruct(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed)) // want seedrand RNG construction
+}
+
+// GoodSeeded uses the repository's deterministic generator.
+func GoodSeeded(seed uint64) int {
+	return stats.NewRNG(seed).Intn(10)
+}

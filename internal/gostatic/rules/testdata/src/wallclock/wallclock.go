@@ -1,0 +1,36 @@
+// Package wallclock is a repolint fixture: wall-clock reads inside what the
+// rule treats as a simulation/analysis package.
+package wallclock
+
+import "time"
+
+// Clock is the injected-time pattern the rule pushes toward.
+type Clock struct {
+	Now func() time.Time
+}
+
+// BadNow stamps an event from the wall clock.
+func BadNow() time.Time {
+	return time.Now() // want wallclock time.Now
+}
+
+// BadSince measures wall-clock elapsed time.
+func BadSince(start time.Time) time.Duration {
+	return time.Since(start) // want wallclock time.Since
+}
+
+// GoodInjected advances via an injected clock.
+func GoodInjected(c Clock) time.Time {
+	return c.Now()
+}
+
+// GoodArithmetic computes durations from simulated timestamps.
+func GoodArithmetic(a, b time.Time) time.Duration {
+	return b.Sub(a)
+}
+
+// SuppressedNow documents a deliberate wall-clock read.
+func SuppressedNow() time.Time {
+	//lint:ignore wallclock boot banner only, not simulation state
+	return time.Now()
+}

@@ -1,0 +1,46 @@
+// Package rules holds the repo-specific analyzers that enforce the
+// determinism & concurrency contract documented in DESIGN.md ("Static
+// analysis contract"). Each analyzer reports file:line findings with a
+// stable rule ID and a fix hint; Default returns the full battery in the
+// order repolint runs it.
+package rules
+
+import (
+	"go/ast"
+
+	"securepki/internal/gostatic"
+)
+
+// Wallclock flags reads of the wall clock — time.Now and time.Since —
+// inside the simulation and analysis packages. The devicesim/scanner world
+// must advance only via simulated time (devices reissue on simulated
+// schedules, scans take simulated hours); a stray time.Now makes a run
+// irreproducible. The real-network layer (internal/wire) and the CLIs are
+// allowlisted in repolint.json.
+var Wallclock = &gostatic.Analyzer{
+	Name: "wallclock",
+	Doc:  "no wall-clock reads (time.Now / time.Since) inside simulation and analysis packages",
+	Run:  runWallclock,
+}
+
+func runWallclock(pass *gostatic.Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			switch {
+			case pass.PkgFunc(call, "time", "Now"):
+				pass.Report(call.Pos(),
+					"time.Now() reads the wall clock inside a simulation/analysis package",
+					"thread the simulated clock, or inject a `now func() time.Time`")
+			case pass.PkgFunc(call, "time", "Since"):
+				pass.Report(call.Pos(),
+					"time.Since() measures wall-clock elapsed time inside a simulation/analysis package",
+					"compute durations from simulated timestamps, or inject a clock")
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,39 @@
+package stats
+
+import "time"
+
+// Timer measures wall-clock phase durations for CLI progress reporting. It
+// is the one sanctioned doorway to the wall clock outside internal/wire: the
+// clock is injected (StartTimerAt), so the simulation packages stay free of
+// time.Now and the repolint wallclock allowlist stays narrow. Everything a
+// Timer measures is presentation-only — pipeline output never depends on it.
+type Timer struct {
+	start time.Time
+	now   func() time.Time
+}
+
+// StartTimer begins timing on the wall clock.
+func StartTimer() *Timer {
+	return StartTimerAt(time.Now)
+}
+
+// StartTimerAt begins timing on an injected clock; tests pass a fake.
+func StartTimerAt(now func() time.Time) *Timer {
+	return &Timer{start: now(), now: now}
+}
+
+// Elapsed returns the time since the timer started.
+func (t *Timer) Elapsed() time.Duration {
+	return t.now().Sub(t.start)
+}
+
+// Seconds returns the elapsed time in seconds.
+func (t *Timer) Seconds() float64 {
+	return t.Elapsed().Seconds()
+}
+
+// String renders the elapsed time rounded to the millisecond, the format
+// the CLIs print in progress lines.
+func (t *Timer) String() string {
+	return t.Elapsed().Round(time.Millisecond).String()
+}

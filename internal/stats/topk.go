@@ -54,12 +54,14 @@ func (c *Counter) Map() map[string]int { return c.m }
 // Top returns the n most frequent keys.
 func (c *Counter) Top(n int) []RankedItem { return TopN(c.m, n) }
 
-// Values returns the multiset of counts, in unspecified order — the input
-// CoverageCurve expects.
+// Values returns the multiset of counts, sorted ascending so the slice is
+// deterministic regardless of map iteration order; CoverageCurve and the
+// other consumers re-sort to whatever order they need.
 func (c *Counter) Values() []int {
 	out := make([]int, 0, len(c.m))
 	for _, v := range c.m {
 		out = append(out, v)
 	}
+	sort.Ints(out)
 	return out
 }

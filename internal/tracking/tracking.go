@@ -319,7 +319,6 @@ func (t *Tracker) Reassignment(minSpan time.Duration, minDevices int) Reassignme
 	}
 
 	rep := ReassignmentReport{}
-	var fracs []float64
 	for _, a := range perAS {
 		if a.devices < minDevices {
 			continue
@@ -332,7 +331,6 @@ func (t *Tracker) Reassignment(minSpan time.Duration, minDevices int) Reassignme
 			PerScanChurnFrac: a.churnSum / float64(a.devices),
 		}
 		rep.PerAS = append(rep.PerAS, r)
-		fracs = append(fracs, r.StaticFrac)
 		if r.StaticFrac >= 0.9 {
 			rep.MostlyStaticASes++
 		}
@@ -341,6 +339,13 @@ func (t *Tracker) Reassignment(minSpan time.Duration, minDevices int) Reassignme
 		}
 	}
 	sort.Slice(rep.PerAS, func(i, j int) bool { return rep.PerAS[i].ASN < rep.PerAS[j].ASN })
+	// Derive the CDF input from the ASN-sorted rows, not the map walk, so
+	// the samples slice is deterministic (NewCDF re-sorts, but the contract
+	// is that nothing order-sensitive leaves a map range unsorted).
+	fracs := make([]float64, len(rep.PerAS))
+	for i, r := range rep.PerAS {
+		fracs[i] = r.StaticFrac
+	}
 	rep.StaticFracCDF = stats.NewCDF(fracs)
 	return rep
 }

@@ -82,6 +82,7 @@ func (s *Server) Close() error {
 	s.closed = true
 	conns := make([]net.Conn, 0, len(s.conns))
 	for c := range s.conns {
+		//lint:ignore detmap teardown side effect only; close order is irrelevant and nothing is emitted
 		conns = append(conns, c)
 	}
 	s.mu.Unlock()
