@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet lint race bench check ci
+.PHONY: all build test vet lint race bench bench-all fuzz-seeds bench-smoke check ci
 
 all: build test
 
@@ -26,9 +26,31 @@ race:
 
 check: vet lint race
 
+# Replays the snapshot fuzz seed corpus as plain tests (without -fuzz no
+# fuzzing time is spent, so it is fast enough for every CI run).
+fuzz-seeds:
+	$(GO) test -run=Fuzz ./internal/snapshot
+
+# One iteration of each snapshot benchmark — catches benchmarks that no
+# longer compile or crash without burning CI minutes on timing.
+bench-smoke:
+	$(GO) test -run='^$$' -bench=Snapshot -benchtime=1x ./internal/snapshot
+
 # Everything CI runs, in CI order; fails on any new repolint finding.
 ci: build vet lint
 	$(GO) test -race ./...
+	$(MAKE) fuzz-seeds
+	$(MAKE) bench-smoke
 
+# Perf trajectory: snapshot + parse benchmarks rendered to machine-readable
+# JSON so future PRs have a baseline to compare against (certs/sec, MB/s,
+# allocs/op per benchmark).
 bench:
-	$(GO) test -bench=. -benchmem .
+	$(GO) test -run='^$$' -bench='Snapshot|Parse' -benchmem \
+		./internal/snapshot ./internal/x509lite \
+		| $(GO) run ./cmd/benchjson > BENCH_snapshot.json
+	@echo wrote BENCH_snapshot.json
+
+# The original whole-repo benchmark sweep (facade-level benches included).
+bench-all:
+	$(GO) test -bench=. -benchmem ./...

@@ -5,6 +5,14 @@
 // Usage:
 //
 //	analyze [-small] [-seed 1] [-workers 0] [-exp all|fig3,table6,...] [-list]
+//	        [-corpus corpus.spki] [-save-corpus corpus.spki]
+//
+// With -corpus the scan stage is replaced by loading a snapshot written by
+// scangen or analyze -save-corpus (either format; v2 decodes across
+// -workers). The world is still regenerated from -seed/-small so validation
+// runs against the same root store that issued the corpus — use the same
+// sizing flags as the run that wrote it. Ground truth is not persisted, so
+// the truth-based precision evaluation reports zeros on this path.
 package main
 
 import (
@@ -26,6 +34,8 @@ func main() {
 		list    = flag.Bool("list", false, "list experiment IDs and exit")
 		plotDir = flag.String("plotdir", "", "also write gnuplot-ready .dat files and plots.gp to this directory")
 		asJSON  = flag.Bool("json", false, "print a machine-readable summary instead of experiment text")
+		corpus  = flag.String("corpus", "", "load the corpus from this snapshot instead of scanning (v1 or v2)")
+		saveTo  = flag.String("save-corpus", "", "after the run, write the corpus as a v2 snapshot to this file")
 	)
 	flag.Parse()
 
@@ -60,13 +70,37 @@ func main() {
 	}
 
 	timer := stats.StartTimer()
-	p, err := core.Run(cfg)
+	var p *core.Pipeline
+	var err error
+	if *corpus != "" {
+		p, err = runFromSnapshot(cfg, *corpus)
+	} else {
+		p, err = core.Run(cfg)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "analyze:", err)
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "pipeline complete in %v (%d certs, %d scans)\n\n",
 		timer, p.Corpus.NumCerts(), p.Corpus.NumScans())
+
+	if *saveTo != "" {
+		f, err := os.Create(*saveTo)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "analyze:", err)
+			os.Exit(1)
+		}
+		if err := p.WriteSnapshot(f); err != nil {
+			f.Close()
+			fmt.Fprintln(os.Stderr, "analyze:", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "analyze:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "corpus saved to %s\n\n", *saveTo)
+	}
 
 	if *asJSON {
 		if err := core.Summarize(p).WriteJSON(os.Stdout); err != nil {
@@ -93,4 +127,26 @@ func main() {
 		}
 		fmt.Println()
 	}
+}
+
+// runFromSnapshot replaces the scan stage with a snapshot load: the world is
+// regenerated from the config (roots and topology), the corpus comes from
+// disk, and validation/linking/tracking run as usual. Truth stays nil.
+func runFromSnapshot(cfg core.Config, path string) (*core.Pipeline, error) {
+	p := &core.Pipeline{Config: cfg}
+	if err := p.Generate(); err != nil {
+		return nil, err
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if err := p.LoadSnapshot(f); err != nil {
+		return nil, err
+	}
+	p.Validate()
+	p.Link()
+	p.Track()
+	return p, nil
 }

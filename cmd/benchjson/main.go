@@ -1,0 +1,102 @@
+// Command benchjson converts `go test -bench` text output into JSON so the
+// repo can keep a machine-readable perf trajectory (make bench writes
+// BENCH_snapshot.json). It reads the benchmark output on stdin and prints a
+// JSON document on stdout; non-benchmark lines (goos/pkg headers, PASS/ok)
+// are carried through as context fields.
+//
+// Usage:
+//
+//	go test -run='^$' -bench=Snapshot -benchmem ./internal/snapshot | benchjson
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed result line: the benchmark name, its iteration
+// count, and every reported metric keyed by unit (ns/op, MB/s, certs/sec,
+// B/op, allocs/op, ...). A map keyed by unit survives new ReportMetric calls
+// without a schema change; encoding/json emits its keys sorted, so output
+// stays deterministic.
+type Benchmark struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Report is the whole document.
+type Report struct {
+	Context    map[string]string `json:"context"`
+	Benchmarks []Benchmark       `json:"benchmarks"`
+}
+
+func main() {
+	rep := Report{Context: map[string]string{}, Benchmarks: []Benchmark{}}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "Benchmark"):
+			b, err := parseBenchLine(line)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "benchjson: skipping %q: %v\n", line, err)
+				continue
+			}
+			rep.Benchmarks = append(rep.Benchmarks, b)
+		case strings.HasPrefix(line, "goos:"),
+			strings.HasPrefix(line, "goarch:"),
+			strings.HasPrefix(line, "pkg:"),
+			strings.HasPrefix(line, "cpu:"):
+			k, v, _ := strings.Cut(line, ":")
+			// Later packages overwrite pkg:; keep the first value and count.
+			if _, seen := rep.Context[k]; !seen {
+				rep.Context[k] = strings.TrimSpace(v)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// parseBenchLine parses one result line:
+//
+//	BenchmarkSnapshotRead/v2-8  10  9222634 ns/op  34.32 MB/s  16400 allocs/op
+//
+// i.e. name, iteration count, then (value, unit) pairs.
+func parseBenchLine(line string) (Benchmark, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return Benchmark{}, fmt.Errorf("want at least name, count and one metric pair")
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, fmt.Errorf("iteration count %q: %w", fields[1], err)
+	}
+	b := Benchmark{Name: fields[0], Iterations: iters, Metrics: map[string]float64{}}
+	pairs := fields[2:]
+	if len(pairs)%2 != 0 {
+		return Benchmark{}, fmt.Errorf("odd metric field count %d", len(pairs))
+	}
+	for i := 0; i < len(pairs); i += 2 {
+		v, err := strconv.ParseFloat(pairs[i], 64)
+		if err != nil {
+			return Benchmark{}, fmt.Errorf("metric value %q: %w", pairs[i], err)
+		}
+		b.Metrics[pairs[i+1]] = v
+	}
+	return b, nil
+}

@@ -1,0 +1,34 @@
+package main
+
+import "testing"
+
+func TestParseBenchLine(t *testing.T) {
+	b, err := parseBenchLine("BenchmarkSnapshotRead/v2-parallel-4 \t 10\t 9222634 ns/op\t 34.32 MB/s\t 216873 certs/sec\t 5233712 B/op\t 16400 allocs/op")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Name != "BenchmarkSnapshotRead/v2-parallel-4" || b.Iterations != 10 {
+		t.Fatalf("parsed %+v", b)
+	}
+	for unit, want := range map[string]float64{
+		"ns/op": 9222634, "MB/s": 34.32, "certs/sec": 216873, "B/op": 5233712, "allocs/op": 16400,
+	} {
+		if got := b.Metrics[unit]; got != want {
+			t.Errorf("%s = %v, want %v", unit, got, want)
+		}
+	}
+}
+
+func TestParseBenchLineRejects(t *testing.T) {
+	for _, line := range []string{
+		"BenchmarkX",
+		"BenchmarkX 12",
+		"BenchmarkX twelve 5 ns/op",
+		"BenchmarkX 12 5 ns/op extra",
+		"BenchmarkX 12 five ns/op",
+	} {
+		if _, err := parseBenchLine(line); err == nil {
+			t.Errorf("accepted %q", line)
+		}
+	}
+}

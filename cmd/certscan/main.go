@@ -7,10 +7,18 @@
 // Usage:
 //
 //	certscan -targets targets.txt [-workers 32] [-timeout 3s] [-repeat 1 -interval 2s]
+//	         [-o corpus.spki]
 //
 // With -repeat > 1 the scanner sweeps multiple times and reports how many
 // endpoints rotated their certificate between sweeps — the wire-level
 // equivalent of the paper's reissue observation.
+//
+// With -o the sweeps are also accumulated as a scan corpus — each sweep
+// becomes one scan, each grabbed certificate one (certificate, IP)
+// observation — and written as a v2 snapshot that analyze/linkdev can load.
+// Only IPv4-literal targets can appear in the corpus (the observation model
+// is address-based); hostname targets are swept but skipped from the corpus
+// with a warning.
 package main
 
 import (
@@ -18,12 +26,16 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"net"
 	"os"
 	"sort"
 	"strings"
 	"time"
 
+	"securepki/internal/netsim"
 	"securepki/internal/parallel"
+	"securepki/internal/scanstore"
+	"securepki/internal/snapshot"
 	"securepki/internal/stats"
 	"securepki/internal/truststore"
 	"securepki/internal/wire"
@@ -37,6 +49,7 @@ func main() {
 		timeout     = flag.Duration("timeout", 3*time.Second, "per-target timeout")
 		repeat      = flag.Int("repeat", 1, "number of sweeps")
 		interval    = flag.Duration("interval", 2*time.Second, "pause between sweeps")
+		outCorpus   = flag.String("o", "", "accumulate sweeps into a corpus and write it as a v2 snapshot")
 	)
 	flag.Parse()
 	if *targetsFile == "" {
@@ -55,6 +68,12 @@ func main() {
 	lastSeen := make(map[string]x509lite.Fingerprint)
 	rotated := 0
 
+	var corpus *scanstore.Corpus
+	if *outCorpus != "" {
+		corpus = scanstore.NewCorpus()
+	}
+	warnedHosts := make(map[string]bool)
+
 	// Per-result parse + Ed25519 verification is the CPU-heavy half of a
 	// sweep, so it fans out across the worker pool; printing then walks the
 	// verdicts serially in target order, keeping output stable.
@@ -69,6 +88,7 @@ func main() {
 			time.Sleep(*interval)
 		}
 		timer := stats.StartTimer()
+		sweepStart := time.Now()
 		results := wire.Scan(context.Background(), targets, *workers, *timeout)
 		verdicts := parallel.Map(0, len(results), func(i int) verdict {
 			r := results[i]
@@ -82,6 +102,7 @@ func main() {
 			return verdict{cert: cert, status: store.Verify(cert).Status}
 		})
 		var ok, failed int
+		var sweepObs []scanstore.Observation
 		statusCounts := map[truststore.Status]int{}
 		for i, r := range results {
 			if r.Err != nil {
@@ -104,6 +125,19 @@ func main() {
 				fmt.Printf("%-22s %-16s CN=%q serial=%s\n", r.Addr, v.status, v.cert.Subject.CommonName, v.cert.SerialNumber)
 			}
 			lastSeen[r.Addr] = fp
+			if corpus != nil {
+				if ip, ipOK := targetIP(r.Addr); ipOK {
+					sweepObs = append(sweepObs, scanstore.Observation{Cert: corpus.Intern(v.cert), IP: ip})
+				} else if !warnedHosts[r.Addr] {
+					warnedHosts[r.Addr] = true
+					fmt.Fprintf(os.Stderr, "certscan: %s is not an IPv4 literal; excluded from -o corpus\n", r.Addr)
+				}
+			}
+		}
+		if corpus != nil {
+			if _, err := corpus.AddScan(scanstore.UMich, sweepStart, sweepObs); err != nil {
+				fatal(err)
+			}
 		}
 		fmt.Printf("# sweep %d: %d ok, %d failed in %v;", sweep+1, ok, failed, timer)
 		statuses := make([]truststore.Status, 0, len(statusCounts))
@@ -119,6 +153,35 @@ func main() {
 	if *repeat > 1 {
 		fmt.Printf("# certificates rotated between sweeps: %d\n", rotated)
 	}
+	if corpus != nil {
+		f, err := os.Create(*outCorpus)
+		if err != nil {
+			fatal(err)
+		}
+		if err := snapshot.Write(f, corpus, snapshot.Options{}); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "certscan: wrote %s (%d certs, %d scans)\n",
+			*outCorpus, corpus.NumCerts(), corpus.NumScans())
+	}
+}
+
+// targetIP extracts the IPv4 address from a host:port target; hostname
+// targets have no place in the address-keyed observation model.
+func targetIP(addr string) (netsim.IP, bool) {
+	host := addr
+	if h, _, err := net.SplitHostPort(addr); err == nil {
+		host = h
+	}
+	ip, err := netsim.ParseIP(host)
+	if err != nil {
+		return 0, false
+	}
+	return ip, true
 }
 
 func readTargets(path string) ([]string, error) {

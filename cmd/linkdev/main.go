@@ -17,7 +17,7 @@ import (
 	"securepki/internal/core"
 	"securepki/internal/linking"
 	"securepki/internal/netsim"
-	"securepki/internal/scanstore"
+	"securepki/internal/snapshot"
 	"securepki/internal/truststore"
 )
 
@@ -77,7 +77,9 @@ func runFromCorpus(corpusPath, prefixPath, asinfoPath string, lcfg linking.Confi
 		fatal(err)
 	}
 	defer cf.Close()
-	corpus, err := scanstore.ReadFrom(cf)
+	// snapshot.Read sniffs the format, so both v2 (scangen's default) and
+	// legacy v1 corpora load here.
+	corpus, err := snapshot.Read(cf, snapshot.Options{})
 	if err != nil {
 		fatal(err)
 	}

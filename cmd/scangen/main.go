@@ -4,8 +4,12 @@
 //
 // Usage:
 //
-//	scangen -out corpus.spki [-devices 8600] [-sites 3700] [-seed 1]
-//	        [-umich 30] [-rapid7 17]
+//	scangen -o corpus.spki [-format v2|v1] [-workers 0]
+//	        [-devices 8600] [-sites 3700] [-seed 1] [-umich 30] [-rapid7 17]
+//
+// The default output is the v2 sharded columnar snapshot (internal/snapshot);
+// -format v1 keeps the legacy gzip+gob blob for older consumers. Every
+// reader in this repo sniffs the format, so either loads everywhere.
 package main
 
 import (
@@ -14,11 +18,14 @@ import (
 	"os"
 
 	"securepki/internal/core"
+	"securepki/internal/snapshot"
 )
 
 func main() {
 	var (
 		out     = flag.String("out", "corpus.spki", "output corpus file")
+		format  = flag.String("format", "v2", "snapshot format: v2 (sharded columnar) or v1 (legacy gzip+gob)")
+		workers = flag.Int("workers", 0, "encoder worker pool for -format v2 (0 = GOMAXPROCS); bytes identical at any setting")
 		dumpNet = flag.Bool("dump-net", false, "also write <out>.prefix2as and <out>.asinfo (RouteViews/CAIDA-style datasets)")
 		devices = flag.Int("devices", 0, "number of end-user devices (0 = default)")
 		sites   = flag.Int("sites", 0, "number of websites (0 = default)")
@@ -27,7 +34,12 @@ func main() {
 		rapid7  = flag.Int("rapid7", 0, "Rapid7 scan count (0 = default)")
 		small   = flag.Bool("small", false, "use the reduced sizing")
 	)
+	flag.StringVar(out, "o", "corpus.spki", "shorthand for -out")
 	flag.Parse()
+	if *format != "v1" && *format != "v2" {
+		fmt.Fprintf(os.Stderr, "scangen: unknown -format %q (want v1 or v2)\n", *format)
+		os.Exit(2)
+	}
 
 	cfg := core.DefaultConfig()
 	if *small {
@@ -64,7 +76,12 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	if err := p.Corpus.Write(f); err != nil {
+	if *format == "v1" {
+		err = p.Corpus.Write(f)
+	} else {
+		err = snapshot.Write(f, p.Corpus, snapshot.Options{Workers: *workers})
+	}
+	if err != nil {
 		f.Close()
 		fatal(err)
 	}
@@ -75,7 +92,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Fprintf(os.Stderr, "wrote %s (%d bytes)\n", *out, info.Size())
+	fmt.Fprintf(os.Stderr, "wrote %s (%s, %d bytes)\n", *out, *format, info.Size())
 
 	if *dumpNet {
 		pf, err := os.Create(*out + ".prefix2as")

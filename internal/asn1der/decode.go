@@ -167,16 +167,31 @@ func (d *Decoder) BigInt() (*big.Int, error) {
 	return v, nil
 }
 
-// Int reads an INTEGER that must fit in an int64.
+// Int reads an INTEGER that must fit in an int64. Unlike BigInt it never
+// allocates: any minimally-encoded value wider than 8 content bytes cannot
+// fit an int64, so the fast sign-extension path below is exhaustive.
 func (d *Decoder) Int() (int64, error) {
-	v, err := d.BigInt()
+	c, err := d.expect(TagInteger)
 	if err != nil {
 		return 0, err
 	}
-	if !v.IsInt64() {
+	if len(c) == 0 {
+		return 0, d.syntaxErr("empty integer")
+	}
+	if len(c) > 1 && ((c[0] == 0 && c[1]&0x80 == 0) || (c[0] == 0xff && c[1]&0x80 != 0)) {
+		return 0, d.syntaxErr("non-minimal integer")
+	}
+	if len(c) > 8 {
 		return 0, d.syntaxErr("integer does not fit int64")
 	}
-	return v.Int64(), nil
+	var v int64
+	if c[0]&0x80 != 0 {
+		v = -1 // sign-extend
+	}
+	for _, b := range c {
+		v = v<<8 | int64(b)
+	}
+	return v, nil
 }
 
 // BitString reads a BIT STRING and returns its bytes, requiring zero unused
@@ -217,6 +232,28 @@ func (d *Decoder) OID() ([]int, error) {
 		return nil, err
 	}
 	return parseOIDContents(c, d.Offset())
+}
+
+// RawOID reads an OBJECT IDENTIFIER and returns its undecoded contents. The
+// slice aliases the decoder's input, so comparing against precomputed
+// encodings costs zero allocations — the form the certificate parse hot path
+// uses for tag dispatch. Decode the arcs later with ParseOID when a caller
+// actually needs them.
+func (d *Decoder) RawOID() ([]byte, error) {
+	c, err := d.expect(TagOID)
+	if err != nil {
+		return nil, err
+	}
+	if len(c) == 0 {
+		return nil, d.syntaxErr("empty OID")
+	}
+	return c, nil
+}
+
+// ParseOID decodes the contents of an OBJECT IDENTIFIER (as returned by
+// RawOID) into its arc list.
+func ParseOID(contents []byte) ([]int, error) {
+	return parseOIDContents(contents, 0)
 }
 
 func parseOIDContents(c []byte, off int) ([]int, error) {
@@ -318,6 +355,26 @@ func (d *Decoder) ContextExplicit(n int) (*Decoder, error) {
 	return d.constructed(byte(ClassContextSpecific | constructed | n))
 }
 
+// SequenceV, SetV and ContextExplicitV are the value-returning forms of the
+// descend methods. The pointer forms heap-allocate every child decoder —
+// roughly thirty per certificate — because the result escapes; returning by
+// value keeps the child on the caller's stack, which is where most of the
+// certificate parser's allocation budget went. Methods still take pointer
+// receivers, so callers use an addressable local:
+//
+//	tbs, err := outer.SequenceV()
+//	...
+//	serial, err := tbs.BigInt()
+func (d *Decoder) SequenceV() (Decoder, error) { return d.constructedV(TagSequence | constructed) }
+
+// SetV descends into a SET by value; see SequenceV.
+func (d *Decoder) SetV() (Decoder, error) { return d.constructedV(TagSet | constructed) }
+
+// ContextExplicitV descends into an explicit [n] tag by value; see SequenceV.
+func (d *Decoder) ContextExplicitV(n int) (Decoder, error) {
+	return d.constructedV(byte(ClassContextSpecific | constructed | n))
+}
+
 // PeekContextExplicit reports whether the next element is an explicit [n] tag.
 func (d *Decoder) PeekContextExplicit(n int) bool {
 	tag, err := d.PeekTag()
@@ -325,15 +382,23 @@ func (d *Decoder) PeekContextExplicit(n int) bool {
 }
 
 func (d *Decoder) constructed(tag byte) (*Decoder, error) {
+	c, err := d.constructedV(tag)
+	if err != nil {
+		return nil, err
+	}
+	return &c, nil
+}
+
+func (d *Decoder) constructedV(tag byte) (Decoder, error) {
 	start := d.base + d.pos
 	c, err := d.expect(tag)
 	if err != nil {
-		return nil, err
+		return Decoder{}, err
 	}
 	// Content begins after the tag and length bytes; recompute the header
 	// size from the content length for accurate child offsets.
 	hdr := headerLen(len(c))
-	return &Decoder{data: c, base: start + hdr}, nil
+	return Decoder{data: c, base: start + hdr}, nil
 }
 
 func headerLen(contentLen int) int {

@@ -6,6 +6,7 @@ package core
 
 import (
 	"fmt"
+	"io"
 	"time"
 
 	"securepki/internal/analysis"
@@ -13,6 +14,7 @@ import (
 	"securepki/internal/linking"
 	"securepki/internal/scanner"
 	"securepki/internal/scanstore"
+	"securepki/internal/snapshot"
 	"securepki/internal/tracking"
 	"securepki/internal/truststore"
 )
@@ -105,6 +107,33 @@ func (p *Pipeline) Scan() error {
 		return fmt.Errorf("core: scan: %w", err)
 	}
 	p.Corpus, p.Truth = corpus, truth
+	return nil
+}
+
+// WriteSnapshot serialises the corpus in the v2 sharded columnar format
+// (internal/snapshot), encoding shards across Config.Workers. Output bytes
+// do not depend on the worker count.
+func (p *Pipeline) WriteSnapshot(w io.Writer) error {
+	if p.Corpus == nil {
+		return fmt.Errorf("core: WriteSnapshot before Scan or LoadSnapshot")
+	}
+	if err := snapshot.Write(w, p.Corpus, snapshot.Options{Workers: p.Config.Workers}); err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	return nil
+}
+
+// LoadSnapshot replaces the pipeline's scan stage with a corpus read from a
+// snapshot in either on-disk format (v1 gob or v2 columnar), decoding across
+// Config.Workers. Ground truth is not persisted, so p.Truth stays nil and
+// truth-based evaluations degrade to zeros; everything downstream of the
+// corpus (Validate, Link, Track) runs as usual.
+func (p *Pipeline) LoadSnapshot(r io.Reader) error {
+	c, err := snapshot.Read(r, snapshot.Options{Workers: p.Config.Workers})
+	if err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	p.Corpus, p.Truth = c, nil
 	return nil
 }
 

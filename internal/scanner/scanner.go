@@ -89,12 +89,22 @@ type Truth struct {
 	CertHosts map[x509lite.Fingerprint]map[int]bool
 }
 
-// HostsFor returns the host set for a fingerprint.
-func (t *Truth) HostsFor(fp x509lite.Fingerprint) map[int]bool { return t.CertHosts[fp] }
+// HostsFor returns the host set for a fingerprint. A nil Truth — a corpus
+// loaded from a snapshot, where ground truth was never captured — knows no
+// hosts for anything.
+func (t *Truth) HostsFor(fp x509lite.Fingerprint) map[int]bool {
+	if t == nil {
+		return nil
+	}
+	return t.CertHosts[fp]
+}
 
 // SoleHost returns the host index if exactly one host ever served the
-// certificate.
+// certificate. On a nil Truth every certificate is unknown.
 func (t *Truth) SoleHost(fp x509lite.Fingerprint) (int, bool) {
+	if t == nil {
+		return 0, false
+	}
 	hs := t.CertHosts[fp]
 	if len(hs) != 1 {
 		return 0, false

@@ -46,7 +46,14 @@ func (c *Corpus) Write(w io.Writer) error {
 	return zw.Close()
 }
 
-// ReadFrom loads a corpus written by Write.
+// maxWireDER bounds a single certificate record read from a v1 stream; a
+// length beyond it is treated as corruption, not a request for memory.
+const maxWireDER = 1 << 24
+
+// ReadFrom loads a corpus written by Write. Input is treated as hostile:
+// truncated gzip streams, unknown versions and absurd certificate lengths
+// yield explicit errors. (New code should prefer the v2 sharded format in
+// internal/snapshot, whose Read also accepts this format.)
 func ReadFrom(r io.Reader) (*Corpus, error) {
 	zr, err := gzip.NewReader(r)
 	if err != nil {
@@ -57,11 +64,15 @@ func ReadFrom(r io.Reader) (*Corpus, error) {
 	if err := gob.NewDecoder(zr).Decode(&wc); err != nil {
 		return nil, fmt.Errorf("scanstore: decode: %w", err)
 	}
+	// Judge the version before trusting any field of the decoded structure.
 	if wc.Version != wireVersion {
 		return nil, fmt.Errorf("scanstore: unsupported corpus version %d", wc.Version)
 	}
 	c := NewCorpus()
 	for i, der := range wc.DERs {
+		if len(der) == 0 || len(der) > maxWireDER {
+			return nil, fmt.Errorf("scanstore: cert %d length %d outside (0, %d]", i, len(der), maxWireDER)
+		}
 		cert, err := x509lite.Parse(der)
 		if err != nil {
 			return nil, fmt.Errorf("scanstore: cert %d: %w", i, err)

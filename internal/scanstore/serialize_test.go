@@ -1,0 +1,111 @@
+package scanstore
+
+import (
+	"bytes"
+	"compress/gzip"
+	"encoding/gob"
+	"strings"
+	"testing"
+)
+
+// v1Bytes serialises a small corpus in the v1 format.
+func v1Bytes(t *testing.T) []byte {
+	t.Helper()
+	c := NewCorpus()
+	for i := 0; i < 4; i++ {
+		c.Intern(makeCert(t, "host.example", byte(40+i)))
+	}
+	obs := []Observation{{Cert: 0, IP: 1}, {Cert: 2, IP: 9}}
+	if _, err := c.AddScan(UMich, day(0), obs); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := c.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// gobV1 re-encodes a hand-built wire structure so tests can forge fields the
+// honest writer never produces.
+func gobV1(t *testing.T, wc wireCorpus) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	zw := gzip.NewWriter(&buf)
+	if err := gob.NewEncoder(zw).Encode(&wc); err != nil {
+		t.Fatal(err)
+	}
+	if err := zw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// Hostile or damaged v1 input must fail with an explicit error, never a
+// panic, and never by doing work (parsing, interning) before the version and
+// length fields are judged.
+func TestReadFromCorrupt(t *testing.T) {
+	valid := v1Bytes(t)
+	der := makeCert(t, "forged.example", 99).Raw
+
+	cases := []struct {
+		name    string
+		input   []byte
+		wantSub string
+	}{
+		{"empty", nil, "gzip"},
+		{"not gzip", []byte("plain text, no corpus here"), "gzip"},
+		{"truncated gzip header", valid[:5], "gzip"},
+		{"truncated gzip body", valid[:len(valid)/2], "decode"},
+		{"gob garbage", func() []byte {
+			var buf bytes.Buffer
+			zw := gzip.NewWriter(&buf)
+			zw.Write([]byte("not a gob stream at all, sorry"))
+			zw.Close()
+			return buf.Bytes()
+		}(), "decode"},
+		{"future version", gobV1(t, wireCorpus{Version: 99, DERs: [][]byte{der}}), "unsupported corpus version"},
+		{"empty cert record", gobV1(t, wireCorpus{Version: 1, DERs: [][]byte{{}}}), "length 0"},
+		{"absurd cert record", gobV1(t, wireCorpus{Version: 1, DERs: [][]byte{make([]byte, maxWireDER+1)}}), "outside"},
+		{"unparseable cert", gobV1(t, wireCorpus{Version: 1, DERs: [][]byte{{0xde, 0xad, 0xbe, 0xef}}}), "cert 0"},
+		{"duplicate cert", gobV1(t, wireCorpus{Version: 1, DERs: [][]byte{der, der}}), "duplicate cert"},
+		{"observation out of range", gobV1(t, wireCorpus{
+			Version: 1,
+			DERs:    [][]byte{der},
+			Scans:   []wireScan{{Operator: 0, Time: day(0), Obs: []Observation{{Cert: 7, IP: 1}}}},
+		}), "references cert"},
+		{"scans out of order", gobV1(t, wireCorpus{
+			Version: 1,
+			DERs:    [][]byte{der},
+			Scans:   []wireScan{{Time: day(3)}, {Time: day(1)}},
+		}), "inserted after"},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ReadFrom(bytes.NewReader(tc.input))
+			if err == nil {
+				t.Fatal("corrupt input accepted")
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantSub)
+			}
+		})
+	}
+}
+
+// The version gate must fire before any certificate is parsed: a future
+// version with a deliberately unparseable certificate must report the
+// version, not the parse failure.
+func TestReadFromVersionCheckedFirst(t *testing.T) {
+	_, err := ReadFrom(bytes.NewReader(gobV1(t, wireCorpus{
+		Version: 2,
+		DERs:    [][]byte{{0xff, 0xff}},
+	})))
+	if err == nil {
+		t.Fatal("accepted")
+	}
+	if !strings.Contains(err.Error(), "unsupported corpus version 2") {
+		t.Fatalf("want version error before cert parse, got %q", err)
+	}
+}

@@ -1,0 +1,104 @@
+package snapshot
+
+import (
+	"bytes"
+	"io"
+	"runtime"
+	"sync"
+	"testing"
+
+	"securepki/internal/scanstore"
+)
+
+// The default bench corpus mirrors the paper's shape in miniature:
+// observation-heavy (most scan rows are repeat sightings of already-known
+// certificates — the corpus has ~48M hosts per scan against 8.6M distinct
+// certificates overall), with scans from both operators.
+const (
+	benchCerts  = 2000
+	benchScans  = 60
+	benchObsPer = 2000 // 120k observations, 60:1 obs:cert
+)
+
+var benchState struct {
+	once sync.Once
+	c    *scanstore.Corpus
+	v1   []byte
+	v2   []byte
+}
+
+func benchCorpus(tb testing.TB) (*scanstore.Corpus, []byte, []byte) {
+	benchState.once.Do(func() {
+		benchState.c = testCorpus(tb, benchCerts, benchScans, benchObsPer)
+		var v1 bytes.Buffer
+		if err := benchState.c.Write(&v1); err != nil {
+			tb.Fatal(err)
+		}
+		benchState.v1 = v1.Bytes()
+		var v2 bytes.Buffer
+		if err := Write(&v2, benchState.c, Options{}); err != nil {
+			tb.Fatal(err)
+		}
+		benchState.v2 = v2.Bytes()
+	})
+	return benchState.c, benchState.v1, benchState.v2
+}
+
+func reportCorpusRates(b *testing.B) {
+	secs := b.Elapsed().Seconds()
+	if secs == 0 {
+		return
+	}
+	b.ReportMetric(float64(b.N)*benchCerts/secs, "certs/sec")
+	b.ReportMetric(float64(b.N)*benchScans*benchObsPer/secs, "obs/sec")
+}
+
+func BenchmarkSnapshotWrite(b *testing.B) {
+	c, v1, v2 := benchCorpus(b)
+	b.Run("v1-gob", func(b *testing.B) {
+		b.SetBytes(int64(len(v1)))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := c.Write(io.Discard); err != nil {
+				b.Fatal(err)
+			}
+		}
+		reportCorpusRates(b)
+	})
+	b.Run("v2", func(b *testing.B) {
+		b.SetBytes(int64(len(v2)))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := Write(io.Discard, c, Options{Workers: runtime.GOMAXPROCS(0)}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		reportCorpusRates(b)
+	})
+}
+
+func BenchmarkSnapshotRead(b *testing.B) {
+	_, v1, v2 := benchCorpus(b)
+	run := func(name string, data []byte, workers int) {
+		b.Run(name, func(b *testing.B) {
+			b.SetBytes(int64(len(data)))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c, err := Read(bytes.NewReader(data), Options{Workers: workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if c.NumCerts() != benchCerts {
+					b.Fatal("bad corpus")
+				}
+			}
+			reportCorpusRates(b)
+		})
+	}
+	run("v1-gob", v1, 1)
+	run("v2-serial", v2, 1)
+	run("v2-parallel", v2, runtime.GOMAXPROCS(0))
+}

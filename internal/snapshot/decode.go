@@ -1,0 +1,440 @@
+package snapshot
+
+import (
+	"bufio"
+	"bytes"
+	"compress/gzip"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"time"
+
+	"securepki/internal/netsim"
+	"securepki/internal/scanstore"
+	"securepki/internal/x509lite"
+)
+
+// headerFixed is the byte length of the fixed header before the shard table.
+const headerFixed = 8 + 3*8 + 2*4
+
+// tableEntry is the byte length of one shard-table entry.
+const tableEntry = 4*8 + 32
+
+// Read loads a corpus snapshot in either format: the first bytes select the
+// decoder (gzip magic → v1 gob via scanstore.ReadFrom, "SPKISNP2" → v2
+// columnar). All input is treated as hostile — truncation, corruption and
+// absurd length fields yield explicit errors, never panics or unbounded
+// allocation.
+func Read(r io.Reader, opt Options) (*scanstore.Corpus, error) {
+	opt = opt.withDefaults()
+	br := bufio.NewReaderSize(r, 1<<16)
+	head, err := br.Peek(2)
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: read magic: %w", err)
+	}
+	if head[0] == 0x1f && head[1] == 0x8b {
+		c, err := scanstore.ReadFrom(br)
+		if err != nil {
+			return nil, fmt.Errorf("snapshot: v1: %w", err)
+		}
+		return c, nil
+	}
+	return readV2(br, opt)
+}
+
+// shardMeta is one decoded shard-table entry.
+type shardMeta struct {
+	first, count    uint64
+	rawLen, compLen uint64
+}
+
+func readV2(r io.Reader, opt Options) (*scanstore.Corpus, error) {
+	// Fixed header; the magic is judged on its own so a wrong-format file is
+	// reported as such rather than as a truncated header.
+	fixed := make([]byte, headerFixed)
+	if _, err := io.ReadFull(r, fixed[:8]); err != nil {
+		return nil, fmt.Errorf("snapshot: truncated header: %w", err)
+	}
+	if string(fixed[:8]) != Magic {
+		return nil, fmt.Errorf("snapshot: bad magic %q", fixed[:8])
+	}
+	if _, err := io.ReadFull(r, fixed[8:]); err != nil {
+		return nil, fmt.Errorf("snapshot: truncated header: %w", err)
+	}
+	certCount := binary.LittleEndian.Uint64(fixed[8:])
+	scanCount := binary.LittleEndian.Uint64(fixed[16:])
+	obsCount := binary.LittleEndian.Uint64(fixed[24:])
+	certShards := binary.LittleEndian.Uint32(fixed[32:])
+	scanShards := binary.LittleEndian.Uint32(fixed[36:])
+	if certCount > maxCerts || scanCount > maxScans {
+		return nil, fmt.Errorf("snapshot: absurd counts: %d certs, %d scans", certCount, scanCount)
+	}
+	nShards := uint64(certShards) + uint64(scanShards)
+	if nShards > maxShards {
+		return nil, fmt.Errorf("snapshot: %d shards exceed cap %d", nShards, maxShards)
+	}
+	if (certCount == 0) != (certShards == 0) || (scanCount == 0) != (scanShards == 0) {
+		return nil, fmt.Errorf("snapshot: shard/count mismatch: %d certs in %d shards, %d scans in %d shards",
+			certCount, certShards, scanCount, scanShards)
+	}
+
+	// Shard table + header checksum.
+	table := make([]byte, nShards*tableEntry)
+	if _, err := io.ReadFull(r, table); err != nil {
+		return nil, fmt.Errorf("snapshot: truncated shard table: %w", err)
+	}
+	var wantHeadSum [32]byte
+	if _, err := io.ReadFull(r, wantHeadSum[:]); err != nil {
+		return nil, fmt.Errorf("snapshot: truncated header checksum: %w", err)
+	}
+	h := sha256.New()
+	h.Write(fixed)
+	h.Write(table)
+	if !bytes.Equal(h.Sum(nil), wantHeadSum[:]) {
+		return nil, fmt.Errorf("snapshot: header checksum mismatch")
+	}
+
+	metas := make([]shardMeta, nShards)
+	sums := make([][32]byte, nShards)
+	for i := range metas {
+		e := table[i*tableEntry:]
+		metas[i] = shardMeta{
+			first:   binary.LittleEndian.Uint64(e[0:]),
+			count:   binary.LittleEndian.Uint64(e[8:]),
+			rawLen:  binary.LittleEndian.Uint64(e[16:]),
+			compLen: binary.LittleEndian.Uint64(e[24:]),
+		}
+		copy(sums[i][:], e[32:64])
+		m := metas[i]
+		if m.rawLen > maxShardRaw {
+			return nil, fmt.Errorf("snapshot: shard %d claims %d raw bytes, cap %d", i, m.rawLen, maxShardRaw)
+		}
+		if m.rawLen > (m.compLen+1024)*maxExpansion {
+			return nil, fmt.Errorf("snapshot: shard %d expansion %d -> %d exceeds ratio cap", i, m.compLen, m.rawLen)
+		}
+		if m.compLen > maxShardRaw {
+			return nil, fmt.Errorf("snapshot: shard %d claims %d compressed bytes, cap %d", i, m.compLen, maxShardRaw)
+		}
+	}
+	// Shards must tile [0, certCount) and [0, scanCount) contiguously.
+	if err := checkTiling(metas[:certShards], certCount, "cert"); err != nil {
+		return nil, err
+	}
+	if err := checkTiling(metas[certShards:], scanCount, "scan"); err != nil {
+		return nil, err
+	}
+
+	// Pull every compressed payload off the stream serially (it is one
+	// reader), growing buffers only as bytes actually arrive.
+	comps := make([][]byte, nShards)
+	for i, m := range metas {
+		comp, err := readPayload(r, m.compLen)
+		if err != nil {
+			return nil, fmt.Errorf("snapshot: shard %d payload: %w", i, err)
+		}
+		comps[i] = comp
+	}
+
+	// Decode shards concurrently: checksum, inflate, split columns, and for
+	// certificate shards re-parse every DER inside the worker.
+	certParts := make([][]*x509lite.Certificate, certShards)
+	scanParts := make([][]decodedScan, scanShards)
+	errs := make([]error, nShards)
+	forEachShard(opt.Workers, int(nShards), func(i int) {
+		m := metas[i]
+		if sum := sha256.Sum256(comps[i]); sum != sums[i] {
+			errs[i] = fmt.Errorf("snapshot: shard %d checksum mismatch", i)
+			return
+		}
+		raw, err := gunzipShard(comps[i], m.rawLen)
+		if err != nil {
+			errs[i] = fmt.Errorf("snapshot: shard %d: %w", i, err)
+			return
+		}
+		if i < int(certShards) {
+			certs, err := decodeCertShard(raw, int(m.count), opt.VerifyDigests)
+			if err != nil {
+				errs[i] = fmt.Errorf("snapshot: cert shard %d: %w", i, err)
+				return
+			}
+			certParts[i] = certs
+		} else {
+			scans, err := decodeScanShard(raw, int(m.count), certCount)
+			if err != nil {
+				errs[i] = fmt.Errorf("snapshot: scan shard %d: %w", i, err)
+				return
+			}
+			scanParts[i-int(certShards)] = scans
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Trailing garbage is corruption, not padding.
+	var trail [1]byte
+	if n, _ := r.Read(trail[:]); n != 0 {
+		return nil, fmt.Errorf("snapshot: trailing bytes after last shard")
+	}
+
+	// Serial assembly in shard order keeps IDs and scan order deterministic.
+	c := scanstore.NewCorpus()
+	idx := 0
+	for _, part := range certParts {
+		for _, cert := range part {
+			if got := c.Intern(cert); int(got) != idx {
+				return nil, fmt.Errorf("snapshot: duplicate certificate at index %d", idx)
+			}
+			idx++
+		}
+	}
+	var totalObs uint64
+	for _, part := range scanParts {
+		for _, ds := range part {
+			totalObs += uint64(len(ds.obs))
+			if _, err := c.AddScan(ds.op, ds.at, ds.obs); err != nil {
+				return nil, fmt.Errorf("snapshot: %w", err)
+			}
+		}
+	}
+	if totalObs != obsCount {
+		return nil, fmt.Errorf("snapshot: header claims %d observations, shards carry %d", obsCount, totalObs)
+	}
+	return c, nil
+}
+
+// checkTiling verifies that shard ranges cover [0, total) in order with no
+// gaps or overlaps.
+func checkTiling(metas []shardMeta, total uint64, kind string) error {
+	var next uint64
+	for i, m := range metas {
+		if m.first != next {
+			return fmt.Errorf("snapshot: %s shard %d starts at %d, want %d", kind, i, m.first, next)
+		}
+		if m.count == 0 {
+			return fmt.Errorf("snapshot: %s shard %d is empty", kind, i)
+		}
+		next += m.count
+		if next > total {
+			return fmt.Errorf("snapshot: %s shards overrun count %d", kind, total)
+		}
+	}
+	if next != total {
+		return fmt.Errorf("snapshot: %s shards cover %d of %d", kind, next, total)
+	}
+	return nil
+}
+
+// readPayload reads exactly n bytes, growing the buffer as data arrives so a
+// hostile length field cannot force a huge up-front allocation.
+func readPayload(r io.Reader, n uint64) ([]byte, error) {
+	const chunk = 1 << 20
+	if n <= chunk {
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return nil, fmt.Errorf("truncated: %w", err)
+		}
+		return buf, nil
+	}
+	buf := make([]byte, 0, chunk)
+	for uint64(len(buf)) < n {
+		take := n - uint64(len(buf))
+		if take > chunk {
+			take = chunk
+		}
+		lo := len(buf)
+		buf = append(buf, make([]byte, take)...)
+		if _, err := io.ReadFull(r, buf[lo:]); err != nil {
+			return nil, fmt.Errorf("truncated: %w", err)
+		}
+	}
+	return buf, nil
+}
+
+// gunzipShard inflates a shard payload, insisting on the exact advertised
+// length: shorter is truncation, longer is a lying header (or a bomb).
+func gunzipShard(comp []byte, rawLen uint64) ([]byte, error) {
+	zr, err := gzip.NewReader(bytes.NewReader(comp))
+	if err != nil {
+		return nil, fmt.Errorf("gzip: %w", err)
+	}
+	raw := make([]byte, rawLen)
+	if _, err := io.ReadFull(zr, raw); err != nil {
+		return nil, fmt.Errorf("gzip payload shorter than advertised: %w", err)
+	}
+	var extra [1]byte
+	if n, _ := zr.Read(extra[:]); n != 0 {
+		return nil, fmt.Errorf("gzip payload longer than advertised")
+	}
+	if err := zr.Close(); err != nil {
+		return nil, fmt.Errorf("gzip close: %w", err)
+	}
+	return raw, nil
+}
+
+// decodeCertShard splits the three certificate columns and parses every DER.
+func decodeCertShard(raw []byte, count int, verify bool) ([]*x509lite.Certificate, error) {
+	// Every certificate occupies at least one length byte plus its 32-byte
+	// digest, so a count the payload cannot back is rejected before any
+	// count-sized allocation happens.
+	if uint64(count)*33 > uint64(len(raw)) {
+		return nil, fmt.Errorf("payload of %d bytes cannot hold %d certificates", len(raw), count)
+	}
+	lens := make([]int, count)
+	off := 0
+	var total uint64
+	for i := range lens {
+		v, n := binary.Uvarint(raw[off:])
+		if n <= 0 {
+			return nil, fmt.Errorf("length column truncated at cert %d", i)
+		}
+		if v == 0 || v > MaxCertDER {
+			return nil, fmt.Errorf("cert %d claims %d DER bytes, cap %d", i, v, MaxCertDER)
+		}
+		lens[i] = int(v)
+		total += v
+		off += n
+	}
+	if uint64(len(raw)-off) != total+uint64(count)*32 {
+		return nil, fmt.Errorf("columns carry %d bytes, want %d DER + %d digest", len(raw)-off, total, count*32)
+	}
+	ders := raw[off : off+int(total)]
+	fps := raw[off+int(total):]
+	certs := make([]*x509lite.Certificate, count)
+	pos := 0
+	for i := range certs {
+		der := ders[pos : pos+lens[i]]
+		pos += lens[i]
+		var fp x509lite.Fingerprint
+		copy(fp[:], fps[i*32:])
+		if verify {
+			if got := x509lite.FingerprintBytes(der); got != fp {
+				return nil, fmt.Errorf("cert %d digest mismatch: stored %s, computed %s", i, fp, got)
+			}
+		}
+		cert, err := x509lite.ParseWithDigest(der, fp)
+		if err != nil {
+			return nil, fmt.Errorf("cert %d: %w", i, err)
+		}
+		certs[i] = cert
+	}
+	return certs, nil
+}
+
+// decodedScan is one scan reconstructed from the columns, pending AddScan.
+type decodedScan struct {
+	op  scanstore.Operator
+	at  time.Time
+	obs []scanstore.Observation
+}
+
+// decodeScanShard reads the metadata column then the two delta columns.
+func decodeScanShard(raw []byte, count int, certCount uint64) ([]decodedScan, error) {
+	// Each scan occupies at least four metadata bytes; reject counts the
+	// payload cannot back before allocating anything count-sized.
+	if uint64(count)*4 > uint64(len(raw)) {
+		return nil, fmt.Errorf("payload of %d bytes cannot hold %d scans", len(raw), count)
+	}
+	scans := make([]decodedScan, count)
+	obsCounts := make([]uint64, count)
+	off := 0
+	uv := func(what string, i int) (uint64, error) {
+		v, n := binary.Uvarint(raw[off:])
+		if n <= 0 {
+			return 0, fmt.Errorf("%s column truncated at scan %d", what, i)
+		}
+		off += n
+		return v, nil
+	}
+	sv := func(what string, i int) (int64, error) {
+		v, n := binary.Varint(raw[off:])
+		if n <= 0 {
+			return 0, fmt.Errorf("%s column truncated at scan %d", what, i)
+		}
+		off += n
+		return v, nil
+	}
+	prevSec := int64(0)
+	var totalObs uint64
+	for i := range scans {
+		op, err := uv("operator", i)
+		if err != nil {
+			return nil, err
+		}
+		if op > 1<<20 {
+			return nil, fmt.Errorf("scan %d operator %d is absurd", i, op)
+		}
+		delta, err := sv("time", i)
+		if err != nil {
+			return nil, err
+		}
+		sec := prevSec + delta // the first scan's delta is absolute (base 0)
+		prevSec = sec
+		nanos, err := uv("nanos", i)
+		if err != nil {
+			return nil, err
+		}
+		if nanos >= 1e9 {
+			return nil, fmt.Errorf("scan %d claims %d nanoseconds", i, nanos)
+		}
+		nObs, err := uv("obs count", i)
+		if err != nil {
+			return nil, err
+		}
+		totalObs += nObs
+		// Each observation needs at least one byte per delta column, so any
+		// claim past half the remaining payload is a lie; checking inside the
+		// loop keeps allocation deferred until the claim is byte-backed.
+		if totalObs > uint64(len(raw))/2 {
+			return nil, fmt.Errorf("payload of %d bytes cannot hold %d observations", len(raw), totalObs)
+		}
+		scans[i] = decodedScan{
+			op: scanstore.Operator(op),
+			at: time.Unix(sec, int64(nanos)).UTC(),
+		}
+		obsCounts[i] = nObs
+	}
+	if uint64(len(raw)-off) < 2*totalObs {
+		return nil, fmt.Errorf("delta columns carry %d bytes for %d observations", len(raw)-off, totalObs)
+	}
+	for i := range scans {
+		scans[i].obs = make([]scanstore.Observation, obsCounts[i])
+	}
+	for i := range scans {
+		prev := int64(0)
+		for j := range scans[i].obs {
+			d, err := sv("cert delta", i)
+			if err != nil {
+				return nil, err
+			}
+			id := prev + d
+			if id < 0 || uint64(id) >= certCount {
+				return nil, fmt.Errorf("scan %d observation %d references cert %d of %d", i, j, id, certCount)
+			}
+			prev = id
+			scans[i].obs[j].Cert = scanstore.CertID(id)
+		}
+	}
+	for i := range scans {
+		prev := int64(0)
+		for j := range scans[i].obs {
+			d, err := sv("ip delta", i)
+			if err != nil {
+				return nil, err
+			}
+			ip := prev + d
+			if ip < 0 || ip > 0xffffffff {
+				return nil, fmt.Errorf("scan %d observation %d IP %d outside IPv4", i, j, ip)
+			}
+			prev = ip
+			scans[i].obs[j].IP = netsim.IP(uint32(ip))
+		}
+	}
+	if off != len(raw) {
+		return nil, fmt.Errorf("%d trailing bytes after columns", len(raw)-off)
+	}
+	return scans, nil
+}

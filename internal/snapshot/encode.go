@@ -1,0 +1,205 @@
+package snapshot
+
+import (
+	"bytes"
+	"compress/gzip"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"securepki/internal/scanstore"
+)
+
+// encodedShard is one compressed payload plus its table entry fields.
+type encodedShard struct {
+	first, count int
+	rawLen       int
+	comp         []byte
+	sum          [32]byte
+}
+
+// Write serialises the corpus in the v2 sharded columnar format. Validation
+// statuses are not persisted (run Validate after loading), matching the v1
+// contract. Output bytes are identical for any opt.Workers value.
+func Write(w io.Writer, c *scanstore.Corpus, opt Options) error {
+	opt = opt.withDefaults()
+	certs := c.Certs()
+	scans := c.Scans()
+	if len(certs) > maxCerts {
+		return fmt.Errorf("snapshot: %d certificates exceed format cap", len(certs))
+	}
+	if len(scans) > maxScans {
+		return fmt.Errorf("snapshot: %d scans exceed format cap", len(scans))
+	}
+	for i, rec := range certs {
+		if len(rec.Cert.Raw) == 0 || len(rec.Cert.Raw) > MaxCertDER {
+			return fmt.Errorf("snapshot: cert %d DER length %d outside (0, %d]", i, len(rec.Cert.Raw), MaxCertDER)
+		}
+	}
+	var obsCount uint64
+	for _, s := range scans {
+		obsCount += uint64(len(s.Obs))
+	}
+
+	certRanges := shardRanges(len(certs), opt.CertsPerShard)
+	scanRanges := shardRanges(len(scans), opt.ScansPerShard)
+	if len(certRanges)+len(scanRanges) > maxShards {
+		return fmt.Errorf("snapshot: %d shards exceed format cap %d; raise CertsPerShard/ScansPerShard",
+			len(certRanges)+len(scanRanges), maxShards)
+	}
+
+	// Encode and compress every shard concurrently. Shard boundaries were
+	// fixed above from data sizes alone, so the worker count only decides
+	// which goroutine produces which byte range, never the bytes themselves.
+	shards := make([]encodedShard, len(certRanges)+len(scanRanges))
+	errs := make([]error, len(shards))
+	forEachShard(opt.Workers, len(shards), func(i int) {
+		var raw []byte
+		var rg shardRange
+		if i < len(certRanges) {
+			rg = certRanges[i]
+			raw = encodeCertShard(certs[rg.first : rg.first+rg.count])
+		} else {
+			rg = scanRanges[i-len(certRanges)]
+			raw = encodeScanShard(scans[rg.first : rg.first+rg.count])
+		}
+		comp, err := gzipShard(raw)
+		if err != nil {
+			errs[i] = fmt.Errorf("snapshot: compress shard %d: %w", i, err)
+			return
+		}
+		shards[i] = encodedShard{
+			first:  rg.first,
+			count:  rg.count,
+			rawLen: len(raw),
+			comp:   comp,
+			sum:    sha256.Sum256(comp),
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+
+	// Header + shard table, then its digest, then the payloads.
+	var head bytes.Buffer
+	head.WriteString(Magic)
+	putU64(&head, uint64(len(certs)))
+	putU64(&head, uint64(len(scans)))
+	putU64(&head, obsCount)
+	putU32(&head, uint32(len(certRanges)))
+	putU32(&head, uint32(len(scanRanges)))
+	for _, sh := range shards {
+		putU64(&head, uint64(sh.first))
+		putU64(&head, uint64(sh.count))
+		putU64(&head, uint64(sh.rawLen))
+		putU64(&head, uint64(len(sh.comp)))
+		head.Write(sh.sum[:])
+	}
+	headSum := sha256.Sum256(head.Bytes())
+	head.Write(headSum[:])
+	if _, err := w.Write(head.Bytes()); err != nil {
+		return fmt.Errorf("snapshot: write header: %w", err)
+	}
+	for i, sh := range shards {
+		if _, err := w.Write(sh.comp); err != nil {
+			return fmt.Errorf("snapshot: write shard %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// encodeCertShard lays out the three certificate columns: uvarint DER
+// lengths, concatenated DER bytes, 32-byte digests.
+func encodeCertShard(recs []*scanstore.CertRecord) []byte {
+	size := 0
+	for _, rec := range recs {
+		size += uvarintLen(uint64(len(rec.Cert.Raw))) + len(rec.Cert.Raw) + 32
+	}
+	out := make([]byte, 0, size)
+	for _, rec := range recs {
+		out = binary.AppendUvarint(out, uint64(len(rec.Cert.Raw)))
+	}
+	for _, rec := range recs {
+		out = append(out, rec.Cert.Raw...)
+	}
+	for _, rec := range recs {
+		fp := rec.Cert.Fingerprint()
+		out = append(out, fp[:]...)
+	}
+	return out
+}
+
+// encodeScanShard lays out the scan metadata column followed by the
+// certificate-ID and IP delta columns. Deltas restart from a zero base at
+// each scan boundary so shards (and scans) decode independently.
+func encodeScanShard(scans []*scanstore.Scan) []byte {
+	var out []byte
+	prevSec := int64(0)
+	for i, s := range scans {
+		out = binary.AppendUvarint(out, uint64(s.Operator))
+		sec := s.Time.Unix()
+		if i == 0 {
+			out = binary.AppendVarint(out, sec)
+		} else {
+			out = binary.AppendVarint(out, sec-prevSec)
+		}
+		prevSec = sec
+		out = binary.AppendUvarint(out, uint64(s.Time.Nanosecond()))
+		out = binary.AppendUvarint(out, uint64(len(s.Obs)))
+	}
+	for _, s := range scans {
+		prev := int64(0)
+		for _, o := range s.Obs {
+			out = binary.AppendVarint(out, int64(o.Cert)-prev)
+			prev = int64(o.Cert)
+		}
+	}
+	for _, s := range scans {
+		prev := int64(0)
+		for _, o := range s.Obs {
+			out = binary.AppendVarint(out, int64(o.IP)-prev)
+			prev = int64(o.IP)
+		}
+	}
+	return out
+}
+
+func gzipShard(raw []byte) ([]byte, error) {
+	var buf bytes.Buffer
+	buf.Grow(len(raw)/2 + 64)
+	zw, err := gzip.NewWriterLevel(&buf, shardCompression)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := zw.Write(raw); err != nil {
+		return nil, err
+	}
+	if err := zw.Close(); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func putU64(b *bytes.Buffer, v uint64) {
+	var tmp [8]byte
+	binary.LittleEndian.PutUint64(tmp[:], v)
+	b.Write(tmp[:])
+}
+
+func putU32(b *bytes.Buffer, v uint32) {
+	var tmp [4]byte
+	binary.LittleEndian.PutUint32(tmp[:], v)
+	b.Write(tmp[:])
+}
+
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}

@@ -1,0 +1,55 @@
+package snapshot
+
+import (
+	"bytes"
+	"testing"
+
+	"securepki/internal/scanstore"
+)
+
+// FuzzReadSnapshot throws arbitrary bytes at the loader. The invariants: Read
+// never panics, never allocates unboundedly, and anything it accepts must
+// survive a write/read round trip unchanged. The seed corpus covers both
+// formats plus the interesting failure shapes; CI replays the seeds with
+// -fuzztime=0 so the harness itself stays exercised.
+func FuzzReadSnapshot(f *testing.F) {
+	c := testCorpus(f, 12, 3, 20)
+	v2 := encodeV2(f, c, Options{CertsPerShard: 5, ScansPerShard: 2})
+	var v1buf bytes.Buffer
+	if err := c.Write(&v1buf); err != nil {
+		f.Fatal(err)
+	}
+	v1 := v1buf.Bytes()
+	empty := encodeV2(f, scanstore.NewCorpus(), Options{})
+
+	f.Add(v2)
+	f.Add(v1)
+	f.Add(empty)
+	f.Add(v2[:len(v2)/2])
+	f.Add(v1[:len(v1)/2])
+	f.Add(flipByte(v2, len(v2)-5))
+	f.Add(flipByte(v2, headerFixed+4))
+	f.Add([]byte("SPKISNP2 but then nonsense"))
+	f.Add([]byte{0x1f, 0x8b, 0x01, 0x02})
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<20 {
+			return
+		}
+		c, err := Read(bytes.NewReader(data), Options{Workers: 2})
+		if err != nil {
+			return
+		}
+		// Accepted input must round-trip: re-encode and re-read.
+		var buf bytes.Buffer
+		if err := Write(&buf, c, Options{Workers: 2}); err != nil {
+			t.Fatalf("accepted corpus fails to encode: %v", err)
+		}
+		again, err := Read(bytes.NewReader(buf.Bytes()), Options{Workers: 2})
+		if err != nil {
+			t.Fatalf("re-encoded corpus fails to load: %v", err)
+		}
+		corpusEqual(t, c, again)
+	})
+}

@@ -1,0 +1,146 @@
+// Package snapshot is the v2 on-disk corpus format: a sharded, columnar,
+// checksummed container replacing the serial gzip+gob blob of
+// scanstore.Write (v1). The paper's pipeline front-loads all of its cost
+// into corpus I/O — 222 full-IPv4 scans and ~80M certificates must be
+// loaded, parsed and indexed before any analysis runs — so the snapshot
+// layer is built around three ideas:
+//
+//   - Sharding. Certificates and scans are split into fixed-size shards,
+//     each independently gzip-compressed and SHA-256-checksummed, so both
+//     encode and decode fan out across internal/parallel workers. Decode
+//     re-parses each shard's DERs inside its own worker, which is where the
+//     wall-clock goes (ParsEval: parse cost dominates certificate churn).
+//
+//   - Columns. Within a shard, like data sits together: certificate lengths,
+//     then DER bytes, then digests; scan metadata, then certificate-ID
+//     deltas, then IP deltas. Observations are varint delta-encoded per scan
+//     (consecutive sightings cluster in address space), which shrinks the
+//     uncompressed observation stream several-fold versus gob's per-struct
+//     framing — less to decompress, less to decode.
+//
+//   - Distrust. Every shard carries a SHA-256 of its compressed payload and
+//     the header carries a SHA-256 of itself, so truncation, bit rot and
+//     hostile edits fail with explicit errors instead of panics or OOM;
+//     decode enforces hard caps on every length field before allocating.
+//
+// Read sniffs the format version: files beginning with the gzip magic are
+// delegated to scanstore.ReadFrom (v1) for migration, so every consumer of
+// this package reads both formats transparently. Writing v1 remains
+// available via scanstore.Write.
+//
+// Layout (all header integers little-endian; see DESIGN.md "Snapshot
+// format v2" for the byte-level story):
+//
+//	magic      [8]byte  "SPKISNP2"
+//	certCount  uint64
+//	scanCount  uint64
+//	obsCount   uint64
+//	certShards uint32
+//	scanShards uint32
+//	shard table: certShards entries, then scanShards entries, each
+//	  first    uint64   first certificate / scan index in the shard
+//	  count    uint64   number of certificates / scans
+//	  rawLen   uint64   uncompressed payload length
+//	  compLen  uint64   compressed payload length
+//	  sum      [32]byte SHA-256 of the compressed payload
+//	headerSum  [32]byte SHA-256 of everything above
+//	payloads, concatenated in table order
+//
+// Certificate shard payload (uncompressed): count uvarint DER lengths, the
+// concatenated DER bytes, then count 32-byte SHA-256 digests. The stored
+// digest feeds x509lite.ParseWithDigest so loading skips re-hashing every
+// certificate; the shard checksum owns integrity.
+//
+// Scan shard payload: per scan — uvarint operator, varint unix-seconds
+// delta from the previous scan in the shard (first scan absolute), uvarint
+// nanoseconds, uvarint observation count — then the certificate-ID column
+// (varint deltas, resetting to a zero base at each scan boundary), then the
+// IP column (same scheme). Times are normalised to UTC on load.
+//
+// The writer's output is byte-identical at any worker count: shard
+// boundaries depend only on the data and the per-shard sizing knobs, and
+// workers change nothing but which goroutine compresses which shard.
+package snapshot
+
+import (
+	"compress/gzip"
+
+	"securepki/internal/parallel"
+)
+
+// Magic opens every v2 snapshot.
+const Magic = "SPKISNP2"
+
+// Format caps, enforced by the writer and (distrustfully) by the reader.
+const (
+	// MaxCertDER bounds a single certificate's DER encoding. The corpus's
+	// real certificates are a few hundred bytes; 16 MiB is generous for any
+	// legitimate input and small enough to make absurd-length headers an
+	// explicit error instead of an allocation.
+	MaxCertDER = 1 << 24
+	// maxShardRaw bounds one shard's uncompressed payload.
+	maxShardRaw = 1 << 30
+	// maxExpansion bounds the claimed decompression ratio of a shard,
+	// rejecting gzip bombs before inflating them.
+	maxExpansion = 1 << 14
+	// maxShards bounds the shard table.
+	maxShards = 1 << 16
+	// maxCerts and maxScans mirror the int32 index types in scanstore.
+	maxCerts = 1<<31 - 1
+	maxScans = 1<<31 - 1
+)
+
+// shardCompression is the gzip level for shard payloads. BestSpeed keeps the
+// write path fast (snapshotting must not dominate a scan campaign, the "Ten
+// Years of ZMap" lesson) and costs only a few percent of size on this data.
+const shardCompression = gzip.BestSpeed
+
+// Options tunes encode/decode. The zero value is ready to use.
+type Options struct {
+	// Workers bounds the encode/decode worker pool; <= 0 means GOMAXPROCS.
+	// Output bytes and the loaded corpus are identical at any setting.
+	Workers int
+	// CertsPerShard is the certificate-shard granularity (default 2048).
+	CertsPerShard int
+	// ScansPerShard is the scan-shard granularity (default 4).
+	ScansPerShard int
+	// VerifyDigests makes Read recompute every certificate's SHA-256 and
+	// compare it against the stored digest column — a paranoia mode for
+	// tests and audits; the shard checksum already covers the bytes.
+	VerifyDigests bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.CertsPerShard <= 0 {
+		o.CertsPerShard = 2048
+	}
+	if o.ScansPerShard <= 0 {
+		o.ScansPerShard = 4
+	}
+	return o
+}
+
+// shardRange is one shard's slice of the certificate table or scan series.
+type shardRange struct{ first, count int }
+
+// shardRanges cuts n items into fixed-size shards. Boundaries depend only on
+// n and per — never on the worker count — so file bytes stay deterministic.
+func shardRanges(n, per int) []shardRange {
+	if n <= 0 {
+		return nil
+	}
+	ranges := make([]shardRange, 0, (n+per-1)/per)
+	for lo := 0; lo < n; lo += per {
+		c := per
+		if lo+c > n {
+			c = n - lo
+		}
+		ranges = append(ranges, shardRange{first: lo, count: c})
+	}
+	return ranges
+}
+
+// forEachShard runs fn over shard indices on the bounded worker pool.
+func forEachShard(workers, n int, fn func(i int)) {
+	parallel.ForEach(workers, n, fn)
+}

@@ -89,14 +89,54 @@ type Certificate struct {
 	OCSPServer            []string // AIA OCSP responders
 	PolicyOIDs            [][]int
 	KeyUsage              int
+
+	// Memoized digests. Parse fills these once so the corpus-wide hot paths
+	// (Intern, truststore chain lookups, key-sharing grouping) never redo
+	// SHA-256 work; a zero-value Certificate built by hand still answers
+	// Fingerprint correctly via the compute-on-the-fly fallback. The memo is
+	// written only before the certificate is shared (Parse or the snapshot
+	// loader), never lazily, so concurrent readers need no synchronisation.
+	fp, pkfp Fingerprint
+	memoized bool
 }
 
-// Fingerprint returns the SHA-256 of the full DER encoding.
-func (c *Certificate) Fingerprint() Fingerprint { return FingerprintBytes(c.Raw) }
+// Fingerprint returns the SHA-256 of the full DER encoding. For parsed
+// certificates this is a memo lookup; hand-constructed Certificate values
+// fall back to hashing Raw on each call.
+func (c *Certificate) Fingerprint() Fingerprint {
+	if c.memoized {
+		return c.fp
+	}
+	return FingerprintBytes(c.Raw)
+}
 
 // PublicKeyFingerprint returns the SHA-256 of the subject public key bytes;
 // the paper's key-sharing analyses group certificates by exactly this.
-func (c *Certificate) PublicKeyFingerprint() Fingerprint { return FingerprintBytes(c.PublicKey) }
+func (c *Certificate) PublicKeyFingerprint() Fingerprint {
+	if c.memoized {
+		return c.pkfp
+	}
+	return FingerprintBytes(c.PublicKey)
+}
+
+// MemoizeFingerprints computes and caches both digests. Parse calls it on
+// every certificate it returns; callers constructing Certificate values by
+// hand may call it once before sharing the value across goroutines. It must
+// not be called concurrently with readers.
+func (c *Certificate) MemoizeFingerprints() {
+	c.fp = FingerprintBytes(c.Raw)
+	c.pkfp = FingerprintBytes(c.PublicKey)
+	c.memoized = true
+}
+
+// adoptFingerprint installs a caller-attested certificate digest without
+// rehashing Raw; the key digest is still computed (hashing 32 key bytes is
+// cheap). ParseWithDigest is the doorway; see its contract.
+func (c *Certificate) adoptFingerprint(fp Fingerprint) {
+	c.fp = fp
+	c.pkfp = FingerprintBytes(c.PublicKey)
+	c.memoized = true
+}
 
 // ValidityDays returns NotAfter − NotBefore in days. It is computed from
 // Unix seconds rather than time.Duration because the corpus contains

@@ -39,6 +39,69 @@ var (
 	oidAIACAIssuers = []int{1, 3, 6, 1, 5, 5, 7, 48, 2}
 )
 
+// Raw DER content encodings of the arcs above, precomputed so the parse hot
+// path dispatches on a byte comparison instead of decoding every OID into a
+// freshly allocated arc slice (Decoder.RawOID + rawOIDEqual are zero-alloc).
+var (
+	rawOIDCommonName       = oidContents(oidCommonName)
+	rawOIDCountry          = oidContents(oidCountry)
+	rawOIDLocality         = oidContents(oidLocality)
+	rawOIDOrganization     = oidContents(oidOrganization)
+	rawOIDOrganizationUnit = oidContents(oidOrganizationUnit)
+
+	rawOIDEd25519 = oidContents(oidEd25519)
+
+	rawOIDExtSubjectKeyID     = oidContents(oidExtSubjectKeyID)
+	rawOIDExtKeyUsage         = oidContents(oidExtKeyUsage)
+	rawOIDExtSAN              = oidContents(oidExtSAN)
+	rawOIDExtBasicConstraints = oidContents(oidExtBasicConstraints)
+	rawOIDExtCRLDistribution  = oidContents(oidExtCRLDistribution)
+	rawOIDExtCertPolicies     = oidContents(oidExtCertPolicies)
+	rawOIDExtAuthorityKeyID   = oidContents(oidExtAuthorityKeyID)
+	rawOIDExtAIA              = oidContents(oidExtAIA)
+
+	rawOIDAIAOCSP      = oidContents(oidAIAOCSP)
+	rawOIDAIACAIssuers = oidContents(oidAIACAIssuers)
+)
+
+// oidContents renders an arc list as DER OID content bytes (first two arcs
+// packed, the rest base-128). Package-init only; parsing never calls it.
+func oidContents(arcs []int) []byte {
+	out := []byte{byte(arcs[0]*40 + arcs[1])}
+	for _, arc := range arcs[2:] {
+		var tmp [5]byte
+		n := 0
+		for {
+			tmp[n] = byte(arc & 0x7f)
+			n++
+			arc >>= 7
+			if arc == 0 {
+				break
+			}
+		}
+		for i := n - 1; i >= 0; i-- {
+			b := tmp[i]
+			if i > 0 {
+				b |= 0x80
+			}
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+func rawOIDEqual(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
 func oidEqual(a, b []int) bool {
 	if len(a) != len(b) {
 		return false

@@ -27,10 +27,32 @@ func parseErr(field string, err error) error { return &ParseError{Field: field, 
 
 // Parse decodes a DER certificate. The input is retained (not copied) in
 // Raw/RawTBS — gopacket-style NoCopy semantics; callers that reuse buffers
-// must copy first.
+// must copy first. Both SHA-256 digests (certificate and public key) are
+// computed here, once, and memoized on the returned Certificate.
+//
+// The body is the corpus loader's hot loop — millions of certificates pass
+// through on every snapshot load — so it is written allocation-consciously:
+// child decoders live on the stack (asn1der's value-returning descend
+// methods), OIDs dispatch on raw content bytes instead of decoded arc
+// slices, and the SAN/policy slices are sized exactly before filling.
 func Parse(der []byte) (*Certificate, error) {
-	top := asn1der.NewDecoder(der)
-	outer, err := top.Sequence()
+	return parse(der, Fingerprint{}, false)
+}
+
+// ParseWithDigest is Parse with a caller-attested SHA-256 of der: the
+// certificate digest memo is adopted instead of recomputed, which removes
+// the hash from the load path entirely. The caller must guarantee digest ==
+// FingerprintBytes(der) — snapshot loaders meet this by storing the digest
+// next to the DER under the same shard checksum. A wrong digest silently
+// corrupts corpus deduplication, so there is no lazy verification here;
+// integrity is the storage layer's contract.
+func ParseWithDigest(der []byte, digest Fingerprint) (*Certificate, error) {
+	return parse(der, digest, true)
+}
+
+func parse(der []byte, digest Fingerprint, haveDigest bool) (*Certificate, error) {
+	top := *asn1der.NewDecoder(der)
+	outer, err := top.SequenceV()
 	if err != nil {
 		return nil, parseErr("certificate", err)
 	}
@@ -46,13 +68,14 @@ func Parse(der []byte) (*Certificate, error) {
 		return nil, parseErr("tbsCertificate", err)
 	}
 	cert.RawTBS = rawTBS
-	tbs, err := asn1der.NewDecoder(rawTBS).Sequence()
+	tbsOuter := *asn1der.NewDecoder(rawTBS)
+	tbs, err := tbsOuter.SequenceV()
 	if err != nil {
 		return nil, parseErr("tbsCertificate", err)
 	}
 
 	// signatureAlgorithm
-	if err := parseAlgorithm(outer); err != nil {
+	if err := parseAlgorithm(&outer); err != nil {
 		return nil, parseErr("signatureAlgorithm", err)
 	}
 	// signatureValue
@@ -68,7 +91,7 @@ func Parse(der []byte) (*Certificate, error) {
 	// --- TBS fields ---
 	cert.Version = 1
 	if tbs.PeekContextExplicit(0) {
-		vd, err := tbs.ContextExplicit(0)
+		vd, err := tbs.ContextExplicitV(0)
 		if err != nil {
 			return nil, parseErr("version", err)
 		}
@@ -82,14 +105,14 @@ func Parse(der []byte) (*Certificate, error) {
 	if cert.SerialNumber, err = tbs.BigInt(); err != nil {
 		return nil, parseErr("serialNumber", err)
 	}
-	if err := parseAlgorithm(tbs); err != nil {
+	if err := parseAlgorithm(&tbs); err != nil {
 		return nil, parseErr("signature", err)
 	}
-	if cert.Issuer, err = parseName(tbs); err != nil {
+	if cert.Issuer, err = parseName(&tbs); err != nil {
 		return nil, parseErr("issuer", err)
 	}
 
-	validity, err := tbs.Sequence()
+	validity, err := tbs.SequenceV()
 	if err != nil {
 		return nil, parseErr("validity", err)
 	}
@@ -100,15 +123,15 @@ func Parse(der []byte) (*Certificate, error) {
 		return nil, parseErr("notAfter", err)
 	}
 
-	if cert.Subject, err = parseName(tbs); err != nil {
+	if cert.Subject, err = parseName(&tbs); err != nil {
 		return nil, parseErr("subject", err)
 	}
 
-	spki, err := tbs.Sequence()
+	spki, err := tbs.SequenceV()
 	if err != nil {
 		return nil, parseErr("subjectPublicKeyInfo", err)
 	}
-	if err := parseAlgorithm(spki); err != nil {
+	if err := parseAlgorithm(&spki); err != nil {
 		return nil, parseErr("publicKeyAlgorithm", err)
 	}
 	keyBytes, err := spki.BitString()
@@ -121,49 +144,59 @@ func Parse(der []byte) (*Certificate, error) {
 	cert.PublicKey = ed25519.PublicKey(keyBytes)
 
 	if tbs.PeekContextExplicit(3) {
-		extWrap, err := tbs.ContextExplicit(3)
+		extWrap, err := tbs.ContextExplicitV(3)
 		if err != nil {
 			return nil, parseErr("extensions", err)
 		}
-		if err := parseExtensions(cert, extWrap); err != nil {
+		if err := parseExtensions(cert, &extWrap); err != nil {
 			return nil, err
 		}
+	}
+
+	if haveDigest {
+		cert.adoptFingerprint(digest)
+	} else {
+		cert.MemoizeFingerprints()
 	}
 	return cert, nil
 }
 
 func parseAlgorithm(d *asn1der.Decoder) error {
-	alg, err := d.Sequence()
+	alg, err := d.SequenceV()
 	if err != nil {
 		return err
 	}
-	oid, err := alg.OID()
+	oid, err := alg.RawOID()
 	if err != nil {
 		return err
 	}
-	if !oidEqual(oid, oidEd25519) {
-		return fmt.Errorf("unsupported algorithm %s", OIDString(oid))
+	if !rawOIDEqual(oid, rawOIDEd25519) {
+		arcs, err := asn1der.ParseOID(oid)
+		if err != nil {
+			return fmt.Errorf("unsupported algorithm (undecodable OID)")
+		}
+		return fmt.Errorf("unsupported algorithm %s", OIDString(arcs))
 	}
 	return nil
 }
 
 func parseName(d *asn1der.Decoder) (Name, error) {
 	var n Name
-	rdns, err := d.Sequence()
+	rdns, err := d.SequenceV()
 	if err != nil {
 		return n, err
 	}
 	for !rdns.Empty() {
-		set, err := rdns.Set()
+		set, err := rdns.SetV()
 		if err != nil {
 			return n, err
 		}
 		for !set.Empty() {
-			atv, err := set.Sequence()
+			atv, err := set.SequenceV()
 			if err != nil {
 				return n, err
 			}
-			oid, err := atv.OID()
+			oid, err := atv.RawOID()
 			if err != nil {
 				return n, err
 			}
@@ -172,15 +205,15 @@ func parseName(d *asn1der.Decoder) (Name, error) {
 				return n, err
 			}
 			switch {
-			case oidEqual(oid, oidCommonName):
+			case rawOIDEqual(oid, rawOIDCommonName):
 				n.CommonName = val
-			case oidEqual(oid, oidCountry):
+			case rawOIDEqual(oid, rawOIDCountry):
 				n.Country = val
-			case oidEqual(oid, oidLocality):
+			case rawOIDEqual(oid, rawOIDLocality):
 				n.Locality = val
-			case oidEqual(oid, oidOrganization):
+			case rawOIDEqual(oid, rawOIDOrganization):
 				n.Organization = val
-			case oidEqual(oid, oidOrganizationUnit):
+			case rawOIDEqual(oid, rawOIDOrganizationUnit):
 				n.OrganizationalUnit = val
 			}
 		}
@@ -188,17 +221,36 @@ func parseName(d *asn1der.Decoder) (Name, error) {
 	return n, nil
 }
 
+// countTagged counts the TLV elements remaining in d that carry tag (tag 0
+// counts every element), without consuming d. The extension parsers use it
+// to size the SAN/policy slices exactly, so each populated field costs one
+// allocation instead of an append growth chain.
+func countTagged(d *asn1der.Decoder, tag byte) int {
+	c := *asn1der.NewDecoder(d.Remaining())
+	n := 0
+	for !c.Empty() {
+		t, _, err := c.ReadAny()
+		if err != nil {
+			return n
+		}
+		if tag == 0 || t == tag {
+			n++
+		}
+	}
+	return n
+}
+
 func parseExtensions(cert *Certificate, wrap *asn1der.Decoder) error {
-	exts, err := wrap.Sequence()
+	exts, err := wrap.SequenceV()
 	if err != nil {
 		return parseErr("extensions", err)
 	}
 	for !exts.Empty() {
-		ext, err := exts.Sequence()
+		ext, err := exts.SequenceV()
 		if err != nil {
 			return parseErr("extension", err)
 		}
-		oid, err := ext.OID()
+		oid, err := ext.RawOID()
 		if err != nil {
 			return parseErr("extension oid", err)
 		}
@@ -219,11 +271,11 @@ func parseExtensions(cert *Certificate, wrap *asn1der.Decoder) error {
 	return nil
 }
 
-func parseExtensionValue(cert *Certificate, oid []int, value []byte) error {
-	d := asn1der.NewDecoder(value)
+func parseExtensionValue(cert *Certificate, oid, value []byte) error {
+	d := *asn1der.NewDecoder(value)
 	switch {
-	case oidEqual(oid, oidExtBasicConstraints):
-		bc, err := d.Sequence()
+	case rawOIDEqual(oid, rawOIDExtBasicConstraints):
+		bc, err := d.SequenceV()
 		if err != nil {
 			return parseErr("basicConstraints", err)
 		}
@@ -235,7 +287,7 @@ func parseExtensionValue(cert *Certificate, oid []int, value []byte) error {
 			}
 			cert.IsCA = isCA
 		}
-	case oidEqual(oid, oidExtKeyUsage):
+	case rawOIDEqual(oid, rawOIDExtKeyUsage):
 		bits, err := d.BitString()
 		if err != nil {
 			return parseErr("keyUsage", err)
@@ -243,14 +295,14 @@ func parseExtensionValue(cert *Certificate, oid []int, value []byte) error {
 		if len(bits) > 0 {
 			cert.KeyUsage = int(bits[0])
 		}
-	case oidEqual(oid, oidExtSubjectKeyID):
+	case rawOIDEqual(oid, rawOIDExtSubjectKeyID):
 		id, err := d.OctetString()
 		if err != nil {
 			return parseErr("subjectKeyID", err)
 		}
 		cert.SubjectKeyID = id
-	case oidEqual(oid, oidExtAuthorityKeyID):
-		aki, err := d.Sequence()
+	case rawOIDEqual(oid, rawOIDExtAuthorityKeyID):
+		aki, err := d.SequenceV()
 		if err != nil {
 			return parseErr("authorityKeyID", err)
 		}
@@ -263,10 +315,16 @@ func parseExtensionValue(cert *Certificate, oid []int, value []byte) error {
 				cert.AuthorityKeyID = content
 			}
 		}
-	case oidEqual(oid, oidExtSAN):
-		san, err := d.Sequence()
+	case rawOIDEqual(oid, rawOIDExtSAN):
+		san, err := d.SequenceV()
 		if err != nil {
 			return parseErr("subjectAltName", err)
+		}
+		if n := countTagged(&san, byte(asn1der.ClassContextSpecific|2)); n > 0 {
+			cert.DNSNames = make([]string, 0, n)
+		}
+		if n := countTagged(&san, byte(asn1der.ClassContextSpecific|7)); n > 0 {
+			cert.IPAddresses = make([]net.IP, 0, n)
 		}
 		for !san.Empty() {
 			tag, content, err := san.ReadAny()
@@ -280,23 +338,23 @@ func parseExtensionValue(cert *Certificate, oid []int, value []byte) error {
 				cert.IPAddresses = append(cert.IPAddresses, net.IP(content))
 			}
 		}
-	case oidEqual(oid, oidExtCRLDistribution):
-		urls, err := parseCRLDistribution(d)
+	case rawOIDEqual(oid, rawOIDExtCRLDistribution):
+		urls, err := parseCRLDistribution(&d)
 		if err != nil {
 			return err
 		}
 		cert.CRLDistributionPoints = urls
-	case oidEqual(oid, oidExtAIA):
-		aia, err := d.Sequence()
+	case rawOIDEqual(oid, rawOIDExtAIA):
+		aia, err := d.SequenceV()
 		if err != nil {
 			return parseErr("authorityInfoAccess", err)
 		}
 		for !aia.Empty() {
-			desc, err := aia.Sequence()
+			desc, err := aia.SequenceV()
 			if err != nil {
 				return parseErr("accessDescription", err)
 			}
-			method, err := desc.OID()
+			method, err := desc.RawOID()
 			if err != nil {
 				return parseErr("accessMethod", err)
 			}
@@ -308,23 +366,30 @@ func parseExtensionValue(cert *Certificate, oid []int, value []byte) error {
 				continue
 			}
 			switch {
-			case oidEqual(method, oidAIAOCSP):
+			case rawOIDEqual(method, rawOIDAIAOCSP):
 				cert.OCSPServer = append(cert.OCSPServer, string(content))
-			case oidEqual(method, oidAIACAIssuers):
+			case rawOIDEqual(method, rawOIDAIACAIssuers):
 				cert.IssuingCertificateURL = append(cert.IssuingCertificateURL, string(content))
 			}
 		}
-	case oidEqual(oid, oidExtCertPolicies):
-		pols, err := d.Sequence()
+	case rawOIDEqual(oid, rawOIDExtCertPolicies):
+		pols, err := d.SequenceV()
 		if err != nil {
 			return parseErr("certificatePolicies", err)
 		}
+		if n := countTagged(&pols, 0); n > 0 {
+			cert.PolicyOIDs = make([][]int, 0, n)
+		}
 		for !pols.Empty() {
-			pol, err := pols.Sequence()
+			pol, err := pols.SequenceV()
 			if err != nil {
 				return parseErr("policyInformation", err)
 			}
-			pOID, err := pol.OID()
+			rawPOID, err := pol.RawOID()
+			if err != nil {
+				return parseErr("policyIdentifier", err)
+			}
+			pOID, err := asn1der.ParseOID(rawPOID)
 			if err != nil {
 				return parseErr("policyIdentifier", err)
 			}
@@ -337,12 +402,15 @@ func parseExtensionValue(cert *Certificate, oid []int, value []byte) error {
 
 func parseCRLDistribution(d *asn1der.Decoder) ([]string, error) {
 	var urls []string
-	points, err := d.Sequence()
+	points, err := d.SequenceV()
 	if err != nil {
 		return nil, parseErr("crlDistributionPoints", err)
 	}
+	if n := countTagged(&points, 0); n > 0 {
+		urls = make([]string, 0, n)
+	}
 	for !points.Empty() {
-		point, err := points.Sequence()
+		point, err := points.SequenceV()
 		if err != nil {
 			return nil, parseErr("distributionPoint", err)
 		}
@@ -354,7 +422,7 @@ func parseCRLDistribution(d *asn1der.Decoder) ([]string, error) {
 			if tag != byte(asn1der.ClassContextSpecific|0x20|0) { // [0] constructed distributionPointName
 				continue
 			}
-			dpn := asn1der.NewDecoder(content)
+			dpn := *asn1der.NewDecoder(content)
 			for !dpn.Empty() {
 				t2, c2, err := dpn.ReadAny()
 				if err != nil {
@@ -363,7 +431,7 @@ func parseCRLDistribution(d *asn1der.Decoder) ([]string, error) {
 				if t2 != byte(asn1der.ClassContextSpecific|0x20|0) { // [0] constructed fullName
 					continue
 				}
-				names := asn1der.NewDecoder(c2)
+				names := *asn1der.NewDecoder(c2)
 				for !names.Empty() {
 					t3, c3, err := names.ReadAny()
 					if err != nil {
@@ -375,6 +443,9 @@ func parseCRLDistribution(d *asn1der.Decoder) ([]string, error) {
 				}
 			}
 		}
+	}
+	if len(urls) == 0 {
+		return nil, nil // keep the "absent" representation nil, as before
 	}
 	return urls, nil
 }
