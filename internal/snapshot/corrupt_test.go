@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"crypto/sha256"
 	"encoding/binary"
+	"math"
 	"strings"
 	"testing"
 )
@@ -165,6 +166,88 @@ func TestVerifyDigestsCatchesForgedColumn(t *testing.T) {
 	}
 	if certs[4].Fingerprint() == c.Cert(4).Cert.Fingerprint() {
 		t.Fatal("expected adopted forged digest to differ")
+	}
+}
+
+// A crafted scan shard whose per-scan observation counts wrap uint64 (5 and
+// 2^64-5 sum to 0, sliding under a naive total-observations cap) must be
+// rejected with an error before the counts reach make(), not panic the
+// decode worker with "makeslice: len out of range".
+func TestScanShardObsCountOverflow(t *testing.T) {
+	var raw []byte
+	for _, nObs := range []uint64{5, math.MaxUint64 - 4} {
+		raw = binary.AppendUvarint(raw, 0) // operator
+		raw = binary.AppendVarint(raw, 0)  // time delta
+		raw = binary.AppendUvarint(raw, 0) // nanoseconds
+		raw = binary.AppendUvarint(raw, nObs)
+	}
+	if _, err := decodeScanShard(raw, 2, 10); err == nil {
+		t.Fatal("overflowing observation counts accepted")
+	} else if !strings.Contains(err.Error(), "observations") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+// forgeObsOverflow rewrites the last scan shard of a valid snapshot into one
+// whose per-scan observation counts wrap the uint64 running total back to
+// zero, recomputing the shard and header checksums so every integrity check
+// passes and only the scan-shard decoder itself can reject it — the shape a
+// random bit-flip can never produce.
+func forgeObsOverflow(tb testing.TB, snap []byte) []byte {
+	tb.Helper()
+	fixed := snap[:headerFixed]
+	nShards := int(binary.LittleEndian.Uint32(fixed[32:]) + binary.LittleEndian.Uint32(fixed[36:]))
+	tableLen := nShards * tableEntry
+	// Payloads sit after the table and header checksum, in table order; the
+	// last shard is always a scan shard.
+	off := headerFixed + tableLen + sha256.Size
+	for i := 0; i < nShards-1; i++ {
+		off += int(binary.LittleEndian.Uint64(snap[headerFixed+i*tableEntry+24:]))
+	}
+	last := headerFixed + (nShards-1)*tableEntry
+	count := int(binary.LittleEndian.Uint64(snap[last+8:]))
+
+	var raw []byte
+	for i := 0; i < count; i++ {
+		raw = binary.AppendUvarint(raw, 0) // operator
+		raw = binary.AppendVarint(raw, 0)  // time delta
+		raw = binary.AppendUvarint(raw, 0) // nanoseconds
+		n := uint64(5)
+		if i == count-1 {
+			n = -uint64(5 * (count - 1)) // wraps the running total to zero
+			if count == 1 {
+				n = math.MaxUint64 // single-scan shard: one absurd claim
+			}
+		}
+		raw = binary.AppendUvarint(raw, n)
+	}
+	comp, err := gzipShard(raw)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	out := append([]byte(nil), snap[:off]...)
+	out = append(out, comp...)
+	binary.LittleEndian.PutUint64(out[last+16:], uint64(len(raw)))
+	binary.LittleEndian.PutUint64(out[last+24:], uint64(len(comp)))
+	sum := sha256.Sum256(comp)
+	copy(out[last+32:], sum[:])
+	head := sha256.Sum256(out[:headerFixed+tableLen])
+	copy(out[headerFixed+tableLen:], head[:])
+	return out
+}
+
+// The overflow shape must surface as an explicit Read error — not a decode
+// worker panic — when carried by a fully checksummed v2 file.
+func TestReadObsCountOverflowFile(t *testing.T) {
+	forged := forgeObsOverflow(t, validV2(t))
+	for _, workers := range []int{1, 4} {
+		_, err := Read(bytes.NewReader(forged), Options{Workers: workers})
+		if err == nil {
+			t.Fatalf("forged snapshot accepted (workers=%d)", workers)
+		}
+		if !strings.Contains(err.Error(), "observations") {
+			t.Fatalf("unexpected error: %v", err)
+		}
 	}
 }
 

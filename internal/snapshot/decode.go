@@ -384,10 +384,15 @@ func decodeScanShard(raw []byte, count int, certCount uint64) ([]decodedScan, er
 		if err != nil {
 			return nil, err
 		}
-		totalObs += nObs
 		// Each observation needs at least one byte per delta column, so any
-		// claim past half the remaining payload is a lie; checking inside the
-		// loop keeps allocation deferred until the claim is byte-backed.
+		// single claim past half the payload is a lie. Bounding every term
+		// before accumulating also keeps the running total from wrapping
+		// uint64 under the cap below (each side is <= len(raw)/2, so their
+		// sum cannot overflow) and from reaching the make() call.
+		if nObs > uint64(len(raw))/2 {
+			return nil, fmt.Errorf("scan %d claims %d observations in a %d-byte payload", i, nObs, len(raw))
+		}
+		totalObs += nObs
 		if totalObs > uint64(len(raw))/2 {
 			return nil, fmt.Errorf("payload of %d bytes cannot hold %d observations", len(raw), totalObs)
 		}

@@ -29,6 +29,7 @@ func FuzzReadSnapshot(f *testing.F) {
 	f.Add(v1[:len(v1)/2])
 	f.Add(flipByte(v2, len(v2)-5))
 	f.Add(flipByte(v2, headerFixed+4))
+	f.Add(forgeObsOverflow(f, v2))
 	f.Add([]byte("SPKISNP2 but then nonsense"))
 	f.Add([]byte{0x1f, 0x8b, 0x01, 0x02})
 	f.Add([]byte{})

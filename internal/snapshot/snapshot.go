@@ -105,8 +105,13 @@ type Options struct {
 	// ScansPerShard is the scan-shard granularity (default 4).
 	ScansPerShard int
 	// VerifyDigests makes Read recompute every certificate's SHA-256 and
-	// compare it against the stored digest column — a paranoia mode for
-	// tests and audits; the shard checksum already covers the bytes.
+	// compare it against the stored digest column. The plain checksums
+	// detect accidental corruption only, not tampering: an attacker who can
+	// rewrite the file rewrites the digest column and the shard/header
+	// checksums to match, installing forged fingerprints that skew dedup
+	// and key-sharing analyses. Enable this when loading a snapshot from an
+	// untrusted source; leave it off for snapshots you produced yourself,
+	// where re-hashing every DER only slows the load.
 	VerifyDigests bool
 }
 
