@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet lint race bench bench-all fuzz-seeds bench-smoke check ci
+.PHONY: all build test vet lint race bench bench-all fuzz-seeds bench-smoke chaos-smoke check ci
 
 all: build test
 
@@ -19,10 +19,11 @@ vet:
 lint:
 	$(GO) run ./cmd/repolint ./...
 
-# Full suite under the race detector — exercises the serial-vs-parallel
-# equivalence tests (scanstore, linking, core) with real concurrency.
+# Full suite under the race detector, with shuffled test order — exercises
+# the serial-vs-parallel equivalence tests (scanstore, linking, core) with
+# real concurrency and flushes out inter-test state dependence.
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -shuffle=on ./...
 
 check: vet lint race
 
@@ -36,11 +37,19 @@ fuzz-seeds:
 bench-smoke:
 	$(GO) test -run='^$$' -bench=Snapshot -benchtime=1x ./internal/snapshot
 
+# One cell of the chaos matrix under the race detector: a full certscan
+# sweep against a 30%-faulty population must produce a corpus snapshot
+# byte-identical to the clean run (see DESIGN.md "Fault model & retry
+# semantics").
+chaos-smoke:
+	$(GO) test -race -run 'TestChaosMatrixSnapshotIdentical/workers=4$$' -v ./cmd/certscan
+
 # Everything CI runs, in CI order; fails on any new repolint finding.
 ci: build vet lint
-	$(GO) test -race ./...
+	$(GO) test -race -shuffle=on ./...
 	$(MAKE) fuzz-seeds
 	$(MAKE) bench-smoke
+	$(MAKE) chaos-smoke
 
 # Perf trajectory: snapshot + parse benchmarks rendered to machine-readable
 # JSON so future PRs have a baseline to compare against (certs/sec, MB/s,

@@ -7,7 +7,14 @@
 // Usage:
 //
 //	certscan -targets targets.txt [-workers 32] [-timeout 3s] [-repeat 1 -interval 2s]
-//	         [-o corpus.spki]
+//	         [-retries 0] [-backoff 100ms] [-backoff-max 2s] [-scan-seed 1]
+//	         [-o corpus.spki] [-json]
+//
+// Faulty endpoints (refused, stalled, reset, truncated or corrupted
+// connections — e.g. a servesim -chaos population) are retried up to
+// -retries times with exponential backoff and deterministic seeded jitter;
+// -json appends a machine-readable summary including the retry/failure
+// counters.
 //
 // With -repeat > 1 the scanner sweeps multiple times and reports how many
 // endpoints rotated their certificate between sweeps — the wire-level
@@ -23,33 +30,31 @@ package main
 
 import (
 	"bufio"
-	"context"
 	"flag"
 	"fmt"
 	"net"
 	"os"
-	"sort"
 	"strings"
 	"time"
 
 	"securepki/internal/netsim"
-	"securepki/internal/parallel"
-	"securepki/internal/scanstore"
 	"securepki/internal/snapshot"
-	"securepki/internal/stats"
-	"securepki/internal/truststore"
 	"securepki/internal/wire"
-	"securepki/internal/x509lite"
 )
 
 func main() {
 	var (
 		targetsFile = flag.String("targets", "", "file of host:port targets, one per line (required)")
 		workers     = flag.Int("workers", 32, "concurrent connections")
-		timeout     = flag.Duration("timeout", 3*time.Second, "per-target timeout")
+		timeout     = flag.Duration("timeout", 3*time.Second, "per-attempt timeout")
+		retries     = flag.Int("retries", 0, "retry attempts per target after a retryable failure")
+		backoff     = flag.Duration("backoff", 100*time.Millisecond, "base backoff before the first retry (doubles per retry)")
+		backoffMax  = flag.Duration("backoff-max", 2*time.Second, "backoff growth cap")
+		scanSeed    = flag.Uint64("scan-seed", 1, "seed for the backoff jitter streams")
 		repeat      = flag.Int("repeat", 1, "number of sweeps")
 		interval    = flag.Duration("interval", 2*time.Second, "pause between sweeps")
 		outCorpus   = flag.String("o", "", "accumulate sweeps into a corpus and write it as a v2 snapshot")
+		jsonOut     = flag.Bool("json", false, "print a JSON run summary (retry/failure counters) to stdout")
 	)
 	flag.Parse()
 	if *targetsFile == "" {
@@ -64,94 +69,28 @@ func main() {
 		fatal(fmt.Errorf("no targets in %s", *targetsFile))
 	}
 
-	store := truststore.NewStore() // empty: classifies like a client that trusts nothing
-	lastSeen := make(map[string]x509lite.Fingerprint)
-	rotated := 0
-
-	var corpus *scanstore.Corpus
-	if *outCorpus != "" {
-		corpus = scanstore.NewCorpus()
+	cfg := scanConfig{
+		Targets:  targets,
+		Workers:  *workers,
+		Repeat:   *repeat,
+		Interval: *interval,
+		Opts: wire.Options{
+			AttemptTimeout: *timeout,
+			Retries:        *retries,
+			BackoffBase:    *backoff,
+			BackoffMax:     *backoffMax,
+			Seed:           *scanSeed,
+		},
+		BuildCorpus: *outCorpus != "",
 	}
-	warnedHosts := make(map[string]bool)
-
-	// Per-result parse + Ed25519 verification is the CPU-heavy half of a
-	// sweep, so it fans out across the worker pool; printing then walks the
-	// verdicts serially in target order, keeping output stable.
-	type verdict struct {
-		cert     *x509lite.Certificate
-		status   truststore.Status
-		parseErr error
+	corpus, summary, err := runSweeps(cfg, os.Stdout, os.Stderr)
+	if err != nil {
+		fatal(err)
 	}
-
-	for sweep := 0; sweep < *repeat; sweep++ {
-		if sweep > 0 {
-			time.Sleep(*interval)
+	if *jsonOut {
+		if err := writeJSONSummary(os.Stdout, summary); err != nil {
+			fatal(err)
 		}
-		timer := stats.StartTimer()
-		sweepStart := time.Now()
-		results := wire.Scan(context.Background(), targets, *workers, *timeout)
-		verdicts := parallel.Map(0, len(results), func(i int) verdict {
-			r := results[i]
-			if r.Err != nil {
-				return verdict{}
-			}
-			cert, err := x509lite.Parse(r.Chain[0])
-			if err != nil {
-				return verdict{parseErr: err}
-			}
-			return verdict{cert: cert, status: store.Verify(cert).Status}
-		})
-		var ok, failed int
-		var sweepObs []scanstore.Observation
-		statusCounts := map[truststore.Status]int{}
-		for i, r := range results {
-			if r.Err != nil {
-				failed++
-				fmt.Printf("%-22s ERROR %v\n", r.Addr, r.Err)
-				continue
-			}
-			ok++
-			v := verdicts[i]
-			if v.parseErr != nil {
-				fmt.Printf("%-22s PARSE-ERROR %v\n", r.Addr, v.parseErr)
-				continue
-			}
-			statusCounts[v.status]++
-			fp := v.cert.Fingerprint()
-			if prev, seen := lastSeen[r.Addr]; seen && prev != fp {
-				rotated++
-				fmt.Printf("%-22s %-16s CN=%q serial=%s (REISSUED)\n", r.Addr, v.status, v.cert.Subject.CommonName, v.cert.SerialNumber)
-			} else {
-				fmt.Printf("%-22s %-16s CN=%q serial=%s\n", r.Addr, v.status, v.cert.Subject.CommonName, v.cert.SerialNumber)
-			}
-			lastSeen[r.Addr] = fp
-			if corpus != nil {
-				if ip, ipOK := targetIP(r.Addr); ipOK {
-					sweepObs = append(sweepObs, scanstore.Observation{Cert: corpus.Intern(v.cert), IP: ip})
-				} else if !warnedHosts[r.Addr] {
-					warnedHosts[r.Addr] = true
-					fmt.Fprintf(os.Stderr, "certscan: %s is not an IPv4 literal; excluded from -o corpus\n", r.Addr)
-				}
-			}
-		}
-		if corpus != nil {
-			if _, err := corpus.AddScan(scanstore.UMich, sweepStart, sweepObs); err != nil {
-				fatal(err)
-			}
-		}
-		fmt.Printf("# sweep %d: %d ok, %d failed in %v;", sweep+1, ok, failed, timer)
-		statuses := make([]truststore.Status, 0, len(statusCounts))
-		for st := range statusCounts {
-			statuses = append(statuses, st)
-		}
-		sort.Slice(statuses, func(i, j int) bool { return statuses[i] < statuses[j] })
-		for _, st := range statuses {
-			fmt.Printf(" %s=%d", st, statusCounts[st])
-		}
-		fmt.Println()
-	}
-	if *repeat > 1 {
-		fmt.Printf("# certificates rotated between sweeps: %d\n", rotated)
 	}
 	if corpus != nil {
 		f, err := os.Create(*outCorpus)

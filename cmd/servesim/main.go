@@ -8,31 +8,45 @@
 // Usage:
 //
 //	servesim [-n 25] [-seed 1] [-addr 127.0.0.1:0] [-targets targets.txt]
+//	         [-chaos 0.3 -chaos-seed 99 -chaos-burst 2]
 //
 // The listener addresses are written to -targets (default stdout), one per
 // line — feed that file to certscan.
+//
+// With -chaos > 0 every listener is wrapped in the internal/faultnet layer:
+// the given fraction of connections is refused, stalled, reset, truncated,
+// slow-paced or corrupted, on a schedule that is a pure function of
+// (-chaos-seed, device index, connection ordinal). -chaos-burst caps how many
+// consecutive connections a device may fault, so a certscan client with at
+// least that many retries always converges (see the chaos matrix test in
+// cmd/certscan).
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"securepki/internal/devicesim"
+	"securepki/internal/faultnet"
 	"securepki/internal/stats"
 	"securepki/internal/wire"
 )
 
 func main() {
 	var (
-		n       = flag.Int("n", 25, "number of devices to expose")
-		seed    = flag.Uint64("seed", 1, "world seed")
-		addr    = flag.String("addr", "127.0.0.1:0", "listen address pattern (port 0 = ephemeral)")
-		targets = flag.String("targets", "", "file to write listener addresses to (default stdout)")
-		linger  = flag.Duration("linger", 0, "serve for this long then exit (0 = until interrupted)")
+		n          = flag.Int("n", 25, "number of devices to expose")
+		seed       = flag.Uint64("seed", 1, "world seed")
+		addr       = flag.String("addr", "127.0.0.1:0", "listen address pattern (port 0 = ephemeral)")
+		targets    = flag.String("targets", "", "file to write listener addresses to (default stdout)")
+		linger     = flag.Duration("linger", 0, "serve for this long then exit (0 = until interrupted)")
+		chaos      = flag.Float64("chaos", 0, "fault-inject this fraction of connections (0 = healthy)")
+		chaosSeed  = flag.Uint64("chaos-seed", 99, "seed for the fault schedule")
+		chaosBurst = flag.Int("chaos-burst", 2, "max consecutive faulted connections per device (-1 = uncapped)")
 	)
 	flag.Parse()
 
@@ -71,7 +85,19 @@ func main() {
 			dev.AdvanceTo(dev.Birth.AddDate(0, 0, days))
 			return [][]byte{dev.CurrentCert().Raw}
 		}
-		srv, err := wire.NewServer(*addr, provider)
+		ln, err := net.Listen("tcp", *addr)
+		if err != nil {
+			fatal(err)
+		}
+		var listener net.Listener = ln
+		if *chaos > 0 {
+			listener = faultnet.Wrap(ln, faultnet.Policy{
+				Seed:           *chaosSeed,
+				Rate:           *chaos,
+				MaxConsecutive: *chaosBurst,
+			}, uint64(i))
+		}
+		srv, err := wire.Serve(listener, provider)
 		if err != nil {
 			fatal(err)
 		}
@@ -81,6 +107,10 @@ func main() {
 			srv.Addr(), dev.Profile.Name, dev.CurrentCert().Subject.CommonName)
 	}
 	out.Sync()
+	if *chaos > 0 {
+		fmt.Fprintf(os.Stderr, "servesim: chaos rate %.2f seed %d burst %d on %d listeners\n",
+			*chaos, *chaosSeed, *chaosBurst, len(servers))
+	}
 
 	if *linger > 0 {
 		time.Sleep(*linger)

@@ -10,6 +10,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"securepki/internal/core"
@@ -30,23 +31,36 @@ func main() {
 	if *seed != 0 {
 		cfg.World.Seed = *seed
 	}
-	p, err := core.Run(cfg)
-	if err != nil {
+	if err := run(cfg, *bulk, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "trackdev:", err)
 		os.Exit(1)
 	}
+}
+
+// run executes the pipeline and writes the three tracking reports to w. It
+// is the whole command behind flag parsing, so tests can drive it with a
+// custom config and capture the exact bytes a user would see.
+func run(cfg core.Config, bulk int, w io.Writer) error {
+	p, err := core.Run(cfg)
+	if err != nil {
+		return err
+	}
 	for _, id := range []string{"s72", "fig11"} {
-		e, _ := core.Find(id)
-		fmt.Printf("== %s — %s\n%s\n", e.ID, e.Title, e.Run(p))
+		e, ok := core.Find(id)
+		if !ok {
+			return fmt.Errorf("unknown experiment %q", id)
+		}
+		fmt.Fprintf(w, "== %s — %s\n%s\n", e.ID, e.Title, e.Run(p))
 	}
 	// Movement with the user's bulk threshold.
-	rep := p.Tracker.Movement(core.Year, *bulk)
-	fmt.Printf("== s73 — Device movement (bulk threshold %d)\n", *bulk)
-	fmt.Printf("tracked: %d; changing AS: %d; transitions: %d; changed once: %.1f%%\n",
+	rep := p.Tracker.Movement(core.Year, bulk)
+	fmt.Fprintf(w, "== s73 — Device movement (bulk threshold %d)\n", bulk)
+	fmt.Fprintf(w, "tracked: %d; changing AS: %d; transitions: %d; changed once: %.1f%%\n",
 		rep.TrackedDevices, rep.DevicesChanging, rep.TotalTransitions, 100*rep.ChangedOnceFrac)
-	fmt.Printf("cross-country movers: %d; bulk transfers: %d events / %d device-moves\n",
+	fmt.Fprintf(w, "cross-country movers: %d; bulk transfers: %d events / %d device-moves\n",
 		rep.CountryMoves, len(rep.BulkTransfers), rep.BulkDeviceMoves)
 	for _, b := range rep.BulkTransfers {
-		fmt.Printf("  AS%d -> AS%d at scan %d: %d devices\n", b.FromASN, b.ToASN, b.ScanTo, b.Devices)
+		fmt.Fprintf(w, "  AS%d -> AS%d at scan %d: %d devices\n", b.FromASN, b.ToASN, b.ScanTo, b.Devices)
 	}
+	return nil
 }

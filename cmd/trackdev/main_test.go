@@ -1,0 +1,61 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"securepki/internal/core"
+)
+
+// tinyConfig shrinks the world so a full end-to-end run stays fast; the
+// golden contract is byte-equality, not distribution quality.
+func tinyConfig() core.Config {
+	cfg := core.SmallConfig()
+	cfg.World.NumDevices = 500
+	cfg.World.NumSites = 220
+	cfg.Scan.UMichScans = 10
+	cfg.Scan.Rapid7Scans = 5
+	return cfg
+}
+
+// TestRunGoldenDeterminism is the end-to-end CLI contract: the exact bytes
+// trackdev prints are a pure function of (config, bulk threshold) — equal
+// across repeated runs and across worker counts.
+func TestRunGoldenDeterminism(t *testing.T) {
+	render := func(workers int) string {
+		cfg := tinyConfig()
+		cfg.Workers = workers
+		var buf bytes.Buffer
+		if err := run(cfg, 5, &buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+
+	first := render(1)
+	if again := render(1); again != first {
+		t.Errorf("two identical runs produced different output:\n--- first\n%s\n--- second\n%s", first, again)
+	}
+	if par := render(8); par != first {
+		t.Errorf("workers=8 output differs from workers=1:\n--- serial\n%s\n--- parallel\n%s", first, par)
+	}
+
+	// The report must actually contain all three sections — an empty or
+	// truncated (but stable) output would satisfy byte-equality vacuously.
+	for _, marker := range []string{"== s72", "== fig11", "== s73", "tracked: "} {
+		if !strings.Contains(first, marker) {
+			t.Errorf("output missing %q section:\n%s", marker, first)
+		}
+	}
+}
+
+// TestRunUnknownExperiment guards the error path: a registry regression must
+// surface as an error, not a silent half-report.
+func TestRunRegistryComplete(t *testing.T) {
+	for _, id := range []string{"s72", "fig11"} {
+		if _, ok := core.Find(id); !ok {
+			t.Errorf("experiment %q missing from registry", id)
+		}
+	}
+}

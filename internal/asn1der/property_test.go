@@ -1,0 +1,112 @@
+package asn1der
+
+import (
+	"math/big"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// Property: the allocation-free Int fast path agrees with the BigInt
+// reference decoder on every int64, including the sign-extension edge
+// cases quick is unlikely to draw on its own.
+func TestIntMatchesBigIntProperty(t *testing.T) {
+	check := func(v int64) bool {
+		var e Encoder
+		e.Int(v)
+		der := e.Bytes()
+
+		got, err := NewDecoder(der).Int()
+		if err != nil || got != v {
+			return false
+		}
+		ref, err := NewDecoder(der).BigInt()
+		if err != nil {
+			return false
+		}
+		return ref.IsInt64() && ref.Int64() == v
+	}
+	for _, v := range []int64{0, 1, -1, 127, 128, -128, -129, 255, 256,
+		1<<31 - 1, 1 << 31, -(1 << 31), 1<<63 - 1, -(1 << 63)} {
+		if !check(v) {
+			t.Errorf("fast path diverges from reference at %d", v)
+		}
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: integers wider than 8 content bytes must error out of the Int
+// fast path ("does not fit int64") while the BigInt reference still decodes
+// them exactly.
+func TestIntRejectsWideIntegersProperty(t *testing.T) {
+	f := func(hi uint64, lo uint64, negative bool) bool {
+		// Compose a value guaranteed wider than int64: |v| ≥ 2^64.
+		v := new(big.Int).SetUint64(hi | 1) // non-zero high word
+		v.Lsh(v, 64)
+		v.Add(v, new(big.Int).SetUint64(lo))
+		if negative {
+			v.Neg(v)
+		}
+		var e Encoder
+		e.BigInt(v)
+		der := e.Bytes()
+
+		if _, err := NewDecoder(der).Int(); err == nil {
+			return false // fast path accepted a value it cannot represent
+		}
+		ref, err := NewDecoder(der).BigInt()
+		return err == nil && ref.Cmp(v) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// arbitraryOID maps fuzz input onto a valid OID: a legal first-two-arc
+// prefix followed by arcs below the decoder's 1<<24 overflow cap.
+func arbitraryOID(prefix uint8, arcs []uint32) []int {
+	oid := make([]int, 0, len(arcs)+2)
+	switch prefix % 3 {
+	case 0:
+		oid = append(oid, 0, int(prefix)%40)
+	case 1:
+		oid = append(oid, 1, int(prefix)%40)
+	default:
+		oid = append(oid, 2, int(prefix)) // joint-iso arcs may exceed 39
+	}
+	for _, a := range arcs {
+		oid = append(oid, int(a%(1<<24)))
+	}
+	if len(oid) > 12 {
+		oid = oid[:12]
+	}
+	return oid
+}
+
+// Property: encode → RawOID → ParseOID is the identity on valid OIDs, and
+// agrees with the one-shot OID() decoder — the zero-allocation dispatch path
+// never sees different arcs than the reference.
+func TestRawOIDRoundTripProperty(t *testing.T) {
+	f := func(prefix uint8, arcs []uint32) bool {
+		oid := arbitraryOID(prefix, arcs)
+		var e Encoder
+		e.OID(oid)
+		der := e.Bytes()
+
+		raw, err := NewDecoder(der).RawOID()
+		if err != nil {
+			return false
+		}
+		parsed, err := ParseOID(raw)
+		if err != nil || !reflect.DeepEqual(parsed, oid) {
+			return false
+		}
+		direct, err := NewDecoder(der).OID()
+		return err == nil && reflect.DeepEqual(direct, oid)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}

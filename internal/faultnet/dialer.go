@@ -1,0 +1,101 @@
+package faultnet
+
+import (
+	"context"
+	"io"
+	"net"
+	"syscall"
+)
+
+// DialFunc matches wire.DialFunc so a wrapped dialer plugs straight into
+// wire.Options.Dial without an import cycle.
+type DialFunc func(ctx context.Context, network, addr string) (net.Conn, error)
+
+// WrapDial injects faults on the client side of a connection: the same
+// schedule machinery as Wrap, but refusals fail the dial itself and the
+// byte-level faults apply to the read stream (what the peer sends back).
+// key identifies the target endpoint in the schedule.
+func WrapDial(dial DialFunc, p Policy, key uint64) DialFunc {
+	if dial == nil {
+		var d net.Dialer
+		dial = d.DialContext
+	}
+	sched := NewSchedule(p, key)
+	return func(ctx context.Context, network, addr string) (net.Conn, error) {
+		d := sched.Next()
+		switch d.Fault {
+		case Refuse:
+			return nil, &net.OpError{Op: "dial", Net: network, Addr: nil, Err: syscall.ECONNREFUSED}
+		case Stall:
+			// A connection that never answers: the far end of the pipe is
+			// held by nobody, so reads and writes block until the caller's
+			// deadline fires (net.Pipe honours deadlines).
+			client, _ := net.Pipe()
+			return client, nil
+		}
+		conn, err := dial(ctx, network, addr)
+		if err != nil || d.Fault == None {
+			return conn, err
+		}
+		return &readFaultConn{Conn: conn, policy: sched.policy, decision: d}, nil
+	}
+}
+
+// readFaultConn mirrors faultConn on the receive path: the connection is
+// real, but what the peer sends is truncated, paced, or corrupted before the
+// client sees it.
+type readFaultConn struct {
+	net.Conn
+	policy   Policy
+	decision Decision
+	read     int
+}
+
+// resetBudget is how many response bytes a client-side Reset delivers before
+// severing the stream — a partial header, never a full one.
+const resetBudget = 3
+
+func (c *readFaultConn) Read(p []byte) (int, error) {
+	switch c.decision.Fault {
+	case Reset, Truncate:
+		budget := c.policy.TruncateAfter
+		if c.decision.Fault == Reset {
+			budget = resetBudget
+		}
+		budget -= c.read
+		if budget <= 0 {
+			c.Conn.Close()
+			return 0, io.ErrUnexpectedEOF
+		}
+		if budget < len(p) {
+			p = p[:budget]
+		}
+		n, err := c.Conn.Read(p)
+		c.read += n
+		return n, err
+	case SlowLoris:
+		if len(p) == 0 {
+			return 0, nil
+		}
+		if c.read > 0 {
+			c.policy.Sleep(c.policy.Pace)
+		}
+		n, err := c.Conn.Read(p[:1])
+		c.read += n
+		return n, err
+	case Corrupt:
+		n, err := c.Conn.Read(p)
+		if n > 0 {
+			off := c.decision.CorruptOffset - c.read
+			if off >= 0 && off < n {
+				p[off] ^= c.decision.CorruptMask
+			}
+		}
+		c.read += n
+		return n, err
+	default:
+		n, err := c.Conn.Read(p)
+		c.read += n
+		return n, err
+	}
+}

@@ -1,0 +1,198 @@
+// Package faultnet is a deterministic, seeded fault-injection layer for the
+// wire scanner: net.Listener / net.Conn middleware plus a dialer wrapper that
+// together simulate the hostile network a decade of ZMap operation documents
+// — refused connections, accept/read stalls, mid-handshake resets, truncated
+// responses, slow-loris pacing and corrupted frames.
+//
+// Determinism is the whole point. Whether a given connection is faulted, and
+// how, is a pure function of (Policy.Seed, endpoint key, connection ordinal):
+// a Schedule derives one SplitMix64 stream per decision, so the same seed
+// always yields the same fault sequence per endpoint regardless of timing,
+// scheduling or port numbers. Policy.MaxConsecutive bounds how many faulted
+// connections an endpoint may serve in a row, which is what lets a chaos run
+// with bounded retries provably converge to the fault-free corpus (the chaos
+// matrix test in cmd/certscan).
+//
+// The layer sits strictly below the protocol: it knows nothing about wire's
+// message format, only about bytes and connections, so it can torment any
+// TCP service. cmd/servesim -chaos wraps its listeners with it; tests wrap
+// dialers with it.
+package faultnet
+
+import (
+	"sync"
+	"time"
+
+	"securepki/internal/stats"
+)
+
+// Fault is one kind of injected misbehaviour.
+type Fault uint8
+
+const (
+	// None lets the connection through untouched.
+	None Fault = iota
+	// Refuse closes the connection immediately on accept (client side:
+	// fails the dial outright), the classic dead-host behaviour.
+	Refuse
+	// Stall accepts and then never responds; the peer sits on a silent
+	// connection until its own deadline fires.
+	Stall
+	// Reset delivers a few garbage bytes and closes mid-handshake, the
+	// peer observing an unexpected EOF.
+	Reset
+	// Truncate lets a deterministic byte budget through and then severs the
+	// connection, cutting the response short.
+	Truncate
+	// SlowLoris paces the response one byte at a time, slow enough to trip
+	// a tight attempt deadline but still byte-faithful if the peer waits.
+	SlowLoris
+	// Corrupt flips bytes early in the stream, producing a malformed frame
+	// (bad magic / nonsense lengths) the peer must reject.
+	Corrupt
+
+	numFaults
+)
+
+// String names the fault for logs and counters.
+func (f Fault) String() string {
+	switch f {
+	case None:
+		return "none"
+	case Refuse:
+		return "refuse"
+	case Stall:
+		return "stall"
+	case Reset:
+		return "reset"
+	case Truncate:
+		return "truncate"
+	case SlowLoris:
+		return "slow-loris"
+	case Corrupt:
+		return "corrupt"
+	default:
+		return "unknown"
+	}
+}
+
+// AllFaults is the default menu a Policy draws from.
+func AllFaults() []Fault {
+	return []Fault{Refuse, Stall, Reset, Truncate, SlowLoris, Corrupt}
+}
+
+// Policy configures an injection campaign. The zero value injects nothing.
+type Policy struct {
+	// Seed roots every random decision; the same seed yields the same fault
+	// schedule for every endpoint key.
+	Seed uint64
+	// Rate is the per-connection fault probability in [0, 1].
+	Rate float64
+	// MaxConsecutive caps how many faulted connections an endpoint serves in
+	// a row; once reached, the next connection is forced clean. This is the
+	// progress guarantee retry loops rely on. 0 means 2; negative means
+	// uncapped.
+	MaxConsecutive int
+	// Menu lists the faults to draw from (uniformly); nil means AllFaults.
+	Menu []Fault
+	// Pace is the slow-loris inter-byte delay; 0 means 2ms.
+	Pace time.Duration
+	// TruncateAfter is how many bytes Truncate lets through; 0 means 9
+	// (enough for a frame header, never a whole response).
+	TruncateAfter int
+	// Sleep paces slow-loris writes; nil means time.Sleep. Injected so tests
+	// can run pacing on a virtual clock.
+	Sleep func(time.Duration)
+}
+
+func (p Policy) withDefaults() Policy {
+	if p.MaxConsecutive == 0 {
+		p.MaxConsecutive = 2
+	}
+	if p.Menu == nil {
+		p.Menu = AllFaults()
+	}
+	if p.Pace <= 0 {
+		p.Pace = 2 * time.Millisecond
+	}
+	if p.TruncateAfter <= 0 {
+		p.TruncateAfter = 9
+	}
+	if p.Sleep == nil {
+		p.Sleep = time.Sleep
+	}
+	return p
+}
+
+// Schedule is the deterministic fault sequence for one endpoint. Decision n
+// depends only on (policy.Seed, key, n) plus the consecutive-fault cap, so
+// replaying a schedule from scratch yields the same sequence.
+type Schedule struct {
+	policy Policy
+	key    uint64
+
+	mu          sync.Mutex
+	conn        uint64
+	consecutive int
+}
+
+// NewSchedule builds the schedule for endpoint key under p.
+func NewSchedule(p Policy, key uint64) *Schedule {
+	return &Schedule{policy: p.withDefaults(), key: key}
+}
+
+// Decision is one connection's fate: the fault to apply and, for Corrupt,
+// the deterministic byte-flip parameters.
+type Decision struct {
+	Fault Fault
+	// Conn is the connection's 0-based ordinal on this endpoint.
+	Conn uint64
+	// CorruptOffset / CorruptMask parameterise the Corrupt fault: the byte
+	// at CorruptOffset in the stream is XORed with CorruptMask.
+	CorruptOffset int
+	CorruptMask   byte
+}
+
+// Next returns the fault decision for the endpoint's next connection.
+func (s *Schedule) Next() Decision {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := s.conn
+	s.conn++
+	d := Decision{Fault: s.decide(n), Conn: n}
+	if d.Fault == None {
+		s.consecutive = 0
+		return d
+	}
+	if s.policy.MaxConsecutive >= 0 && s.consecutive >= s.policy.MaxConsecutive {
+		s.consecutive = 0
+		d.Fault = None
+		return d
+	}
+	s.consecutive++
+	if d.Fault == Corrupt {
+		d.CorruptOffset, d.CorruptMask = s.corruption(n)
+	}
+	return d
+}
+
+// decide is the pure part of Next: the draw for connection ordinal n,
+// before the consecutive cap is applied.
+func (s *Schedule) decide(n uint64) Fault {
+	// One decorrelated stream per decision, SplitMix64-style: mixing the
+	// ordinal and key through the same constant stats.RNG.Split uses.
+	rng := stats.NewRNG(s.policy.Seed ^ (s.key+1)*0x9e3779b97f4a7c15 ^ (n+1)*0xbf58476d1ce4e5b9)
+	if !rng.Bool(s.policy.Rate) {
+		return None
+	}
+	return s.policy.Menu[rng.Intn(len(s.policy.Menu))]
+}
+
+// Corruption returns the deterministic byte-flip mask and offset used when
+// connection ordinal n draws Corrupt; exposed so tests can predict it.
+func (s *Schedule) corruption(n uint64) (offset int, mask byte) {
+	rng := stats.NewRNG(s.policy.Seed ^ (s.key+1)*0x94d049bb133111eb ^ (n+1)*0x9e3779b97f4a7c15)
+	// Offset within the first few bytes — frame headers live there — and a
+	// non-zero mask so the byte always changes.
+	return rng.Intn(4), byte(1 + rng.Intn(255))
+}

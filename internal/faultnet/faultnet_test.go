@@ -1,0 +1,240 @@
+package faultnet_test
+
+import (
+	"bytes"
+	"context"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"securepki/internal/faultnet"
+	"securepki/internal/wire"
+)
+
+// testChain is a fixed fake DER chain; the wire framing layer never parses
+// certificate contents, so opaque bytes exercise it fully.
+func testChain() [][]byte {
+	return [][]byte{
+		bytes.Repeat([]byte{0x30, 0x82, 0xAB, 0xCD}, 16),
+		bytes.Repeat([]byte{0x30, 0x81, 0x11, 0x22}, 8),
+	}
+}
+
+func seq(p faultnet.Policy, key uint64, n int) []faultnet.Decision {
+	s := faultnet.NewSchedule(p, key)
+	out := make([]faultnet.Decision, n)
+	for i := range out {
+		out[i] = s.Next()
+	}
+	return out
+}
+
+func TestScheduleDeterministic(t *testing.T) {
+	p := faultnet.Policy{Seed: 42, Rate: 0.5}
+	a := seq(p, 3, 300)
+	b := seq(p, 3, 300)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("decision %d: %+v != %+v under identical seed/key", i, a[i], b[i])
+		}
+	}
+	faulted := 0
+	for _, d := range a {
+		if d.Fault != faultnet.None {
+			faulted++
+		}
+	}
+	if faulted < 60 || faulted > 240 {
+		t.Errorf("rate 0.5 drew %d faults in 300 connections", faulted)
+	}
+
+	diff := func(other faultnet.Policy, key uint64, label string) {
+		c := seq(other, key, 300)
+		same := true
+		for i := range a {
+			if a[i].Fault != c[i].Fault {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Errorf("%s produced an identical fault sequence", label)
+		}
+	}
+	diff(faultnet.Policy{Seed: 43, Rate: 0.5}, 3, "different seed")
+	diff(p, 4, "different key")
+}
+
+func TestScheduleRateZeroInjectsNothing(t *testing.T) {
+	for _, d := range seq(faultnet.Policy{Seed: 1}, 0, 100) {
+		if d.Fault != faultnet.None {
+			t.Fatalf("zero-rate policy injected %v on conn %d", d.Fault, d.Conn)
+		}
+	}
+}
+
+func TestScheduleMaxConsecutiveForcesProgress(t *testing.T) {
+	p := faultnet.Policy{Seed: 9, Rate: 1.0, MaxConsecutive: 2}
+	run := 0
+	sawClean := false
+	for _, d := range seq(p, 0, 200) {
+		if d.Fault == faultnet.None {
+			sawClean = true
+			run = 0
+			continue
+		}
+		run++
+		if run > 2 {
+			t.Fatalf("conn %d: %d consecutive faults exceeds cap 2", d.Conn, run)
+		}
+	}
+	if !sawClean {
+		t.Fatal("cap 2 under rate 1.0 never forced a clean connection")
+	}
+
+	// Uncapped: rate 1.0 faults every connection.
+	for _, d := range seq(faultnet.Policy{Seed: 9, Rate: 1.0, MaxConsecutive: -1}, 0, 100) {
+		if d.Fault == faultnet.None {
+			t.Fatalf("uncapped rate-1.0 policy let conn %d through clean", d.Conn)
+		}
+	}
+}
+
+// serveFaulty starts a wire server behind a fault-injecting listener.
+func serveFaulty(t *testing.T, p faultnet.Policy, key uint64) *wire.Server {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := wire.Serve(faultnet.Wrap(ln, p, key), wire.StaticChain(testChain()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv
+}
+
+func TestListenerFaultObservables(t *testing.T) {
+	always := func(f faultnet.Fault) faultnet.Policy {
+		return faultnet.Policy{Seed: 7, Rate: 1.0, MaxConsecutive: -1, Menu: []faultnet.Fault{f}}
+	}
+	opts := wire.Options{AttemptTimeout: 250 * time.Millisecond}
+
+	cases := []struct {
+		fault  faultnet.Fault
+		reason string
+	}{
+		{faultnet.Refuse, "reset"},     // closed after accept: the read sees EOF
+		{faultnet.Stall, "timeout"},    // silent endpoint: attempt deadline fires
+		{faultnet.Reset, "reset"},      // partial garbage header then EOF
+		{faultnet.Truncate, "reset"},   // frame cut mid-length-prefix
+		{faultnet.Corrupt, "protocol"}, // flipped header byte: bad magic/version
+	}
+	for _, c := range cases {
+		t.Run(c.fault.String(), func(t *testing.T) {
+			srv := serveFaulty(t, always(c.fault), 0)
+			_, _, err := wire.FetchChainOpts(context.Background(), srv.Addr(), opts)
+			if err == nil {
+				t.Fatalf("%v fault produced a successful fetch", c.fault)
+			}
+			if got := wire.Reason(err); got != c.reason {
+				t.Errorf("reason = %q, want %q (err: %v)", got, c.reason, err)
+			}
+			if wire.Classify(err) != wire.ClassRetryable {
+				t.Errorf("%v fault classified terminal: %v", c.fault, err)
+			}
+		})
+	}
+}
+
+func TestListenerSlowLorisIsByteFaithful(t *testing.T) {
+	var paced atomic.Int64
+	p := faultnet.Policy{
+		Seed: 7, Rate: 1.0, MaxConsecutive: -1,
+		Menu:  []faultnet.Fault{faultnet.SlowLoris},
+		Sleep: func(time.Duration) { paced.Add(1) },
+	}
+	srv := serveFaulty(t, p, 0)
+	chain, _, err := wire.FetchChainOpts(context.Background(), srv.Addr(), wire.Options{AttemptTimeout: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := testChain()
+	if len(chain) != len(want) {
+		t.Fatalf("chain length = %d, want %d", len(chain), len(want))
+	}
+	for i := range want {
+		if !bytes.Equal(chain[i], want[i]) {
+			t.Errorf("cert %d differs under slow-loris pacing", i)
+		}
+	}
+	if paced.Load() == 0 {
+		t.Error("slow-loris never paced a write")
+	}
+}
+
+func TestListenerRetryConvergesUnderCap(t *testing.T) {
+	// Rate 1.0 with MaxConsecutive 2 means every third consecutive connection
+	// is clean, so Retries ≥ 2 must always converge.
+	p := faultnet.Policy{
+		Seed: 11, Rate: 1.0, MaxConsecutive: 2,
+		Menu: []faultnet.Fault{faultnet.Refuse, faultnet.Reset, faultnet.Truncate, faultnet.Corrupt},
+	}
+	srv := serveFaulty(t, p, 0)
+	opts := wire.Options{
+		AttemptTimeout: time.Second,
+		Retries:        4,
+		Sleep:          func(ctx context.Context, d time.Duration) error { return nil },
+	}
+	chain, fs, err := wire.FetchChainOpts(context.Background(), srv.Addr(), opts)
+	if err != nil {
+		t.Fatalf("retries failed to converge: %v (attempts %d, reasons %v)", err, fs.Attempts, fs.FailReasons)
+	}
+	if len(chain) != len(testChain()) {
+		t.Fatalf("chain length = %d", len(chain))
+	}
+	if fs.Attempts < 2 {
+		t.Errorf("attempts = %d; rate-1.0 policy should have faulted the first connection", fs.Attempts)
+	}
+}
+
+func TestWrapDialFaults(t *testing.T) {
+	srv := serveFaulty(t, faultnet.Policy{}, 0) // clean server; faults come from the dialer
+	always := func(f faultnet.Fault) faultnet.Policy {
+		return faultnet.Policy{Seed: 3, Rate: 1.0, MaxConsecutive: -1, Menu: []faultnet.Fault{f}}
+	}
+	cases := []struct {
+		fault  faultnet.Fault
+		reason string
+	}{
+		{faultnet.Refuse, "refused"},
+		{faultnet.Stall, "timeout"},
+		{faultnet.Reset, "reset"},
+		{faultnet.Truncate, "reset"},
+		{faultnet.Corrupt, "protocol"},
+	}
+	for _, c := range cases {
+		t.Run(c.fault.String(), func(t *testing.T) {
+			opts := wire.Options{
+				AttemptTimeout: 250 * time.Millisecond,
+				Dial:           wire.DialFunc(faultnet.WrapDial(nil, always(c.fault), 0)),
+			}
+			_, _, err := wire.FetchChainOpts(context.Background(), srv.Addr(), opts)
+			if err == nil {
+				t.Fatalf("dial-side %v fault produced a successful fetch", c.fault)
+			}
+			if got := wire.Reason(err); got != c.reason {
+				t.Errorf("reason = %q, want %q (err: %v)", got, c.reason, err)
+			}
+		})
+	}
+
+	// A zero-rate dial wrapper is transparent.
+	opts := wire.Options{Dial: wire.DialFunc(faultnet.WrapDial(nil, faultnet.Policy{}, 0))}
+	chain, _, err := wire.FetchChainOpts(context.Background(), srv.Addr(), opts)
+	if err != nil || len(chain) != len(testChain()) {
+		t.Fatalf("transparent wrapper broke the fetch: %v", err)
+	}
+}

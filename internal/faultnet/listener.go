@@ -1,0 +1,176 @@
+package faultnet
+
+import (
+	"io"
+	"net"
+	"sync"
+)
+
+// Listener wraps a net.Listener with a fault schedule. Clean connections are
+// handed to the caller untouched; faulted ones are either handled entirely
+// inside the wrapper (Refuse, Stall, Reset — the server never sees them) or
+// handed over wrapped in a conn that injects the fault on the server's
+// writes (Truncate, SlowLoris, Corrupt).
+type Listener struct {
+	inner net.Listener
+	sched *Schedule
+
+	mu     sync.Mutex
+	closed bool
+	held   map[net.Conn]struct{} // stalled/resetting conns we own
+	wg     sync.WaitGroup
+}
+
+// Wrap builds a fault-injecting listener around ln. key identifies the
+// endpoint in the fault schedule — use a stable index, not the ephemeral
+// address, so the schedule survives port randomisation.
+func Wrap(ln net.Listener, p Policy, key uint64) *Listener {
+	return &Listener{inner: ln, sched: NewSchedule(p, key), held: make(map[net.Conn]struct{})}
+}
+
+// Addr returns the underlying listener's address.
+func (l *Listener) Addr() net.Addr { return l.inner.Addr() }
+
+// Close stops the listener and tears down any connections the fault layer is
+// holding open (stalls in progress).
+func (l *Listener) Close() error {
+	l.mu.Lock()
+	l.closed = true
+	conns := make([]net.Conn, 0, len(l.held))
+	for c := range l.held {
+		//lint:ignore detmap teardown side effect only; close order is irrelevant and nothing is emitted
+		conns = append(conns, c)
+	}
+	l.mu.Unlock()
+	err := l.inner.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+	l.wg.Wait()
+	return err
+}
+
+// Accept applies the schedule: it consumes refused/stalled/reset connections
+// itself and returns the next connection the server should actually handle
+// (possibly wrapped with a write-side fault).
+func (l *Listener) Accept() (net.Conn, error) {
+	for {
+		conn, err := l.inner.Accept()
+		if err != nil {
+			return nil, err
+		}
+		d := l.sched.Next()
+		switch d.Fault {
+		case None:
+			return conn, nil
+		case Refuse:
+			conn.Close()
+		case Stall:
+			l.hold(conn, l.stall)
+		case Reset:
+			l.hold(conn, l.reset)
+		default:
+			return &faultConn{Conn: conn, policy: l.sched.policy, decision: d}, nil
+		}
+	}
+}
+
+// hold runs a fault handler on a connection the wrapper owns, tracking it so
+// Close can break the stall.
+func (l *Listener) hold(conn net.Conn, run func(net.Conn)) {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		conn.Close()
+		return
+	}
+	l.held[conn] = struct{}{}
+	l.mu.Unlock()
+	l.wg.Add(1)
+	go func() {
+		defer l.wg.Done()
+		defer func() {
+			l.mu.Lock()
+			delete(l.held, conn)
+			l.mu.Unlock()
+			conn.Close()
+		}()
+		run(conn)
+	}()
+}
+
+// stall swallows whatever the peer sends and never answers; the peer's own
+// deadline is the only way out. Returns when the peer gives up (EOF/reset)
+// or Close tears the connection down.
+func (l *Listener) stall(conn net.Conn) {
+	io.Copy(io.Discard, conn)
+}
+
+// reset reads the peer's opening bytes, answers with a partial garbage
+// header, and severs the connection mid-handshake.
+func (l *Listener) reset(conn net.Conn) {
+	var buf [8]byte
+	conn.Read(buf[:])
+	conn.Write([]byte{0x00, 0x00, 0x00})
+}
+
+// faultConn injects write-side faults into a connection the server handles
+// normally: truncation, slow-loris pacing, or deterministic byte corruption.
+type faultConn struct {
+	net.Conn
+	policy   Policy
+	decision Decision
+	written  int
+}
+
+func (c *faultConn) Write(p []byte) (int, error) {
+	switch c.decision.Fault {
+	case Truncate:
+		budget := c.policy.TruncateAfter - c.written
+		if budget <= 0 {
+			c.Conn.Close()
+			return 0, io.ErrClosedPipe
+		}
+		if budget >= len(p) {
+			n, err := c.Conn.Write(p)
+			c.written += n
+			return n, err
+		}
+		n, err := c.Conn.Write(p[:budget])
+		c.written += n
+		c.Conn.Close()
+		if err == nil {
+			err = io.ErrClosedPipe
+		}
+		return n, err
+	case SlowLoris:
+		for i := range p {
+			if i > 0 {
+				c.policy.Sleep(c.policy.Pace)
+			}
+			if _, err := c.Conn.Write(p[i : i+1]); err != nil {
+				c.written += i
+				return i, err
+			}
+		}
+		c.written += len(p)
+		return len(p), nil
+	case Corrupt:
+		off := c.decision.CorruptOffset - c.written
+		if off < 0 || off >= len(p) {
+			n, err := c.Conn.Write(p)
+			c.written += n
+			return n, err
+		}
+		mut := make([]byte, len(p))
+		copy(mut, p)
+		mut[off] ^= c.decision.CorruptMask
+		n, err := c.Conn.Write(mut)
+		c.written += n
+		return n, err
+	default:
+		n, err := c.Conn.Write(p)
+		c.written += n
+		return n, err
+	}
+}

@@ -32,6 +32,12 @@ const (
 	MaxCertBytes = 1 << 16
 )
 
+// DefaultAttemptTimeout bounds a single handshake when the caller supplies no
+// tighter budget — both the server's per-connection deadline and the client's
+// per-attempt deadline derive from it. It used to appear as a magic 10s in
+// two places; Options.AttemptTimeout overrides it on the client side.
+const DefaultAttemptTimeout = 10 * time.Second
+
 var magic = [4]byte{'S', 'P', 'K', 'I'}
 
 // ErrProtocol reports a malformed or incompatible peer.
@@ -66,6 +72,17 @@ func NewServer(addr string, provider ChainProvider) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("wire: listen: %w", err)
+	}
+	return Serve(ln, provider)
+}
+
+// Serve answers handshakes on an existing listener, taking ownership of it.
+// This is the doorway for wrapped listeners — cmd/servesim -chaos hands in a
+// faultnet-wrapped listener so fault injection happens below the protocol.
+func Serve(ln net.Listener, provider ChainProvider) (*Server, error) {
+	if provider == nil {
+		ln.Close()
+		return nil, fmt.Errorf("wire: nil chain provider")
 	}
 	s := &Server{ln: ln, provider: provider, conns: make(map[net.Conn]struct{})}
 	s.wg.Add(1)
@@ -124,7 +141,7 @@ func (s *Server) acceptLoop() {
 }
 
 func (s *Server) handle(conn net.Conn) {
-	conn.SetDeadline(time.Now().Add(10 * time.Second))
+	conn.SetDeadline(time.Now().Add(DefaultAttemptTimeout))
 	var hello [5]byte
 	if _, err := io.ReadFull(conn, hello[:]); err != nil {
 		return
@@ -158,19 +175,35 @@ func (s *Server) handle(conn net.Conn) {
 }
 
 // FetchChain performs one handshake against addr and returns the presented
-// DER chain (leaf first).
+// DER chain (leaf first). It is FetchChainOpts with the default options: one
+// attempt, DefaultAttemptTimeout.
 func FetchChain(ctx context.Context, addr string) ([][]byte, error) {
-	var d net.Dialer
-	conn, err := d.DialContext(ctx, "tcp", addr)
+	chain, _, err := FetchChainOpts(ctx, addr, Options{})
+	return chain, err
+}
+
+// fetchAttempt performs exactly one handshake. The connection deadline is the
+// earlier of the caller context's deadline and now+attemptTimeout, so a short
+// per-attempt budget is honoured even under a long sweep context (and vice
+// versa) — previously the context deadline, when present, silently replaced
+// the per-attempt budget.
+func fetchAttempt(ctx context.Context, addr string, attemptTimeout time.Duration, dial DialFunc) ([][]byte, error) {
+	deadline := time.Now().Add(attemptTimeout)
+	if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
+		deadline = d
+	}
+	dctx, cancel := context.WithDeadline(ctx, deadline)
+	defer cancel()
+	if dial == nil {
+		var d net.Dialer
+		dial = d.DialContext
+	}
+	conn, err := dial(dctx, "tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("wire: dial %s: %w", addr, err)
 	}
 	defer conn.Close()
-	if deadline, ok := ctx.Deadline(); ok {
-		conn.SetDeadline(deadline)
-	} else {
-		conn.SetDeadline(time.Now().Add(10 * time.Second))
-	}
+	conn.SetDeadline(deadline)
 
 	hello := append(append([]byte{}, magic[:]...), Version)
 	if _, err := conn.Write(hello); err != nil {
@@ -209,17 +242,36 @@ func FetchChain(ctx context.Context, addr string) ([][]byte, error) {
 	return chain, nil
 }
 
-// Result is one scanned endpoint's outcome.
+// Result is one scanned endpoint's outcome. Attempts counts handshakes made
+// (1 for a clean grab; 1+retries when the endpoint misbehaved).
 type Result struct {
-	Addr  string
-	Chain [][]byte
-	Err   error
+	Addr     string
+	Chain    [][]byte
+	Attempts int
+	// FailReasons records the Reason of every failed attempt in order; on a
+	// recovered endpoint these are the retried faults, on a failed one the
+	// last entry is the terminal reason.
+	FailReasons []string
+	Err         error
 }
 
 // Scan grabs chains from every target concurrently with a bounded worker
 // pool, like ZMap+zgrab. Results preserve target order. perTargetTimeout
-// bounds each handshake; the context cancels the whole sweep.
+// bounds each handshake; the context cancels the whole sweep. Scan never
+// retries; ScanRetry is the resilient form.
 func Scan(ctx context.Context, targets []string, workers int, perTargetTimeout time.Duration) []Result {
+	results, _ := ScanRetry(ctx, targets, workers, Options{AttemptTimeout: perTargetTimeout})
+	return results
+}
+
+// ScanRetry is Scan with a full resilience policy: per-attempt timeouts,
+// bounded retries with exponential backoff and deterministic seeded jitter.
+// Each target's jitter stream is derived from (opts.Seed, target index), so a
+// sweep's backoff schedule is reproducible regardless of which ports the
+// targets happen to live on. The returned SweepStats aggregates the
+// per-result retry/failure counters in target order (deterministically).
+func ScanRetry(ctx context.Context, targets []string, workers int, opts Options) ([]Result, SweepStats) {
+	opts = opts.withDefaults()
 	if workers <= 0 {
 		workers = 16
 	}
@@ -234,16 +286,16 @@ func Scan(ctx context.Context, targets []string, workers int, perTargetTimeout t
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				tctx := ctx
-				var cancel context.CancelFunc
-				if perTargetTimeout > 0 {
-					tctx, cancel = context.WithTimeout(ctx, perTargetTimeout)
+				topts := opts
+				topts.Seed = deriveSeed(opts.Seed, uint64(i))
+				chain, fs, err := FetchChainOpts(ctx, targets[i], topts)
+				results[i] = Result{
+					Addr:        targets[i],
+					Chain:       chain,
+					Attempts:    fs.Attempts,
+					FailReasons: fs.FailReasons,
+					Err:         err,
 				}
-				chain, err := FetchChain(tctx, targets[i])
-				if cancel != nil {
-					cancel()
-				}
-				results[i] = Result{Addr: targets[i], Chain: chain, Err: err}
 			}
 		}()
 	}
@@ -253,12 +305,12 @@ feed:
 		case idx <- i:
 		case <-ctx.Done():
 			for j := i; j < len(targets); j++ {
-				results[j] = Result{Addr: targets[j], Err: ctx.Err()}
+				results[j] = Result{Addr: targets[j], Attempts: 0, Err: ctx.Err()}
 			}
 			break feed
 		}
 	}
 	close(idx)
 	wg.Wait()
-	return results
+	return results, summarize(results)
 }

@@ -17,15 +17,15 @@ func richCertDER(tb testing.TB) []byte {
 	priv := ed25519.NewKeyFromSeed(seed)
 	pub := priv.Public().(ed25519.PublicKey)
 	der, err := CreateCertificate(&Template{
-		Version:      3,
-		SerialNumber: big.NewInt(987654321),
-		Subject:      Name{Country: "DE", Organization: "AVM", CommonName: "fritz.box"},
-		Issuer:       Name{Country: "DE", Organization: "AVM", CommonName: "AVM Root"},
-		NotBefore:    time.Date(2013, 1, 1, 0, 0, 0, 0, time.UTC),
-		NotAfter:     time.Date(2033, 1, 1, 0, 0, 0, 0, time.UTC),
-		DNSNames:     []string{"fritz.box", "www.fritz.box"},
-		IPAddresses:  []net.IP{net.IPv4(192, 168, 178, 1).To4()},
-		SubjectKeyID: []byte{1, 2, 3, 4},
+		Version:               3,
+		SerialNumber:          big.NewInt(987654321),
+		Subject:               Name{Country: "DE", Organization: "AVM", CommonName: "fritz.box"},
+		Issuer:                Name{Country: "DE", Organization: "AVM", CommonName: "AVM Root"},
+		NotBefore:             time.Date(2013, 1, 1, 0, 0, 0, 0, time.UTC),
+		NotAfter:              time.Date(2033, 1, 1, 0, 0, 0, 0, time.UTC),
+		DNSNames:              []string{"fritz.box", "www.fritz.box"},
+		IPAddresses:           []net.IP{net.IPv4(192, 168, 178, 1).To4()},
+		SubjectKeyID:          []byte{1, 2, 3, 4},
 		CRLDistributionPoints: []string{"http://crl.avm.de/root.crl"},
 		OCSPServer:            []string{"http://ocsp.avm.de"},
 		IssuingCertificateURL: []string{"http://aia.avm.de/root.der"},

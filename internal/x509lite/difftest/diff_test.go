@@ -1,0 +1,265 @@
+package difftest
+
+import (
+	"bytes"
+	"crypto/ed25519"
+	"crypto/x509"
+	"fmt"
+	"math/big"
+	"strings"
+	"testing"
+	"time"
+
+	"securepki/internal/devicesim"
+	"securepki/internal/x509lite"
+)
+
+// harvest walks a simulated population through three years of reissues and
+// returns every distinct certificate it served, deduplicated by fingerprint.
+func harvest(t *testing.T) []*x509lite.Certificate {
+	t.Helper()
+	cfg := devicesim.DefaultConfig()
+	cfg.Seed = 7
+	cfg.NumDevices = 300
+	cfg.NumSites = 16
+	world, err := devicesim.BuildWorld(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[x509lite.Fingerprint]bool)
+	var certs []*x509lite.Certificate
+	for _, dev := range world.Devices {
+		for year := 0; year <= 3; year++ {
+			dev.AdvanceTo(dev.Birth.AddDate(year, 0, 0))
+			c := dev.CurrentCert()
+			if fp := c.Fingerprint(); !seen[fp] {
+				seen[fp] = true
+				certs = append(certs, c)
+			}
+		}
+	}
+	return append(certs, bogusVersions(t)...)
+}
+
+// bogusVersions synthesizes the corpus's nonsense-version certificates
+// (2, 4, 13) directly — devicesim emits them at ~0.1% probability, too rare
+// for a 300-device harvest to hit deterministically, and the skip-list
+// branch must fire on every run.
+func bogusVersions(t *testing.T) []*x509lite.Certificate {
+	t.Helper()
+	var certs []*x509lite.Certificate
+	for i, version := range []int{2, 4, 13} {
+		seed := make([]byte, ed25519.SeedSize)
+		seed[0] = byte(0xB0 + i)
+		priv := ed25519.NewKeyFromSeed(seed)
+		pub := priv.Public().(ed25519.PublicKey)
+		name := x509lite.Name{Organization: "Bogus", CommonName: fmt.Sprintf("v%d.example", version)}
+		der, err := x509lite.CreateCertificate(&x509lite.Template{
+			Version:      version,
+			SerialNumber: big.NewInt(int64(1000 + version)),
+			Subject:      name,
+			Issuer:       name,
+			NotBefore:    time.Date(2014, 1, 1, 0, 0, 0, 0, time.UTC),
+			NotAfter:     time.Date(2016, 1, 1, 0, 0, 0, 0, time.UTC),
+		}, pub, priv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := x509lite.Parse(der)
+		if err != nil {
+			t.Fatalf("x509lite rejected its own version-%d certificate: %v", version, err)
+		}
+		certs = append(certs, c)
+	}
+	return certs
+}
+
+// one unwraps pkix.Name's []string attribute convention; the corpus never
+// writes more than one value per attribute.
+func one(t *testing.T, field string, vs []string) string {
+	t.Helper()
+	switch len(vs) {
+	case 0:
+		return ""
+	case 1:
+		return vs[0]
+	default:
+		t.Fatalf("%s has %d values: %v", field, len(vs), vs)
+		return ""
+	}
+}
+
+// stdKeyUsage maps x509lite's raw BIT STRING byte (DER bit 0 = MSB 0x80)
+// onto crypto/x509's representation (DER bit i = Go bit 1<<i).
+func stdKeyUsage(raw int) x509.KeyUsage {
+	var ku x509.KeyUsage
+	for i := 0; i < 8; i++ {
+		if raw&(0x80>>i) != 0 {
+			ku |= 1 << i
+		}
+	}
+	return ku
+}
+
+func oidStrings(oids [][]int) []string {
+	out := make([]string, len(oids))
+	for i, oid := range oids {
+		parts := make([]string, len(oid))
+		for j, arc := range oid {
+			parts[j] = fmt.Sprint(arc)
+		}
+		out[i] = strings.Join(parts, ".")
+	}
+	return out
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestDifferentialAgainstCryptoX509(t *testing.T) {
+	certs := harvest(t)
+	var compared, skippedImpossible, sawV2 int
+	for _, lite := range certs {
+		std, err := x509.ParseCertificate(lite.Raw)
+		switch {
+		case lite.Version > 3:
+			// Skip-list entry 1a: impossible versions (4, 13). x509lite
+			// preserves them for the classifier; the stdlib must reject.
+			skippedImpossible++
+			if err == nil {
+				t.Errorf("crypto/x509 accepted impossible version %d (serial %s)", lite.Version, lite.SerialNumber)
+			}
+			continue
+		case lite.Version == 2:
+			// Skip-list entry 1b: v2 is a legal X.509 version the paper's
+			// classifier nonetheless discards. The stdlib parses it when the
+			// certificate carries no extensions and rejects it otherwise
+			// (extensions are v3-only); both outcomes are legitimate, and
+			// when it does parse, the fields must still agree.
+			sawV2++
+			if err != nil {
+				continue
+			}
+		case err != nil:
+			t.Errorf("crypto/x509 rejected a cert x509lite parsed (version %d, serial %s): %v",
+				lite.Version, lite.SerialNumber, err)
+			continue
+		}
+		compared++
+		compare(t, lite, std)
+	}
+	// The sweep is only meaningful if every branch fires: plenty of
+	// comparable certificates AND the skip-listed versions.
+	if compared < 200 {
+		t.Errorf("only %d certificates compared; population too small for a differential sweep", compared)
+	}
+	if skippedImpossible == 0 {
+		t.Error("no impossible-version certificates harvested; skip-list entry 1a untested")
+	}
+	if sawV2 == 0 {
+		t.Error("no v2 certificates harvested; skip-list entry 1b untested")
+	}
+}
+
+func compare(t *testing.T, lite *x509lite.Certificate, std *x509.Certificate) {
+	t.Helper()
+	serial := lite.SerialNumber.String()
+	errorf := func(format string, args ...any) {
+		t.Helper()
+		t.Errorf("serial %s: %s", serial, fmt.Sprintf(format, args...))
+	}
+
+	if std.Version != lite.Version {
+		errorf("version %d != %d", std.Version, lite.Version)
+	}
+	if std.SerialNumber.Cmp(lite.SerialNumber) != 0 {
+		errorf("serial %s != %s", std.SerialNumber, lite.SerialNumber)
+	}
+	names := []struct {
+		field string
+		std   string
+		lite  string
+	}{
+		{"subject.C", one(t, "subject.C", std.Subject.Country), lite.Subject.Country},
+		{"subject.L", one(t, "subject.L", std.Subject.Locality), lite.Subject.Locality},
+		{"subject.O", one(t, "subject.O", std.Subject.Organization), lite.Subject.Organization},
+		{"subject.OU", one(t, "subject.OU", std.Subject.OrganizationalUnit), lite.Subject.OrganizationalUnit},
+		{"subject.CN", std.Subject.CommonName, lite.Subject.CommonName},
+		{"issuer.C", one(t, "issuer.C", std.Issuer.Country), lite.Issuer.Country},
+		{"issuer.L", one(t, "issuer.L", std.Issuer.Locality), lite.Issuer.Locality},
+		{"issuer.O", one(t, "issuer.O", std.Issuer.Organization), lite.Issuer.Organization},
+		{"issuer.OU", one(t, "issuer.OU", std.Issuer.OrganizationalUnit), lite.Issuer.OrganizationalUnit},
+		{"issuer.CN", std.Issuer.CommonName, lite.Issuer.CommonName},
+	}
+	for _, n := range names {
+		if n.std != n.lite {
+			errorf("%s %q != %q", n.field, n.std, n.lite)
+		}
+	}
+	if !std.NotBefore.Equal(lite.NotBefore) {
+		errorf("notBefore %v != %v", std.NotBefore, lite.NotBefore)
+	}
+	if !std.NotAfter.Equal(lite.NotAfter) {
+		errorf("notAfter %v != %v", std.NotAfter, lite.NotAfter)
+	}
+	if !equalStrings(std.DNSNames, lite.DNSNames) {
+		errorf("dnsNames %v != %v", std.DNSNames, lite.DNSNames)
+	}
+	if len(std.IPAddresses) != len(lite.IPAddresses) {
+		errorf("ipAddresses %v != %v", std.IPAddresses, lite.IPAddresses)
+	} else {
+		for i := range std.IPAddresses {
+			if !std.IPAddresses[i].Equal(lite.IPAddresses[i]) {
+				errorf("ipAddress[%d] %v != %v", i, std.IPAddresses[i], lite.IPAddresses[i])
+			}
+		}
+	}
+	if !bytes.Equal(std.SubjectKeyId, lite.SubjectKeyID) {
+		errorf("subjectKeyID %x != %x", std.SubjectKeyId, lite.SubjectKeyID)
+	}
+	if !bytes.Equal(std.AuthorityKeyId, lite.AuthorityKeyID) {
+		errorf("authorityKeyID %x != %x", std.AuthorityKeyId, lite.AuthorityKeyID)
+	}
+	if !equalStrings(std.CRLDistributionPoints, lite.CRLDistributionPoints) {
+		errorf("crl %v != %v", std.CRLDistributionPoints, lite.CRLDistributionPoints)
+	}
+	if !equalStrings(std.IssuingCertificateURL, lite.IssuingCertificateURL) {
+		errorf("aia caIssuers %v != %v", std.IssuingCertificateURL, lite.IssuingCertificateURL)
+	}
+	if !equalStrings(std.OCSPServer, lite.OCSPServer) {
+		errorf("aia ocsp %v != %v", std.OCSPServer, lite.OCSPServer)
+	}
+	stdOIDs := make([]string, len(std.PolicyIdentifiers))
+	for i, oid := range std.PolicyIdentifiers {
+		stdOIDs[i] = oid.String()
+	}
+	if !equalStrings(stdOIDs, oidStrings(lite.PolicyOIDs)) {
+		errorf("policies %v != %v", stdOIDs, oidStrings(lite.PolicyOIDs))
+	}
+	// Skip-list entry 2: representation translation, not a skip.
+	if std.KeyUsage != stdKeyUsage(lite.KeyUsage) {
+		errorf("keyUsage %b != raw byte %08b", std.KeyUsage, lite.KeyUsage)
+	}
+	if std.IsCA != lite.IsCA || std.BasicConstraintsValid != lite.BasicConstraintsValid {
+		errorf("basicConstraints (ca=%v valid=%v) != (ca=%v valid=%v)",
+			std.IsCA, std.BasicConstraintsValid, lite.IsCA, lite.BasicConstraintsValid)
+	}
+	stdPub, ok := std.PublicKey.(ed25519.PublicKey)
+	if !ok {
+		errorf("public key type %T", std.PublicKey)
+	} else if !bytes.Equal(stdPub, lite.PublicKey) {
+		errorf("public key %x != %x", stdPub, lite.PublicKey)
+	}
+	if !bytes.Equal(std.Signature, lite.Signature) {
+		errorf("signature %x != %x", std.Signature, lite.Signature)
+	}
+}

@@ -1,0 +1,32 @@
+// Package difftest differentially tests internal/x509lite against the
+// standard library's crypto/x509 parser. x509lite is a from-scratch codec —
+// depending on the stdlib inside the package would silently reintroduce the
+// divergent-parser problem the paper measures — but *testing against* it is
+// exactly how a from-scratch parser earns trust, so this one package (and
+// only this one, see repolint.json) is allowed to import crypto/x509, and
+// only from its test files.
+//
+// The differential sweep parses every distinct certificate the simulated
+// device population emits with both parsers and demands field-level
+// agreement, modulo a documented skip-list of places where the two parsers
+// legitimately diverge:
+//
+//  1. Version ∉ {1, 3}. The corpus contains nonsense versions (2, 4, 13);
+//     x509lite preserves all of them so the classifier can reject them.
+//     (a) Impossible versions (4, 13): crypto/x509 refuses to parse at all,
+//     and the test asserts that it *does* reject — preservation vs.
+//     rejection is the designed divergence, not an accident.
+//     (b) Version 2 is a legal X.509 version the paper's classifier still
+//     discards: the stdlib parses it when the certificate carries no
+//     extensions (and rejects it otherwise, since extensions are v3-only);
+//     when it parses, fields must agree like any other certificate.
+//
+//  2. KeyUsage representation. x509lite stores the raw first BIT STRING
+//     byte (DER bit 0 is the MSB, 0x80), crypto/x509 maps DER bit i to
+//     x509.KeyUsage bit 1<<i. The test translates between the two rather
+//     than skipping the field.
+//
+// Everything else — serial, names, validity, SANs, key identifiers, CRL and
+// AIA URLs, policy OIDs, basic constraints, public key and signature bytes —
+// must match exactly.
+package difftest

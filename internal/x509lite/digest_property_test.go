@@ -1,0 +1,41 @@
+package x509lite
+
+import (
+	"crypto/ed25519"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// Property: ParseWithDigest with the correct precomputed digest yields a
+// certificate deeply equal to a fresh Parse — same fields, same memoized
+// fingerprints — so the snapshot loader's digest-reuse fast path can never
+// drift from the reference parse.
+func TestParseWithDigestEquivalenceProperty(t *testing.T) {
+	seed := make([]byte, ed25519.SeedSize)
+	seed[0] = 0x3c
+	priv := ed25519.NewKeyFromSeed(seed)
+	pub := priv.Public().(ed25519.PublicKey)
+
+	f := func(serial uint64, cn, org string, v1 bool, days int16, sans []bool) bool {
+		tmpl := arbitraryTemplate(serial, cn, org, v1, days, sans)
+		der, err := CreateCertificate(tmpl, pub, priv)
+		if err != nil {
+			return false
+		}
+		fresh, err := Parse(der)
+		if err != nil {
+			return false
+		}
+		withDigest, err := ParseWithDigest(der, FingerprintBytes(der))
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(fresh, withDigest) &&
+			fresh.Fingerprint() == withDigest.Fingerprint() &&
+			fresh.PublicKeyFingerprint() == withDigest.PublicKeyFingerprint()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
