@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet lint race bench bench-all fuzz-seeds bench-smoke chaos-smoke check ci
+.PHONY: all build test vet lint race bench bench-all fuzz-seeds bench-smoke chaos-smoke obs-smoke check ci
 
 all: build test
 
@@ -44,12 +44,22 @@ bench-smoke:
 chaos-smoke:
 	$(GO) test -race -run 'TestChaosMatrixSnapshotIdentical/workers=4$$' -v ./cmd/certscan
 
+# Observability smoke: a small instrumented sweep with the full obs surface
+# on (metric registry, span tracer, parallel observer) must emit
+# schema-valid metrics and trace artifacts. OBS_SMOKE_OUT leaves
+# obs_metrics.json / obs_trace.jsonl behind for CI to upload next to
+# BENCH_snapshot.json (see DESIGN.md "Observability contract").
+obs-smoke:
+	OBS_SMOKE_OUT=$(CURDIR)/obs-artifacts $(GO) test -race -run 'TestObsSmoke$$' -v -count=1 ./cmd/certscan
+	@echo wrote obs-artifacts/obs_metrics.json and obs-artifacts/obs_trace.jsonl
+
 # Everything CI runs, in CI order; fails on any new repolint finding.
 ci: build vet lint
 	$(GO) test -race -shuffle=on ./...
 	$(MAKE) fuzz-seeds
 	$(MAKE) bench-smoke
 	$(MAKE) chaos-smoke
+	$(MAKE) obs-smoke
 
 # Perf trajectory: snapshot + parse benchmarks rendered to machine-readable
 # JSON so future PRs have a baseline to compare against (certs/sec, MB/s,

@@ -6,6 +6,11 @@
 //
 //	analyze [-small] [-seed 1] [-workers 0] [-exp all|fig3,table6,...] [-list]
 //	        [-corpus corpus.spki] [-save-corpus corpus.spki]
+//	        [-metrics-out metrics.json] [-trace-out trace.jsonl]
+//
+// -metrics-out writes the pipeline's metric registry (core.*, linking.*,
+// snapshot.* and parallel.*) as a versioned JSON document; -trace-out
+// appends one JSON line per pipeline-stage span.
 //
 // With -corpus the scan stage is replaced by loading a snapshot written by
 // scangen or analyze -save-corpus (either format; v2 decodes across
@@ -18,24 +23,28 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
 	"securepki/internal/core"
-	"securepki/internal/stats"
+	"securepki/internal/obs"
+	"securepki/internal/parallel"
 )
 
 func main() {
 	var (
-		small   = flag.Bool("small", false, "use the reduced sizing (seconds instead of tens of seconds)")
-		seed    = flag.Uint64("seed", 0, "world seed (0 = default)")
-		workers = flag.Int("workers", 0, "worker pool size for validation/indexing/linking (0 = GOMAXPROCS); output is identical at any setting")
-		exp     = flag.String("exp", "all", "comma-separated experiment IDs, or 'all'")
-		list    = flag.Bool("list", false, "list experiment IDs and exit")
-		plotDir = flag.String("plotdir", "", "also write gnuplot-ready .dat files and plots.gp to this directory")
-		asJSON  = flag.Bool("json", false, "print a machine-readable summary instead of experiment text")
-		corpus  = flag.String("corpus", "", "load the corpus from this snapshot instead of scanning (v1 or v2)")
-		saveTo  = flag.String("save-corpus", "", "after the run, write the corpus as a v2 snapshot to this file")
+		small      = flag.Bool("small", false, "use the reduced sizing (seconds instead of tens of seconds)")
+		seed       = flag.Uint64("seed", 0, "world seed (0 = default)")
+		workers    = flag.Int("workers", 0, "worker pool size for validation/indexing/linking (0 = GOMAXPROCS); output is identical at any setting")
+		exp        = flag.String("exp", "all", "comma-separated experiment IDs, or 'all'")
+		list       = flag.Bool("list", false, "list experiment IDs and exit")
+		plotDir    = flag.String("plotdir", "", "also write gnuplot-ready .dat files and plots.gp to this directory")
+		asJSON     = flag.Bool("json", false, "print a machine-readable summary instead of experiment text")
+		corpus     = flag.String("corpus", "", "load the corpus from this snapshot instead of scanning (v1 or v2)")
+		saveTo     = flag.String("save-corpus", "", "after the run, write the corpus as a v2 snapshot to this file")
+		metricsOut = flag.String("metrics-out", "", "write the run's metrics as a versioned JSON document")
+		traceOut   = flag.String("trace-out", "", "append pipeline-stage span events as JSON lines")
 	)
 	flag.Parse()
 
@@ -69,7 +78,26 @@ func main() {
 		}
 	}
 
-	timer := stats.StartTimer()
+	reg := obs.NewRegistry()
+	parallel.SetObserver(obs.NewParallelCollector(reg))
+	defer parallel.SetObserver(nil)
+	cfg.Obs = reg
+	traceW := io.Discard
+	if *traceOut != "" {
+		tf, err := obs.WriteTraceFile(*traceOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "analyze:", err)
+			os.Exit(1)
+		}
+		defer tf.Close()
+		traceW = tf
+	}
+	tracer := obs.NewWallClockTracer(traceW)
+	cfg.Tracer = tracer
+
+	// The pipeline span wraps the stage spans core.Pipeline emits; its Timer
+	// replaces the old free-standing stats.Timer in the progress line.
+	span := tracer.Start("analyze.pipeline")
 	var p *core.Pipeline
 	var err error
 	if *corpus != "" {
@@ -81,8 +109,18 @@ func main() {
 		fmt.Fprintln(os.Stderr, "analyze:", err)
 		os.Exit(1)
 	}
+	span.SetAttrInt("certs", int64(p.Corpus.NumCerts()))
+	span.SetAttrInt("scans", int64(p.Corpus.NumScans()))
+	span.End()
 	fmt.Fprintf(os.Stderr, "pipeline complete in %v (%d certs, %d scans)\n\n",
-		timer, p.Corpus.NumCerts(), p.Corpus.NumScans())
+		span.Timer, p.Corpus.NumCerts(), p.Corpus.NumScans())
+
+	if *metricsOut != "" {
+		if err := obs.WriteMetricsFile(*metricsOut, reg); err != nil {
+			fmt.Fprintln(os.Stderr, "analyze:", err)
+			os.Exit(1)
+		}
+	}
 
 	if *saveTo != "" {
 		f, err := os.Create(*saveTo)

@@ -7,15 +7,25 @@
 // Usage:
 //
 //	go test -run='^$' -bench=Snapshot -benchmem ./internal/snapshot | benchjson
+//
+// With -metrics, one or more obs metrics documents (comma-separated paths,
+// as written by a cmd's -metrics-out flag) are validated and merged into
+// the report under "obs", keyed by file base name — so a bench run and the
+// instrumented sweep that produced it travel in one BENCH artifact.
 package main
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
+
+	"securepki/internal/obs"
 )
 
 // Benchmark is one parsed result line: the benchmark name, its iteration
@@ -29,14 +39,49 @@ type Benchmark struct {
 	Metrics    map[string]float64 `json:"metrics"`
 }
 
-// Report is the whole document.
+// Report is the whole document. Obs carries merged -metrics documents
+// keyed by file base name; map keys marshal sorted, so the report stays
+// byte-deterministic for a fixed input set.
 type Report struct {
-	Context    map[string]string `json:"context"`
-	Benchmarks []Benchmark       `json:"benchmarks"`
+	Context    map[string]string          `json:"context"`
+	Benchmarks []Benchmark                `json:"benchmarks"`
+	Obs        map[string]json.RawMessage `json:"obs,omitempty"`
+}
+
+// mergeMetrics validates each obs metrics document and attaches it to the
+// report. A document that fails schema validation aborts the merge: a BENCH
+// artifact with a malformed metrics blob is worse than a failed run.
+func mergeMetrics(rep *Report, paths []string) error {
+	for _, path := range paths {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		if err := obs.ValidateMetrics(data); err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		var compact bytes.Buffer
+		if err := json.Compact(&compact, data); err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		if rep.Obs == nil {
+			rep.Obs = map[string]json.RawMessage{}
+		}
+		rep.Obs[filepath.Base(path)] = json.RawMessage(compact.Bytes())
+	}
+	return nil
 }
 
 func main() {
+	metricsFiles := flag.String("metrics", "", "comma-separated obs metrics documents (-metrics-out output) to merge into the report")
+	flag.Parse()
 	rep := Report{Context: map[string]string{}, Benchmarks: []Benchmark{}}
+	if *metricsFiles != "" {
+		if err := mergeMetrics(&rep, strings.Split(*metricsFiles, ",")); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+	}
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {

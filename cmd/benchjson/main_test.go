@@ -1,6 +1,10 @@
 package main
 
-import "testing"
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
 
 func TestParseBenchLine(t *testing.T) {
 	b, err := parseBenchLine("BenchmarkSnapshotRead/v2-parallel-4 \t 10\t 9222634 ns/op\t 34.32 MB/s\t 216873 certs/sec\t 5233712 B/op\t 16400 allocs/op")
@@ -30,5 +34,36 @@ func TestParseBenchLineRejects(t *testing.T) {
 		if _, err := parseBenchLine(line); err == nil {
 			t.Errorf("accepted %q", line)
 		}
+	}
+}
+
+func TestMergeMetrics(t *testing.T) {
+	dir := t.TempDir()
+	good := filepath.Join(dir, "sweep_metrics.json")
+	doc := `{"version":1,"metrics":[{"name":"wire.attempts","type":"counter","value":14}]}`
+	if err := os.WriteFile(good, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := mergeMetrics(&rep, []string{good}); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := rep.Obs["sweep_metrics.json"]
+	if !ok {
+		t.Fatalf("merged doc missing from report: %#v", rep.Obs)
+	}
+	if string(got) != doc {
+		t.Errorf("merged doc = %s, want %s", got, doc)
+	}
+
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"version":99,"metrics":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := mergeMetrics(&rep, []string{bad}); err == nil {
+		t.Error("schema-invalid metrics doc merged without error")
+	}
+	if err := mergeMetrics(&rep, []string{filepath.Join(dir, "absent.json")}); err == nil {
+		t.Error("missing metrics file merged without error")
 	}
 }

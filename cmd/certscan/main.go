@@ -9,6 +9,13 @@
 //	certscan -targets targets.txt [-workers 32] [-timeout 3s] [-repeat 1 -interval 2s]
 //	         [-retries 0] [-backoff 100ms] [-backoff-max 2s] [-scan-seed 1]
 //	         [-o corpus.spki] [-json]
+//	         [-metrics-out metrics.json] [-trace-out trace.jsonl] [-debug-addr :6060]
+//
+// -metrics-out writes the run's metric registry (wire.*, sweep.*,
+// certscan.*, snapshot.* when -o is set) as a versioned JSON document;
+// -trace-out appends one JSON line per sweep span; -debug-addr serves
+// expvar (/debug/vars, with the live registry as the "obs" var) and pprof
+// (/debug/pprof/) while the scan runs.
 //
 // Faulty endpoints (refused, stalled, reset, truncated or corrupted
 // connections — e.g. a servesim -chaos population) are retried up to
@@ -38,6 +45,8 @@ import (
 	"time"
 
 	"securepki/internal/netsim"
+	"securepki/internal/obs"
+	"securepki/internal/parallel"
 	"securepki/internal/snapshot"
 	"securepki/internal/wire"
 )
@@ -55,6 +64,9 @@ func main() {
 		interval    = flag.Duration("interval", 2*time.Second, "pause between sweeps")
 		outCorpus   = flag.String("o", "", "accumulate sweeps into a corpus and write it as a v2 snapshot")
 		jsonOut     = flag.Bool("json", false, "print a JSON run summary (retry/failure counters) to stdout")
+		metricsOut  = flag.String("metrics-out", "", "write the run's metrics as a versioned JSON document")
+		traceOut    = flag.String("trace-out", "", "append per-sweep span events as JSON lines")
+		debugAddr   = flag.String("debug-addr", "", "serve expvar (/debug/vars) and pprof (/debug/pprof/) on this address while scanning")
 	)
 	flag.Parse()
 	if *targetsFile == "" {
@@ -67,6 +79,26 @@ func main() {
 	}
 	if len(targets) == 0 {
 		fatal(fmt.Errorf("no targets in %s", *targetsFile))
+	}
+
+	reg := obs.NewRegistry()
+	parallel.SetObserver(obs.NewParallelCollector(reg))
+	defer parallel.SetObserver(nil)
+	var tracer *obs.Tracer
+	if *traceOut != "" {
+		tf, err := obs.WriteTraceFile(*traceOut)
+		if err != nil {
+			fatal(err)
+		}
+		defer tf.Close()
+		tracer = obs.NewWallClockTracer(tf)
+	}
+	if *debugAddr != "" {
+		bound, err := startDebug(*debugAddr, reg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "certscan: debug endpoints on http://%s/debug/\n", bound)
 	}
 
 	cfg := scanConfig{
@@ -82,6 +114,8 @@ func main() {
 			Seed:           *scanSeed,
 		},
 		BuildCorpus: *outCorpus != "",
+		Obs:         reg,
+		Tracer:      tracer,
 	}
 	corpus, summary, err := runSweeps(cfg, os.Stdout, os.Stderr)
 	if err != nil {
@@ -97,7 +131,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		if err := snapshot.Write(f, corpus, snapshot.Options{}); err != nil {
+		if err := snapshot.Write(f, corpus, snapshot.Options{Obs: reg}); err != nil {
 			f.Close()
 			fatal(err)
 		}
@@ -106,6 +140,11 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "certscan: wrote %s (%d certs, %d scans)\n",
 			*outCorpus, corpus.NumCerts(), corpus.NumScans())
+	}
+	if *metricsOut != "" {
+		if err := obs.WriteMetricsFile(*metricsOut, reg); err != nil {
+			fatal(err)
+		}
 	}
 }
 

@@ -1,0 +1,243 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"securepki/internal/faultnet"
+	"securepki/internal/obs"
+	"securepki/internal/parallel"
+	"securepki/internal/snapshot"
+	"securepki/internal/wire"
+)
+
+// TestChaosMatrixMetricsIdentical is the observability determinism proof:
+// the same chaos sweep that produces byte-identical corpus snapshots at any
+// worker count (TestChaosMatrixSnapshotIdentical) also produces
+// byte-identical stable metrics and trace lines. The fault schedule is a
+// pure function of (seed, endpoint index, connection ordinal), every
+// counter folds shard-locally, and the fake clock is called a fixed number
+// of times per sweep — so workers 1, 4 and 16 cannot be told apart.
+func TestChaosMatrixMetricsIdentical(t *testing.T) {
+	chains := deviceChains(t, 14)
+
+	run := func(workers int) (metrics, trace []byte) {
+		policy := &faultnet.Policy{
+			Seed:           99,
+			Rate:           0.3,
+			MaxConsecutive: 2,
+			Sleep:          func(time.Duration) {},
+		}
+		targets := startServers(t, chains, policy)
+		clock := fakeClock()
+		reg := obs.NewRegistry()
+		var traceBuf bytes.Buffer
+		cfg := scanConfig{
+			Targets: targets,
+			Workers: workers,
+			Repeat:  2,
+			Opts: wire.Options{
+				AttemptTimeout: 500 * time.Millisecond,
+				Retries:        4,
+				Seed:           7,
+				Sleep:          noSleep,
+			},
+			Now:    clock,
+			Pause:  noPause,
+			Obs:    reg,
+			Tracer: obs.NewTracer(&traceBuf, clock),
+		}
+		_, summary, err := runSweeps(cfg, io.Discard, io.Discard)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if summary.Failed != 0 {
+			t.Fatalf("sweep failed to converge: %+v", summary)
+		}
+		return reg.Snapshot().Stable().EncodeJSON(), traceBuf.Bytes()
+	}
+
+	wantMetrics, wantTrace := run(1)
+	if err := obs.ValidateMetrics(wantMetrics); err != nil {
+		t.Fatalf("sweep metrics fail schema: %v", err)
+	}
+	if err := obs.ValidateTrace(wantTrace); err != nil {
+		t.Fatalf("sweep trace fails schema: %v", err)
+	}
+	for _, workers := range []int{4, 16} {
+		workers := workers
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			gotMetrics, gotTrace := run(workers)
+			if !bytes.Equal(gotMetrics, wantMetrics) {
+				t.Errorf("stable metrics differ from workers=1:\n%s\nwant:\n%s", gotMetrics, wantMetrics)
+			}
+			if !bytes.Equal(gotTrace, wantTrace) {
+				t.Errorf("trace differs from workers=1:\n%s\nwant:\n%s", gotTrace, wantTrace)
+			}
+		})
+	}
+
+	// The chaos run must actually have exercised the retry instrumentation.
+	if !bytes.Contains(wantMetrics, []byte(`"wire.retries"`)) {
+		t.Error("chaos metrics carry no wire.retries counter")
+	}
+	if !bytes.Contains(wantMetrics, []byte(`"sweep.ok"`)) {
+		t.Error("chaos metrics carry no sweep.ok counter")
+	}
+}
+
+// TestObsSmoke is the end-to-end artifact check `make obs-smoke` runs: a
+// small healthy sweep with the full observability surface on — registry,
+// tracer, parallel observer — must emit schema-valid metrics and trace
+// files. With OBS_SMOKE_OUT set, the artifacts are left in that directory
+// for CI to upload next to BENCH_snapshot.json.
+func TestObsSmoke(t *testing.T) {
+	outDir := os.Getenv("OBS_SMOKE_OUT")
+	if outDir == "" {
+		outDir = t.TempDir()
+	} else if err := os.MkdirAll(outDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+
+	reg := obs.NewRegistry()
+	parallel.SetObserver(obs.NewParallelCollector(reg))
+	defer parallel.SetObserver(nil)
+
+	targets := startServers(t, deviceChains(t, 6), nil)
+	clock := fakeClock()
+	tracePath := filepath.Join(outDir, "obs_trace.jsonl")
+	tf, err := obs.WriteTraceFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := scanConfig{
+		Targets: targets,
+		Workers: 4,
+		Repeat:  2,
+		Opts: wire.Options{
+			AttemptTimeout: 500 * time.Millisecond,
+			Retries:        1,
+			Seed:           3,
+			Sleep:          noSleep,
+		},
+		BuildCorpus: true,
+		Now:         clock,
+		Pause:       noPause,
+		Obs:         reg,
+		Tracer:      obs.NewTracer(tf, clock),
+	}
+	corpus, summary, err := runSweeps(cfg, io.Discard, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if summary.OK == 0 || corpus == nil {
+		t.Fatalf("smoke sweep grabbed nothing: %+v", summary)
+	}
+	if err := snapshot.Write(io.Discard, corpus, snapshot.Options{Obs: reg}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tf.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	metricsPath := filepath.Join(outDir, "obs_metrics.json")
+	if err := obs.WriteMetricsFile(metricsPath, reg); err != nil {
+		t.Fatal(err)
+	}
+	metricsData, err := os.ReadFile(metricsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.ValidateMetrics(metricsData); err != nil {
+		t.Errorf("metrics artifact fails schema: %v\n%s", err, metricsData)
+	}
+	traceData, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.ValidateTrace(traceData); err != nil {
+		t.Errorf("trace artifact fails schema: %v\n%s", err, traceData)
+	}
+	// Every instrumented layer must have reported in: the wire client, the
+	// sweep fold, the verdict counters, the snapshot encoder and the worker
+	// pool observer.
+	for _, name := range []string{`"wire.attempts"`, `"sweep.targets"`, `"certscan.sweeps"`, `"snapshot.encode.shards"`, `"parallel.dispatches"`} {
+		if !bytes.Contains(metricsData, []byte(name)) {
+			t.Errorf("metrics artifact missing %s:\n%s", name, metricsData)
+		}
+	}
+	if !strings.Contains(string(traceData), `"name":"certscan.sweep"`) {
+		t.Errorf("trace artifact missing sweep span:\n%s", traceData)
+	}
+}
+
+// TestDebugEndpointsReachable proves -debug-addr works mid-run: the Pause
+// hook between two sweeps fetches /debug/vars and /debug/pprof/ from the
+// live debug server and finds the published obs registry.
+func TestDebugEndpointsReachable(t *testing.T) {
+	reg := obs.NewRegistry()
+	addr, err := startDebug("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fetch := func(path string) string {
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		return string(body)
+	}
+
+	checked := false
+	cfg := scanConfig{
+		Targets: startServers(t, deviceChains(t, 3), nil),
+		Workers: 2,
+		Repeat:  2,
+		Opts: wire.Options{
+			AttemptTimeout: 500 * time.Millisecond,
+			Seed:           1,
+			Sleep:          noSleep,
+		},
+		Now: fakeClock(),
+		Pause: func(time.Duration) {
+			// One sweep done, the next not started: the process is mid-run
+			// and the first sweep's counters must already be visible.
+			vars := fetch("/debug/vars")
+			if !strings.Contains(vars, `"obs"`) {
+				t.Errorf("/debug/vars does not publish the obs registry:\n%s", vars)
+			}
+			if !strings.Contains(vars, "wire.attempts") {
+				t.Errorf("/debug/vars obs registry missing live wire.attempts:\n%s", vars)
+			}
+			if !strings.Contains(fetch("/debug/pprof/"), "goroutine") {
+				t.Error("/debug/pprof/ index does not list profiles")
+			}
+			checked = true
+		},
+		Obs: reg,
+	}
+	if _, summary, err := runSweeps(cfg, io.Discard, io.Discard); err != nil {
+		t.Fatal(err)
+	} else if summary.Failed != 0 {
+		t.Fatalf("sweep failed: %+v", summary)
+	}
+	if !checked {
+		t.Fatal("pause hook never ran; debug endpoints were not probed mid-run")
+	}
+}

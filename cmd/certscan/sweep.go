@@ -8,9 +8,9 @@ import (
 	"sort"
 	"time"
 
+	"securepki/internal/obs"
 	"securepki/internal/parallel"
 	"securepki/internal/scanstore"
-	"securepki/internal/stats"
 	"securepki/internal/truststore"
 	"securepki/internal/wire"
 	"securepki/internal/x509lite"
@@ -35,6 +35,14 @@ type scanConfig struct {
 	Now func() time.Time
 	// Pause waits between sweeps; nil means time.Sleep.
 	Pause func(time.Duration)
+	// Obs receives the run's metrics (wire.*, sweep.*, certscan.*); nil
+	// disables metering. Everything recorded here is deterministic for a
+	// deterministic fault schedule — worker count never changes the bytes.
+	Obs *obs.Registry
+	// Tracer emits one span per sweep ("certscan.sweep"); nil means spans
+	// are timed on cfg.Now but written nowhere (the span's Timer still
+	// drives the progress line).
+	Tracer *obs.Tracer
 }
 
 // sweepSummary is the machine-readable outcome of a certscan run (-json).
@@ -66,6 +74,10 @@ func runSweeps(cfg scanConfig, out, errOut io.Writer) (*scanstore.Corpus, sweepS
 	if pause == nil {
 		pause = time.Sleep
 	}
+	tracer := cfg.Tracer
+	if tracer == nil {
+		tracer = obs.NewTracer(io.Discard, now) // spans still time the sweeps
+	}
 
 	store := truststore.NewStore() // empty: classifies like a client that trusts nothing
 	lastSeen := make(map[string]x509lite.Fingerprint)
@@ -94,12 +106,15 @@ func runSweeps(cfg scanConfig, out, errOut io.Writer) (*scanstore.Corpus, sweepS
 		if sweep > 0 {
 			pause(cfg.Interval)
 		}
-		timer := stats.StartTimerAt(now)
+		span := tracer.Start("certscan.sweep")
+		span.SetAttrInt("sweep", int64(sweep+1))
+		span.SetAttrInt("targets", int64(len(cfg.Targets)))
 		sweepStart := now()
 		sweepOpts := cfg.Opts
 		// Each sweep gets its own jitter stream family so repeated sweeps do
 		// not replay identical backoff schedules against the same endpoints.
 		sweepOpts.Seed = cfg.Opts.Seed + uint64(sweep)
+		sweepOpts.Obs = cfg.Obs
 		results, wst := wire.ScanRetry(context.Background(), cfg.Targets, cfg.Workers, sweepOpts)
 		verdicts := parallel.Map(0, len(results), func(i int) verdict {
 			r := results[i]
@@ -135,16 +150,20 @@ func runSweeps(cfg scanConfig, out, errOut io.Writer) (*scanstore.Corpus, sweepS
 			if v.parseErr != nil {
 				// Handshake fine, certificate bytes unparseable: the terminal
 				// branch of the taxonomy — retrying cannot cure it, so it is
-				// counted, not retried.
+				// counted, not retried. Mirrored into the registry so the
+				// sweep.* namespace matches summary.Reasons exactly.
 				summary.Reasons["fail:"+wire.Reason(wire.ErrMalformedCert)]++
+				cfg.Obs.Counter("sweep.fail." + wire.Reason(wire.ErrMalformedCert)).Inc()
 				fmt.Fprintf(out, "%-22s PARSE-ERROR %v\n", r.Addr, v.parseErr)
 				continue
 			}
 			statusCounts[v.status]++
 			summary.Statuses[v.status.String()]++
+			cfg.Obs.Counter("certscan.status." + v.status.String()).Inc()
 			fp := v.cert.Fingerprint()
 			if prev, seen := lastSeen[r.Addr]; seen && prev != fp {
 				summary.Rotated++
+				cfg.Obs.Counter("certscan.rotated").Inc()
 				fmt.Fprintf(out, "%-22s %-16s CN=%q serial=%s (REISSUED)\n", r.Addr, v.status, v.cert.Subject.CommonName, v.cert.SerialNumber)
 			} else {
 				fmt.Fprintf(out, "%-22s %-16s CN=%q serial=%s\n", r.Addr, v.status, v.cert.Subject.CommonName, v.cert.SerialNumber)
@@ -164,7 +183,11 @@ func runSweeps(cfg scanConfig, out, errOut io.Writer) (*scanstore.Corpus, sweepS
 				return nil, summary, err
 			}
 		}
-		fmt.Fprintf(out, "# sweep %d: %d ok, %d failed, %d retries in %v;", sweep+1, ok, failed, wst.Retries, timer)
+		cfg.Obs.Counter("certscan.sweeps").Inc()
+		span.SetAttrInt("ok", int64(ok))
+		span.SetAttrInt("failed", int64(failed))
+		span.SetAttrInt("retries", int64(wst.Retries))
+		fmt.Fprintf(out, "# sweep %d: %d ok, %d failed, %d retries in %v;", sweep+1, ok, failed, wst.Retries, span.Timer)
 		statuses := make([]truststore.Status, 0, len(statusCounts))
 		for st := range statusCounts {
 			statuses = append(statuses, st)
@@ -174,6 +197,7 @@ func runSweeps(cfg scanConfig, out, errOut io.Writer) (*scanstore.Corpus, sweepS
 			fmt.Fprintf(out, " %s=%d", st, statusCounts[st])
 		}
 		fmt.Fprintln(out)
+		span.End()
 	}
 	if cfg.Repeat > 1 {
 		fmt.Fprintf(out, "# certificates rotated between sweeps: %d\n", summary.Rotated)

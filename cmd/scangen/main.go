@@ -6,6 +6,10 @@
 //
 //	scangen -o corpus.spki [-format v2|v1] [-workers 0]
 //	        [-devices 8600] [-sites 3700] [-seed 1] [-umich 30] [-rapid7 17]
+//	        [-metrics-out metrics.json]
+//
+// -metrics-out writes the generation run's metric registry (core.*,
+// snapshot.* and parallel.*) as a versioned JSON document.
 //
 // The default output is the v2 sharded columnar snapshot (internal/snapshot);
 // -format v1 keeps the legacy gzip+gob blob for older consumers. Every
@@ -18,21 +22,24 @@ import (
 	"os"
 
 	"securepki/internal/core"
+	"securepki/internal/obs"
+	"securepki/internal/parallel"
 	"securepki/internal/snapshot"
 )
 
 func main() {
 	var (
-		out     = flag.String("out", "corpus.spki", "output corpus file")
-		format  = flag.String("format", "v2", "snapshot format: v2 (sharded columnar) or v1 (legacy gzip+gob)")
-		workers = flag.Int("workers", 0, "encoder worker pool for -format v2 (0 = GOMAXPROCS); bytes identical at any setting")
-		dumpNet = flag.Bool("dump-net", false, "also write <out>.prefix2as and <out>.asinfo (RouteViews/CAIDA-style datasets)")
-		devices = flag.Int("devices", 0, "number of end-user devices (0 = default)")
-		sites   = flag.Int("sites", 0, "number of websites (0 = default)")
-		seed    = flag.Uint64("seed", 0, "world seed (0 = default)")
-		umich   = flag.Int("umich", 0, "UMich scan count (0 = default)")
-		rapid7  = flag.Int("rapid7", 0, "Rapid7 scan count (0 = default)")
-		small   = flag.Bool("small", false, "use the reduced sizing")
+		out        = flag.String("out", "corpus.spki", "output corpus file")
+		format     = flag.String("format", "v2", "snapshot format: v2 (sharded columnar) or v1 (legacy gzip+gob)")
+		workers    = flag.Int("workers", 0, "encoder worker pool for -format v2 (0 = GOMAXPROCS); bytes identical at any setting")
+		dumpNet    = flag.Bool("dump-net", false, "also write <out>.prefix2as and <out>.asinfo (RouteViews/CAIDA-style datasets)")
+		devices    = flag.Int("devices", 0, "number of end-user devices (0 = default)")
+		sites      = flag.Int("sites", 0, "number of websites (0 = default)")
+		seed       = flag.Uint64("seed", 0, "world seed (0 = default)")
+		umich      = flag.Int("umich", 0, "UMich scan count (0 = default)")
+		rapid7     = flag.Int("rapid7", 0, "Rapid7 scan count (0 = default)")
+		small      = flag.Bool("small", false, "use the reduced sizing")
+		metricsOut = flag.String("metrics-out", "", "write the run's metrics as a versioned JSON document")
 	)
 	flag.StringVar(out, "o", "corpus.spki", "shorthand for -out")
 	flag.Parse()
@@ -61,6 +68,11 @@ func main() {
 		cfg.Scan.Rapid7Scans = *rapid7
 	}
 
+	reg := obs.NewRegistry()
+	parallel.SetObserver(obs.NewParallelCollector(reg))
+	defer parallel.SetObserver(nil)
+	cfg.Obs = reg
+
 	p := &core.Pipeline{Config: cfg}
 	if err := p.Generate(); err != nil {
 		fatal(err)
@@ -79,7 +91,7 @@ func main() {
 	if *format == "v1" {
 		err = p.Corpus.Write(f)
 	} else {
-		err = snapshot.Write(f, p.Corpus, snapshot.Options{Workers: *workers})
+		err = snapshot.Write(f, p.Corpus, snapshot.Options{Workers: *workers, Obs: reg})
 	}
 	if err != nil {
 		f.Close()
@@ -112,6 +124,11 @@ func main() {
 		}
 		af.Close()
 		fmt.Fprintf(os.Stderr, "wrote %s.prefix2as and %s.asinfo\n", *out, *out)
+	}
+	if *metricsOut != "" {
+		if err := obs.WriteMetricsFile(*metricsOut, reg); err != nil {
+			fatal(err)
+		}
 	}
 }
 

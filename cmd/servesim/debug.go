@@ -1,0 +1,41 @@
+package main
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/* on the default mux
+	"os"
+
+	"securepki/internal/obs"
+)
+
+// startDebug binds the opt-in debug endpoint (-debug-addr): expvar under
+// /debug/vars and pprof under /debug/pprof/, both registered on
+// http.DefaultServeMux at import time. The live metric registry is
+// published as the "obs" expvar. Duplicated per cmd on purpose: repolint
+// bans expvar/net/http/pprof from internal/, so the process-global
+// registration can only ever happen inside a binary that asked for it.
+func startDebug(addr string, reg *obs.Registry) (string, error) {
+	publishObs(reg)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	go func() {
+		if err := http.Serve(ln, nil); err != nil {
+			fmt.Fprintf(os.Stderr, "servesim: debug server: %v\n", err)
+		}
+	}()
+	return ln.Addr().String(), nil
+}
+
+// publishObs registers the registry snapshot as the "obs" expvar exactly
+// once — expvar panics on duplicate names.
+func publishObs(reg *obs.Registry) {
+	if expvar.Get("obs") != nil {
+		return
+	}
+	expvar.Publish("obs", expvar.Func(func() any { return reg.Snapshot() }))
+}

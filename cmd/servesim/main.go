@@ -9,6 +9,11 @@
 //
 //	servesim [-n 25] [-seed 1] [-addr 127.0.0.1:0] [-targets targets.txt]
 //	         [-chaos 0.3 -chaos-seed 99 -chaos-burst 2]
+//	         [-metrics-out metrics.json] [-debug-addr :6060]
+//
+// -metrics-out writes the run's metric registry on exit; -debug-addr serves
+// expvar (/debug/vars, live registry as the "obs" var) and pprof
+// (/debug/pprof/) while devices are being served.
 //
 // The listener addresses are written to -targets (default stdout), one per
 // line — feed that file to certscan.
@@ -25,6 +30,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"net"
 	"os"
 	"os/signal"
@@ -33,7 +39,7 @@ import (
 
 	"securepki/internal/devicesim"
 	"securepki/internal/faultnet"
-	"securepki/internal/stats"
+	"securepki/internal/obs"
 	"securepki/internal/wire"
 )
 
@@ -47,8 +53,19 @@ func main() {
 		chaos      = flag.Float64("chaos", 0, "fault-inject this fraction of connections (0 = healthy)")
 		chaosSeed  = flag.Uint64("chaos-seed", 99, "seed for the fault schedule")
 		chaosBurst = flag.Int("chaos-burst", 2, "max consecutive faulted connections per device (-1 = uncapped)")
+		metricsOut = flag.String("metrics-out", "", "write the run's metrics as a versioned JSON document on exit")
+		debugAddr  = flag.String("debug-addr", "", "serve expvar (/debug/vars) and pprof (/debug/pprof/) on this address while serving")
 	)
 	flag.Parse()
+
+	reg := obs.NewRegistry()
+	if *debugAddr != "" {
+		bound, err := startDebug(*debugAddr, reg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "servesim: debug endpoints on http://%s/debug/\n", bound)
+	}
 
 	cfg := devicesim.DefaultConfig()
 	cfg.Seed = *seed
@@ -69,7 +86,11 @@ func main() {
 		out = f
 	}
 
-	timer := stats.StartTimer()
+	// The serve span's Timer is the wall clock every provider closure reads:
+	// 1 real second = 1 simulated day. Folding the old stats.Timer into the
+	// span keeps a single clock seam for both tracing and simulation.
+	span := obs.NewWallClockTracer(io.Discard).Start("servesim.serve")
+	timer := span.Timer
 	var servers []*wire.Server
 	defer func() {
 		for _, s := range servers {
@@ -112,13 +133,25 @@ func main() {
 			*chaos, *chaosSeed, *chaosBurst, len(servers))
 	}
 
+	reg.Gauge("servesim.devices").Set(int64(len(servers)))
+	if *chaos > 0 {
+		reg.Gauge("servesim.chaos.rate_pct").Set(int64(*chaos * 100))
+	}
+
 	if *linger > 0 {
 		time.Sleep(*linger)
-		return
+	} else {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
 	}
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	<-sig
+	span.SetAttrInt("devices", int64(len(servers)))
+	span.End()
+	if *metricsOut != "" {
+		if err := obs.WriteMetricsFile(*metricsOut, reg); err != nil {
+			fatal(err)
+		}
+	}
 }
 
 func fatal(err error) {

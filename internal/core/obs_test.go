@@ -1,0 +1,95 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"securepki/internal/obs"
+)
+
+// obsFakeClock advances one second per call from a fixed epoch so span
+// durations are deterministic.
+func obsFakeClock() func() time.Time {
+	t := time.Date(2016, 4, 1, 0, 0, 0, 0, time.UTC)
+	return func() time.Time {
+		t = t.Add(time.Second)
+		return t
+	}
+}
+
+// TestPipelineObsDeterministic: a full instrumented run produces the same
+// metrics document AND the same trace bytes at workers 1 and 4 — stage
+// counters are worker-independent, and the per-stage span count (and so
+// the fake-clock call count) does not depend on scheduling.
+func TestPipelineObsDeterministic(t *testing.T) {
+	render := func(workers int) (metrics, trace []byte) {
+		reg := obs.NewRegistry()
+		var traceBuf bytes.Buffer
+		cfg := equivConfig()
+		cfg.Workers = workers
+		cfg.Obs = reg
+		cfg.Tracer = obs.NewTracer(&traceBuf, obsFakeClock())
+		if _, err := Run(cfg); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return reg.Snapshot().EncodeJSON(), traceBuf.Bytes()
+	}
+	wantMetrics, wantTrace := render(1)
+	gotMetrics, gotTrace := render(4)
+	if !bytes.Equal(gotMetrics, wantMetrics) {
+		t.Errorf("metrics differ between workers 1 and 4:\n%s\nvs:\n%s", wantMetrics, gotMetrics)
+	}
+	if !bytes.Equal(gotTrace, wantTrace) {
+		t.Errorf("trace differs between workers 1 and 4:\n%s\nvs:\n%s", wantTrace, gotTrace)
+	}
+	if err := obs.ValidateMetrics(wantMetrics); err != nil {
+		t.Fatalf("pipeline metrics fail schema: %v", err)
+	}
+	if err := obs.ValidateTrace(wantTrace); err != nil {
+		t.Fatalf("pipeline trace fails schema: %v", err)
+	}
+	// Every stage span must be present, in pipeline order.
+	text := string(wantTrace)
+	last := -1
+	for _, name := range []string{"core.generate", "core.scan", "core.validate", "core.link", "core.track"} {
+		i := strings.Index(text, `"name":"`+name+`"`)
+		if i < 0 {
+			t.Fatalf("stage span %s missing from trace:\n%s", name, text)
+		}
+		if i < last {
+			t.Fatalf("stage span %s out of order", name)
+		}
+		last = i
+	}
+	// Spot-check the counters cross-reference the pipeline artefacts.
+	reg := obs.NewRegistry()
+	cfg := equivConfig()
+	cfg.Obs = reg
+	p, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter("core.corpus.certs").Value(); got != int64(p.Corpus.NumCerts()) {
+		t.Errorf("core.corpus.certs = %d, corpus has %d", got, p.Corpus.NumCerts())
+	}
+	if got := reg.Counter("core.link.eligible").Value(); got != int64(p.LinkResult.EligibleCerts) {
+		t.Errorf("core.link.eligible = %d, result says %d", got, p.LinkResult.EligibleCerts)
+	}
+	if got := reg.Counter("core.validate.chain_memo.misses").Value(); got <= 0 {
+		t.Errorf("core.validate.chain_memo.misses = %d, want > 0", got)
+	}
+	if got := reg.Counter("linking.candidates").Value(); got <= 0 {
+		t.Errorf("linking.candidates = %d, want > 0", got)
+	}
+}
+
+// TestPipelineRunsWithoutObs: the nil-registry / nil-tracer path (the
+// default for every existing caller) stays a true no-op.
+func TestPipelineRunsWithoutObs(t *testing.T) {
+	cfg := equivConfig()
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -7,11 +7,13 @@ package core
 import (
 	"fmt"
 	"io"
+	"sort"
 	"time"
 
 	"securepki/internal/analysis"
 	"securepki/internal/devicesim"
 	"securepki/internal/linking"
+	"securepki/internal/obs"
 	"securepki/internal/scanner"
 	"securepki/internal/scanstore"
 	"securepki/internal/snapshot"
@@ -30,6 +32,13 @@ type Config struct {
 	// own knob (Scan.Workers). Results are byte-identical at any worker
 	// count; see DESIGN.md "Concurrency model & determinism".
 	Workers int
+	// Obs receives the core.* stage counters (certs validated per status,
+	// sightings indexed, link coverage, chain-memo hits/misses) and is
+	// threaded into the snapshot codec and the linker. nil disables
+	// instrumentation; see DESIGN.md "Observability contract".
+	Obs *obs.Registry
+	// Tracer emits one span per pipeline stage. nil disables tracing.
+	Tracer *obs.Tracer
 }
 
 // DefaultConfig returns the standard experiment sizing.
@@ -68,6 +77,11 @@ type Pipeline struct {
 	Tracker    *tracking.Tracker
 }
 
+// span starts a stage span on the configured tracer (nil-safe).
+func (p *Pipeline) span(name string) *obs.Span {
+	return p.Config.Tracer.Start(name)
+}
+
 // Run executes the full pipeline.
 func Run(cfg Config) (*Pipeline, error) {
 	p := &Pipeline{Config: cfg}
@@ -85,11 +99,16 @@ func Run(cfg Config) (*Pipeline, error) {
 
 // Generate builds the world (stage 1).
 func (p *Pipeline) Generate() error {
+	span := p.span("core.generate")
 	w, err := devicesim.BuildWorld(p.Config.World)
 	if err != nil {
 		return fmt.Errorf("core: generate: %w", err)
 	}
 	p.World = w
+	reg := p.Config.Obs
+	reg.Counter("core.world.devices").Add(int64(len(w.Devices)))
+	reg.Counter("core.world.sites").Add(int64(len(w.Sites)))
+	span.End()
 	return nil
 }
 
@@ -102,11 +121,17 @@ func (p *Pipeline) Scan() error {
 	if err != nil {
 		return fmt.Errorf("core: scan: %w", err)
 	}
+	span := p.span("core.scan")
 	corpus, truth, err := camp.Run()
 	if err != nil {
 		return fmt.Errorf("core: scan: %w", err)
 	}
 	p.Corpus, p.Truth = corpus, truth
+	reg := p.Config.Obs
+	reg.Counter("core.scan.scans").Add(int64(corpus.NumScans()))
+	reg.Counter("core.scan.observations").Add(int64(corpus.NumObservations()))
+	reg.Counter("core.corpus.certs").Add(int64(corpus.NumCerts()))
+	span.End()
 	return nil
 }
 
@@ -117,7 +142,7 @@ func (p *Pipeline) WriteSnapshot(w io.Writer) error {
 	if p.Corpus == nil {
 		return fmt.Errorf("core: WriteSnapshot before Scan or LoadSnapshot")
 	}
-	if err := snapshot.Write(w, p.Corpus, snapshot.Options{Workers: p.Config.Workers}); err != nil {
+	if err := snapshot.Write(w, p.Corpus, snapshot.Options{Workers: p.Config.Workers, Obs: p.Config.Obs}); err != nil {
 		return fmt.Errorf("core: %w", err)
 	}
 	return nil
@@ -129,7 +154,7 @@ func (p *Pipeline) WriteSnapshot(w io.Writer) error {
 // truth-based evaluations degrade to zeros; everything downstream of the
 // corpus (Validate, Link, Track) runs as usual.
 func (p *Pipeline) LoadSnapshot(r io.Reader) error {
-	c, err := snapshot.Read(r, snapshot.Options{Workers: p.Config.Workers})
+	c, err := snapshot.Read(r, snapshot.Options{Workers: p.Config.Workers, Obs: p.Config.Obs})
 	if err != nil {
 		return fmt.Errorf("core: %w", err)
 	}
@@ -141,28 +166,62 @@ func (p *Pipeline) LoadSnapshot(r io.Reader) error {
 // (stage 3) and builds the analysis dataset. Both fan out across
 // Config.Workers.
 func (p *Pipeline) Validate() {
+	span := p.span("core.validate")
 	store := truststore.NewStore()
 	for _, r := range p.World.Roots() {
 		store.AddRoot(r)
 	}
 	p.ValidationCounts = p.Corpus.ValidateWorkers(store, p.Config.Workers)
 	p.Dataset = analysis.NewDatasetWorkers(p.Corpus, p.World.Internet, p.Config.Workers)
+	if reg := p.Config.Obs; reg != nil {
+		reg.Counter("core.validate.certs").Add(int64(p.Corpus.NumCerts()))
+		statuses := make([]truststore.Status, 0, len(p.ValidationCounts))
+		for st := range p.ValidationCounts {
+			statuses = append(statuses, st)
+		}
+		sort.Slice(statuses, func(i, j int) bool { return statuses[i] < statuses[j] })
+		for _, st := range statuses {
+			reg.Counter("core.validate.status."+st.String()).Add(int64(p.ValidationCounts[st]))
+		}
+		// The memo counts are deterministic: misses happen exactly once per
+		// distinct issuer fingerprint (the fill holds the lock), so even
+		// these are worker-independent.
+		hits, misses := store.ChainCacheStats()
+		reg.Counter("core.validate.chain_memo.hits").Add(int64(hits))
+		reg.Counter("core.validate.chain_memo.misses").Add(int64(misses))
+		reg.Counter("core.index.sightings").Add(int64(p.Corpus.NumObservations()))
+	}
+	span.End()
 }
 
 // Link runs the §6 pipeline (stage 4). The pipeline-level Workers knob
 // applies unless the linking config pins its own.
 func (p *Pipeline) Link() {
+	span := p.span("core.link")
 	cfg := p.Config.Linking
 	if cfg.Workers == 0 {
 		cfg.Workers = p.Config.Workers
 	}
+	if cfg.Obs == nil {
+		cfg.Obs = p.Config.Obs
+	}
 	p.Linker = linking.NewLinker(p.Dataset, cfg)
 	p.LinkResult = p.Linker.Link()
+	reg := p.Config.Obs
+	reg.Counter("core.link.invalid_total").Add(int64(p.Linker.InvalidTotal()))
+	reg.Counter("core.link.eligible").Add(int64(p.LinkResult.EligibleCerts))
+	reg.Counter("core.link.excluded_shared").Add(int64(p.Linker.ExcludedShared()))
+	reg.Counter("core.link.groups").Add(int64(len(p.LinkResult.Groups)))
+	reg.Counter("core.link.linked_certs").Add(int64(p.LinkResult.LinkedCerts))
+	span.End()
 }
 
 // Track derives device entities (stage 5).
 func (p *Pipeline) Track() {
+	span := p.span("core.track")
 	p.Tracker = tracking.NewTracker(p.Dataset, p.LinkResult, p.Linker)
+	p.Config.Obs.Counter("core.track.entities").Add(int64(len(p.Tracker.Entities())))
+	span.End()
 }
 
 // Year is the §7 trackability threshold.

@@ -56,9 +56,13 @@ func DefaultConfig() *Config {
 	return &Config{Rules: map[string]*RuleConfig{
 		"wallclock": {
 			// The simulated world must advance only via simulated time;
-			// only the real-network layer may look at the wall clock.
+			// only the real-network layer may look at the wall clock, plus
+			// the two injected-clock constructors (stats.StartTimer and
+			// obs.NewWallClockTracer) that hand time.Now to an injection
+			// seam — everything downstream of them takes `now func()
+			// time.Time`.
 			Only:  []string{"internal"},
-			Allow: []string{"internal/wire"},
+			Allow: []string{"internal/wire", "internal/stats/timer.go", "internal/obs/realclock.go"},
 		},
 		"seedrand": {
 			// Only the seeded simulation entry points may construct RNGs.
@@ -80,6 +84,16 @@ func DefaultConfig() *Config {
 					Package: "internal/parallel",
 					Imports: []string{"securepki"},
 					Reason:  "the worker pool must stay dependency-free so every layer can use it",
+				},
+				{
+					Package: "internal",
+					Imports: []string{"expvar", "net/http/pprof"},
+					Reason:  "debug endpoints register process-global handlers at import time; only cmd/* binaries may opt in behind -debug-addr",
+				},
+				{
+					Package: "internal/obs",
+					Imports: []string{"securepki/internal/core", "securepki/internal/wire", "securepki/internal/scanstore", "securepki/internal/snapshot", "securepki/internal/linking", "securepki/cmd"},
+					Reason:  "obs is a leaf the pipeline layers import for instrumentation; importing them back would cycle the dependency graph",
 				},
 			},
 		},

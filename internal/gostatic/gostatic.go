@@ -130,6 +130,26 @@ func (p *Pass) PkgFunc(call *ast.CallExpr, pkgPath, name string) bool {
 	return false
 }
 
+// PkgRef resolves a selector expression to a package-level object and
+// reports whether it is pkgPath.name — the value-reference counterpart of
+// PkgFunc, for catching `f(time.Now)` where the function escapes without
+// being called. Resolution and the degraded fallback mirror PkgFunc.
+func (p *Pass) PkgRef(sel *ast.SelectorExpr, pkgPath, name string) bool {
+	if sel.Sel.Name != name {
+		return false
+	}
+	if obj := p.Info.Uses[sel.Sel]; obj != nil {
+		return obj.Pkg() != nil && obj.Pkg().Path() == pkgPath
+	}
+	if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok {
+		if pn, ok := p.Info.Uses[id].(*types.PkgName); ok {
+			return pn.Imported().Path() == pkgPath
+		}
+		return id.Name == pathBase(pkgPath)
+	}
+	return false
+}
+
 // ObjectOf resolves an identifier to its object (definition or use).
 func (p *Pass) ObjectOf(id *ast.Ident) types.Object {
 	if obj := p.Info.Defs[id]; obj != nil {

@@ -132,6 +132,8 @@ func TestRuleFixtures(t *testing.T) {
 		{"testdata/src/seedrand", rules.Seedrand},
 		{"testdata/src/internal/x509lite", rules.Bannedimport},
 		{"testdata/src/internal/parallel", rules.Bannedimport},
+		{"testdata/src/internal/debugvars", rules.Bannedimport},
+		{"testdata/src/internal/obs", rules.Bannedimport},
 		{"testdata/src/locksafe", rules.Locksafe},
 	}
 	for _, c := range cases {

@@ -1,0 +1,14 @@
+// Package obs is a repolint fixture named after the real observability
+// layer: obs must stay a leaf (instrumented packages import it, never the
+// reverse), so pulling in a pipeline package is a layering violation.
+package obs
+
+import (
+	"securepki/internal/scanstore" // want bannedimport must not import securepki/internal/scanstore
+)
+
+// CorpusSize would invert the dependency: the observability layer reaching
+// into the data layer it is supposed to be observed by.
+func CorpusSize(c *scanstore.Corpus) int {
+	return c.NumCerts()
+}

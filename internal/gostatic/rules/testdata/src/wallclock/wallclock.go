@@ -19,6 +19,19 @@ func BadSince(start time.Time) time.Duration {
 	return time.Since(start) // want wallclock time.Since
 }
 
+// BadValueRef smuggles the wall clock into a callee without calling it.
+func BadValueRef(start func(now func() time.Time)) {
+	start(time.Now) // want wallclock referenced as a value
+}
+
+// BadValueAssign binds the wall clock to a variable.
+var BadValueAssign = time.Now // want wallclock referenced as a value
+
+// BadSinceRef passes the wall-clock duration helper along.
+func BadSinceRef(measure func(func(time.Time) time.Duration)) {
+	measure(time.Since) // want wallclock referenced as a value
+}
+
 // GoodInjected advances via an injected clock.
 func GoodInjected(c Clock) time.Time {
 	return c.Now()

@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"securepki/internal/analysis"
+	"securepki/internal/obs"
 	"securepki/internal/parallel"
 	"securepki/internal/scanstore"
 )
@@ -24,6 +25,11 @@ type Config struct {
 	// per-feature fan-out, group consistency checks); <= 0 means GOMAXPROCS.
 	// Results are identical at any worker count.
 	Workers int
+	// Obs receives the linking.* counters (candidate groups examined,
+	// groups confirmed by the overlap rule). Candidate sets are pure
+	// functions of the dataset, so the counts are worker-independent.
+	// nil disables instrumentation.
+	Obs *obs.Registry
 }
 
 // DefaultConfig returns the paper's parameters.
@@ -265,6 +271,7 @@ func (l *Linker) LinkOn(f Feature, include map[scanstore.CertID]bool) []Group {
 		values = append(values, v)
 	}
 	sort.Strings(values)
+	l.cfg.Obs.Counter("linking.candidates").Add(int64(len(values)))
 
 	checked := parallel.Map(l.cfg.Workers, len(values), func(i int) *Group {
 		v := values[i]
@@ -286,6 +293,7 @@ func (l *Linker) LinkOn(f Feature, include map[scanstore.CertID]bool) []Group {
 			out = append(out, *g)
 		}
 	}
+	l.cfg.Obs.Counter("linking.groups.confirmed").Add(int64(len(out)))
 	return out
 }
 

@@ -1,0 +1,29 @@
+package obs
+
+import (
+	"fmt"
+	"os"
+)
+
+// WriteMetricsFile renders the registry's full snapshot (volatile metrics
+// included — a metrics file is a run artefact, not a golden) as the
+// versioned JSON document at path. Every cmd's -metrics-out flag funnels
+// here so the on-disk schema cannot drift between binaries.
+func WriteMetricsFile(path string, reg *Registry) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := reg.Snapshot().WriteJSON(f); err != nil {
+		f.Close()
+		return fmt.Errorf("obs: writing %s: %w", path, err)
+	}
+	return f.Close()
+}
+
+// WriteTraceFile opens path for a tracer to append span lines to; the
+// caller owns closing it. A plain os.Create wrapper kept next to
+// WriteMetricsFile so cmds treat -trace-out uniformly.
+func WriteTraceFile(path string) (*os.File, error) {
+	return os.Create(path)
+}

@@ -1,0 +1,14 @@
+package obs
+
+import (
+	"io"
+	"time"
+)
+
+// NewWallClockTracer is the one sanctioned doorway from internal/obs to the
+// wall clock; every other constructor takes an injected clock. This file —
+// and only this file — is on the repolint wallclock allowlist, so a stray
+// time.Now anywhere else in the package is a lint finding.
+func NewWallClockTracer(w io.Writer) *Tracer {
+	return NewTracer(w, time.Now)
+}

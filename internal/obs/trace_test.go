@@ -1,0 +1,112 @@
+package obs
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+// fakeClock advances one second per call from a fixed epoch, like the cmd
+// test clocks.
+func fakeClock() func() time.Time {
+	t := time.Date(2016, 4, 1, 0, 0, 0, 0, time.UTC)
+	return func() time.Time {
+		t = t.Add(time.Second)
+		return t
+	}
+}
+
+// TestTracerGolden pins the exact JSON-lines bytes a fake-clock span emits
+// — the trace half of the determinism contract.
+func TestTracerGolden(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf, fakeClock())
+	span := tr.Start("scan.sweep")
+	span.SetAttrInt("targets", 14)
+	span.SetAttr("operator", "umich")
+	if d := span.End(); d != time.Second {
+		t.Fatalf("span duration = %v, want 1s", d)
+	}
+	want := `{"type":"span","name":"scan.sweep","start":"2016-04-01T00:00:01Z","dur_us":1000000,"attrs":{"operator":"umich","targets":"14"}}` + "\n"
+	if got := buf.String(); got != want {
+		t.Fatalf("trace bytes:\n%s\nwant:\n%s", got, want)
+	}
+	if err := ValidateTrace(buf.Bytes()); err != nil {
+		t.Fatalf("golden trace fails its own schema: %v", err)
+	}
+	if got := strings.Join(span.attrKeys(), ","); got != "operator,targets" {
+		t.Fatalf("attr keys = %s", got)
+	}
+	if tr.Err() != nil {
+		t.Fatalf("tracer error: %v", tr.Err())
+	}
+}
+
+func TestTracerNilWriterStillTimes(t *testing.T) {
+	tr := NewTracer(nil, fakeClock())
+	span := tr.Start("phase")
+	if span.Timer == nil {
+		t.Fatal("span has no timer")
+	}
+	if d := span.End(); d != time.Second {
+		t.Fatalf("duration = %v, want 1s", d)
+	}
+}
+
+type failWriter struct{ err error }
+
+func (f failWriter) Write([]byte) (int, error) { return 0, f.err }
+
+func TestTracerWriteError(t *testing.T) {
+	wantErr := errors.New("disk full")
+	tr := NewTracer(failWriter{err: wantErr}, fakeClock())
+	tr.Start("a").End()
+	if !errors.Is(tr.Err(), wantErr) {
+		t.Fatalf("Err = %v, want %v", tr.Err(), wantErr)
+	}
+}
+
+func TestValidateMetricsRejects(t *testing.T) {
+	cases := map[string]string{
+		"bad version":    `{"version":9,"metrics":[]}`,
+		"unsorted":       `{"version":1,"metrics":[{"name":"b","type":"counter","value":1},{"name":"a","type":"counter","value":1}]}`,
+		"empty name":     `{"version":1,"metrics":[{"name":"","type":"counter","value":1}]}`,
+		"missing value":  `{"version":1,"metrics":[{"name":"a","type":"counter"}]}`,
+		"unknown type":   `{"version":1,"metrics":[{"name":"a","type":"meter","value":1}]}`,
+		"negative count": `{"version":1,"metrics":[{"name":"a","type":"counter","value":-1}]}`,
+		"hist no sum":    `{"version":1,"metrics":[{"name":"a","type":"histogram","count":0,"overflow":0}]}`,
+		"hist bounds":    `{"version":1,"metrics":[{"name":"a","type":"histogram","count":0,"sum":0,"overflow":0,"buckets":[{"le":5,"count":0},{"le":5,"count":0}]}]}`,
+		"hist count":     `{"version":1,"metrics":[{"name":"a","type":"histogram","count":3,"sum":0,"overflow":1,"buckets":[{"le":5,"count":1}]}]}`,
+		"unknown field":  `{"version":1,"metrics":[{"name":"a","type":"counter","value":1,"bogus":true}]}`,
+	}
+	for name, doc := range cases {
+		if err := ValidateMetrics([]byte(doc)); err == nil {
+			t.Errorf("%s: validated", name)
+		}
+	}
+	ok := `{"version":1,"metrics":[{"name":"a","type":"counter","value":0},{"name":"b","type":"histogram","count":2,"sum":7,"buckets":[{"le":5,"count":1}],"overflow":1}]}`
+	if err := ValidateMetrics([]byte(ok)); err != nil {
+		t.Errorf("valid document rejected: %v", err)
+	}
+}
+
+func TestValidateTraceRejects(t *testing.T) {
+	cases := map[string]string{
+		"not json":   "nope\n",
+		"bad type":   `{"type":"mark","name":"a","start":"2016-04-01T00:00:01Z","dur_us":1}` + "\n",
+		"no name":    `{"type":"span","name":"","start":"2016-04-01T00:00:01Z","dur_us":1}` + "\n",
+		"bad start":  `{"type":"span","name":"a","start":"yesterday","dur_us":1}` + "\n",
+		"bad dur":    `{"type":"span","name":"a","start":"2016-04-01T00:00:01Z","dur_us":-1}` + "\n",
+		"extra keys": `{"type":"span","name":"a","start":"2016-04-01T00:00:01Z","dur_us":1,"x":2}` + "\n",
+	}
+	for name, doc := range cases {
+		if err := ValidateTrace([]byte(doc)); err == nil {
+			t.Errorf("%s: validated", name)
+		}
+	}
+	if err := ValidateTrace([]byte("\n\n")); err != nil {
+		t.Errorf("blank lines rejected: %v", err)
+	}
+}

@@ -1,0 +1,122 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// WriteJSON writes the snapshot as an indented JSON document followed by a
+// newline — the exact bytes -metrics-out produces and ValidateMetrics
+// accepts.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// EncodeJSON returns the WriteJSON bytes; golden tests compare them.
+func (s Snapshot) EncodeJSON() []byte {
+	var buf bytes.Buffer
+	if err := s.WriteJSON(&buf); err != nil {
+		// A Snapshot is plain data; encoding cannot fail.
+		panic("obs: encode snapshot: " + err.Error())
+	}
+	return buf.Bytes()
+}
+
+// ValidateMetrics checks data against the metrics-document schema
+// (version, sorted unique names, per-type field shape, monotonic histogram
+// bounds). make obs-smoke runs it over real -metrics-out output.
+func ValidateMetrics(data []byte) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var snap Snapshot
+	if err := dec.Decode(&snap); err != nil {
+		return fmt.Errorf("obs: metrics document: %w", err)
+	}
+	if snap.Version != MetricsVersion {
+		return fmt.Errorf("obs: metrics document version %d, want %d", snap.Version, MetricsVersion)
+	}
+	prev := ""
+	for i, m := range snap.Metrics {
+		if m.Name == "" {
+			return fmt.Errorf("obs: metric %d: empty name", i)
+		}
+		if i > 0 && m.Name <= prev {
+			return fmt.Errorf("obs: metric %q out of order after %q", m.Name, prev)
+		}
+		prev = m.Name
+		switch m.Type {
+		case "counter", "gauge":
+			if m.Value == nil {
+				return fmt.Errorf("obs: %s %q: missing value", m.Type, m.Name)
+			}
+			if m.Count != nil || m.Sum != nil || m.Buckets != nil || m.Overflow != nil {
+				return fmt.Errorf("obs: %s %q: histogram fields present", m.Type, m.Name)
+			}
+			if m.Type == "counter" && *m.Value < 0 {
+				return fmt.Errorf("obs: counter %q: negative value %d", m.Name, *m.Value)
+			}
+		case "histogram":
+			if m.Value != nil {
+				return fmt.Errorf("obs: histogram %q: counter field present", m.Name)
+			}
+			if m.Count == nil || m.Sum == nil || m.Overflow == nil {
+				return fmt.Errorf("obs: histogram %q: missing count/sum/overflow", m.Name)
+			}
+			var total uint64
+			for j, b := range m.Buckets {
+				if j > 0 && b.Le <= m.Buckets[j-1].Le {
+					return fmt.Errorf("obs: histogram %q: bucket bounds not increasing at %d", m.Name, j)
+				}
+				total += b.Count
+			}
+			if total+*m.Overflow != *m.Count {
+				return fmt.Errorf("obs: histogram %q: bucket counts sum to %d, count is %d",
+					m.Name, total+*m.Overflow, *m.Count)
+			}
+		default:
+			return fmt.Errorf("obs: metric %q: unknown type %q", m.Name, m.Type)
+		}
+	}
+	return nil
+}
+
+// ValidateTrace checks data against the JSON-lines trace schema: one
+// object per line with type "span", a non-empty name, an RFC3339 start
+// timestamp and a non-negative duration.
+func ValidateTrace(data []byte) error {
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		dec := json.NewDecoder(bytes.NewReader(line))
+		dec.DisallowUnknownFields()
+		var ev traceEvent
+		if err := dec.Decode(&ev); err != nil {
+			return fmt.Errorf("obs: trace line %d: %w", lineNo, err)
+		}
+		if ev.Type != "span" {
+			return fmt.Errorf("obs: trace line %d: unknown event type %q", lineNo, ev.Type)
+		}
+		if ev.Name == "" {
+			return fmt.Errorf("obs: trace line %d: empty span name", lineNo)
+		}
+		if _, err := time.Parse(time.RFC3339Nano, ev.Start); err != nil {
+			return fmt.Errorf("obs: trace line %d: bad start timestamp: %w", lineNo, err)
+		}
+		if ev.DurUS < 0 {
+			return fmt.Errorf("obs: trace line %d: negative duration %d", lineNo, ev.DurUS)
+		}
+	}
+	return sc.Err()
+}

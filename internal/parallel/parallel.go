@@ -21,7 +21,36 @@ package parallel
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
+
+// Observer receives one event per Do dispatch: how many contiguous shards
+// the pool split how many items into. It exists for observability
+// (internal/obs adapts it into metrics); the pool itself never depends on
+// it, keeping this package module-free. Implementations must be
+// goroutine-safe — dispatches happen from whichever goroutine calls Do.
+type Observer interface {
+	ParallelDispatch(shards, items int)
+}
+
+// observerBox wraps the interface so atomic.Value accepts a nil clear.
+type observerBox struct{ o Observer }
+
+var observerState atomic.Value // observerBox
+
+// SetObserver installs the process-wide dispatch observer; nil removes it.
+// Commands install one when metrics are requested; libraries and tests
+// that compare byte-stable output leave it unset.
+func SetObserver(o Observer) {
+	observerState.Store(observerBox{o: o})
+}
+
+func currentObserver() Observer {
+	if b, ok := observerState.Load().(observerBox); ok {
+		return b.o
+	}
+	return nil
+}
 
 // Workers resolves a worker-count knob: values <= 0 mean GOMAXPROCS.
 func Workers(n int) int {
@@ -54,6 +83,9 @@ func Do(workers, n int, fn func(shard, lo, hi int)) {
 	shards := NumShards(workers, n)
 	if shards == 0 {
 		return
+	}
+	if o := currentObserver(); o != nil {
+		o.ParallelDispatch(shards, n)
 	}
 	if shards == 1 {
 		fn(0, 0, n)

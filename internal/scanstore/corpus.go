@@ -119,6 +119,16 @@ func (c *Corpus) NumCerts() int { return len(c.certs) }
 // NumScans returns the number of scans.
 func (c *Corpus) NumScans() int { return len(c.scans) }
 
+// NumObservations returns the total (certificate, IP) sightings across all
+// scans — the quantity the sighting index is built over.
+func (c *Corpus) NumObservations() int {
+	total := 0
+	for _, s := range c.scans {
+		total += len(s.Obs)
+	}
+	return total
+}
+
 // Cert returns the record for an ID.
 func (c *Corpus) Cert(id CertID) *CertRecord { return c.certs[id] }
 

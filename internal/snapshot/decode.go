@@ -38,10 +38,15 @@ func Read(r io.Reader, opt Options) (*scanstore.Corpus, error) {
 		if err != nil {
 			return nil, fmt.Errorf("snapshot: v1: %w", err)
 		}
+		opt.Obs.Counter("snapshot.decode.v1").Inc()
 		return c, nil
 	}
 	return readV2(br, opt)
 }
+
+// inflateRatioBounds buckets rawLen*100/compLen per decoded shard; this data
+// compresses a few-fold, so percent buckets run 1x..50x.
+var inflateRatioBounds = []int64{100, 150, 200, 300, 500, 1000, 2000, 5000}
 
 // shardMeta is one decoded shard-table entry.
 type shardMeta struct {
@@ -152,6 +157,14 @@ func readV2(r io.Reader, opt Options) (*scanstore.Corpus, error) {
 			errs[i] = fmt.Errorf("snapshot: shard %d: %w", i, err)
 			return
 		}
+		// Shard i is a stable identity, so it doubles as the counter shard;
+		// ratios are pure functions of the file bytes.
+		opt.Obs.Counter("snapshot.decode.raw_bytes").AddShard(i, int64(len(raw)))
+		opt.Obs.Counter("snapshot.decode.comp_bytes").AddShard(i, int64(len(comps[i])))
+		if len(comps[i]) > 0 {
+			opt.Obs.Histogram("snapshot.decode.inflate_ratio_pct", inflateRatioBounds).
+				Observe(int64(len(raw)) * 100 / int64(len(comps[i])))
+		}
 		if i < int(certShards) {
 			certs, err := decodeCertShard(raw, int(m.count), opt.VerifyDigests)
 			if err != nil {
@@ -159,6 +172,9 @@ func readV2(r io.Reader, opt Options) (*scanstore.Corpus, error) {
 				return
 			}
 			certParts[i] = certs
+			if opt.VerifyDigests {
+				opt.Obs.Counter("snapshot.decode.digest_verify").AddShard(i, int64(m.count))
+			}
 		} else {
 			scans, err := decodeScanShard(raw, int(m.count), certCount)
 			if err != nil {
@@ -203,6 +219,10 @@ func readV2(r io.Reader, opt Options) (*scanstore.Corpus, error) {
 	if totalObs != obsCount {
 		return nil, fmt.Errorf("snapshot: header claims %d observations, shards carry %d", obsCount, totalObs)
 	}
+	opt.Obs.Counter("snapshot.decode.shards").Add(int64(nShards))
+	opt.Obs.Counter("snapshot.decode.certs").Add(int64(certCount))
+	opt.Obs.Counter("snapshot.decode.scans").Add(int64(scanCount))
+	opt.Obs.Counter("snapshot.decode.observations").Add(int64(obsCount))
 	return c, nil
 }
 

@@ -76,12 +76,20 @@ func Write(w io.Writer, c *scanstore.Corpus, opt Options) error {
 			comp:   comp,
 			sum:    sha256.Sum256(comp),
 		}
+		// Shard i is a stable identity (fixed by data, not scheduling), so it
+		// doubles as the counter shard: no contention, same sums everywhere.
+		opt.Obs.Counter("snapshot.encode.raw_bytes").AddShard(i, int64(len(raw)))
+		opt.Obs.Counter("snapshot.encode.comp_bytes").AddShard(i, int64(len(comp)))
 	})
 	for _, err := range errs {
 		if err != nil {
 			return err
 		}
 	}
+	opt.Obs.Counter("snapshot.encode.shards").Add(int64(len(shards)))
+	opt.Obs.Counter("snapshot.encode.certs").Add(int64(len(certs)))
+	opt.Obs.Counter("snapshot.encode.scans").Add(int64(len(scans)))
+	opt.Obs.Counter("snapshot.encode.observations").Add(int64(obsCount))
 
 	// Header + shard table, then its digest, then the payloads.
 	var head bytes.Buffer

@@ -65,6 +65,7 @@ package snapshot
 import (
 	"compress/gzip"
 
+	"securepki/internal/obs"
 	"securepki/internal/parallel"
 )
 
@@ -113,6 +114,12 @@ type Options struct {
 	// untrusted source; leave it off for snapshots you produced yourself,
 	// where re-hashing every DER only slows the load.
 	VerifyDigests bool
+	// Obs receives codec metrics (snapshot.encode.* / snapshot.decode.*:
+	// per-shard raw/compressed byte counts, inflate ratios, digest-verify
+	// counts). nil disables instrumentation. Every snapshot.* metric is a
+	// pure function of the data and the sizing knobs — shard boundaries
+	// never depend on Workers — so they are part of the byte-stable set.
+	Obs *obs.Registry
 }
 
 func (o Options) withDefaults() Options {

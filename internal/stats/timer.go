@@ -22,6 +22,12 @@ func StartTimerAt(now func() time.Time) *Timer {
 	return &Timer{start: now(), now: now}
 }
 
+// StartedAt returns the instant the timer started — obs spans stamp their
+// trace events with it.
+func (t *Timer) StartedAt() time.Time {
+	return t.start
+}
+
 // Elapsed returns the time since the timer started.
 func (t *Timer) Elapsed() time.Duration {
 	return t.now().Sub(t.start)

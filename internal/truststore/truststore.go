@@ -100,6 +100,12 @@ type Store struct {
 	// the root/intermediate sets drops the whole cache.
 	chainMu sync.Mutex
 	chainUp map[x509lite.Fingerprint][]*x509lite.Certificate
+	// chainHits/chainMisses count memo lookups (guarded by chainMu). Misses
+	// are deterministic — exactly one per distinct issuer fingerprint, since
+	// the first lookup fills the entry under the lock — so ChainCacheStats
+	// is worker-count-independent between cache flushes.
+	chainHits   uint64
+	chainMisses uint64
 }
 
 // NewStore returns an empty store.
@@ -111,6 +117,15 @@ func NewStore() *Store {
 		intersByName: make(map[string][]*x509lite.Certificate),
 		chainUp:      make(map[x509lite.Fingerprint][]*x509lite.Certificate),
 	}
+}
+
+// ChainCacheStats reports memoized-chain lookups since the store was
+// created: hits found an entry, misses ran the DFS and filled one. The
+// counts survive cache flushes (they meter lookups, not entries).
+func (s *Store) ChainCacheStats() (hits, misses uint64) {
+	s.chainMu.Lock()
+	defer s.chainMu.Unlock()
+	return s.chainHits, s.chainMisses
 }
 
 // dropChainCache forgets every memoized chain; called when the trust material
@@ -237,8 +252,10 @@ func (s *Store) chainFrom(parent *x509lite.Certificate, fp x509lite.Fingerprint)
 	s.chainMu.Lock()
 	defer s.chainMu.Unlock()
 	if chain, ok := s.chainUp[fp]; ok {
+		s.chainHits++
 		return chain
 	}
+	s.chainMisses++
 	var chain []*x509lite.Certificate
 	if s.IsRoot(parent) {
 		chain = []*x509lite.Certificate{parent}

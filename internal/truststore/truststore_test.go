@@ -371,3 +371,29 @@ func TestDeepChain(t *testing.T) {
 		t.Errorf("chain length = %d, want 6", len(res.Chain))
 	}
 }
+
+func TestChainCacheStats(t *testing.T) {
+	root := makeCA(t, 90, "Root Stats")
+	inter := signCA(t, 93, "Intermediate Stats", root)
+	leafA := makeLeaf(t, 91, "a.example.com", inter, nil)
+	leafB := makeLeaf(t, 92, "b.example.com", inter, nil)
+	s := NewStore()
+	s.AddRoot(root.cert)
+	s.AddIntermediate(inter.cert)
+	if hits, misses := s.ChainCacheStats(); hits != 0 || misses != 0 {
+		t.Fatalf("fresh store stats = %d/%d", hits, misses)
+	}
+	s.Verify(leafA) // first resolution of the root's upward path: one miss
+	_, misses1 := s.ChainCacheStats()
+	if misses1 == 0 {
+		t.Fatal("no misses after first verification")
+	}
+	s.Verify(leafB) // same issuer: served from the memo
+	hits2, misses2 := s.ChainCacheStats()
+	if misses2 != misses1 {
+		t.Fatalf("misses grew %d -> %d on a memoized issuer", misses1, misses2)
+	}
+	if hits2 == 0 {
+		t.Fatal("no hits on a repeated issuer")
+	}
+}

@@ -1,0 +1,121 @@
+package wire
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"syscall"
+	"testing"
+	"time"
+
+	"securepki/internal/obs"
+	"securepki/internal/stats"
+)
+
+// legacySummarize is the pre-obs SweepStats fold, kept verbatim as the
+// reference implementation: summarize must stay exactly equivalent now that
+// the stats are sourced from obs counters.
+func legacySummarize(results []Result) SweepStats {
+	st := SweepStats{Targets: len(results), Reasons: stats.NewCounter()}
+	for _, r := range results {
+		st.Attempts += r.Attempts
+		if r.Attempts > 1 {
+			st.Retries += r.Attempts - 1
+		}
+		reasons := r.FailReasons
+		if r.Err == nil {
+			st.OK++
+		} else {
+			st.Failed++
+			if len(reasons) > 0 {
+				st.Reasons.Inc("fail:" + reasons[len(reasons)-1])
+				reasons = reasons[:len(reasons)-1]
+			} else {
+				st.Reasons.Inc("fail:" + Reason(r.Err))
+			}
+		}
+		for _, reason := range reasons {
+			st.Reasons.Inc("retry:" + reason)
+		}
+	}
+	return st
+}
+
+// TestSummarizeEquivalentToLegacy proves the obs-sourced SweepStats matches
+// the old hand-rolled fold field for field — including the -json summary's
+// reason taxonomy — over every result shape the scanner produces.
+func TestSummarizeEquivalentToLegacy(t *testing.T) {
+	cases := map[string][]Result{
+		"empty": nil,
+		"clean": {
+			{Addr: "a", Attempts: 1},
+			{Addr: "b", Attempts: 1},
+		},
+		"recovered": {
+			{Addr: "a", Attempts: 3, FailReasons: []string{"refused", "timeout"}},
+		},
+		"failed terminal": {
+			{Addr: "a", Attempts: 1, FailReasons: []string{"malformed-cert"}, Err: ErrMalformedCert},
+		},
+		"failed after retries": {
+			{Addr: "a", Attempts: 4, FailReasons: []string{"reset", "reset", "refused", "timeout"},
+				Err: syscall.ETIMEDOUT},
+		},
+		"cancelled before first attempt": {
+			{Addr: "a", Attempts: 0, Err: context.Canceled},
+		},
+		"mixed": {
+			{Addr: "a", Attempts: 1},
+			{Addr: "b", Attempts: 2, FailReasons: []string{"refused"}},
+			{Addr: "c", Attempts: 2, FailReasons: []string{"protocol", "protocol"},
+				Err: errors.New("protocol")},
+			{Addr: "d", Attempts: 0, Err: context.Canceled},
+		},
+	}
+	for name, results := range cases {
+		got := summarize(results)
+		want := legacySummarize(results)
+		if got.Targets != want.Targets || got.OK != want.OK || got.Failed != want.Failed ||
+			got.Attempts != want.Attempts || got.Retries != want.Retries {
+			t.Errorf("%s: summarize = %+v, legacy = %+v", name, got, want)
+		}
+		if !reflect.DeepEqual(got.Reasons.Map(), want.Reasons.Map()) {
+			t.Errorf("%s: reasons = %v, legacy = %v", name, got.Reasons.Map(), want.Reasons.Map())
+		}
+	}
+}
+
+// TestScanRetryFoldsIntoCallerRegistry: the caller's registry accumulates
+// the same sweep.* counters SweepStats reports, plus live wire.* metrics.
+func TestScanRetryFoldsIntoCallerRegistry(t *testing.T) {
+	srv, err := NewServer("127.0.0.1:0", StaticChain([][]byte{{0x30, 0x01, 0x00}}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	reg := obs.NewRegistry()
+	targets := []string{srv.Addr(), srv.Addr(), srv.Addr()}
+	opts := Options{AttemptTimeout: 2 * time.Second, Obs: reg}
+	_, st := ScanRetry(context.Background(), targets, 2, opts)
+	if st.OK != 3 {
+		t.Fatalf("OK = %d, want 3", st.OK)
+	}
+	if got := reg.Counter("sweep.ok").Value(); got != int64(st.OK) {
+		t.Fatalf("sweep.ok = %d, SweepStats.OK = %d", got, st.OK)
+	}
+	if got := reg.Counter("sweep.attempts").Value(); got != int64(st.Attempts) {
+		t.Fatalf("sweep.attempts = %d, SweepStats.Attempts = %d", got, st.Attempts)
+	}
+	if got := reg.Counter("wire.attempts").Value(); got != int64(st.Attempts) {
+		t.Fatalf("wire.attempts = %d, want %d", got, st.Attempts)
+	}
+	if got := reg.Counter("wire.attempt.ok").Value(); got != 3 {
+		t.Fatalf("wire.attempt.ok = %d, want 3", got)
+	}
+	// A second sweep accumulates rather than resets.
+	_, _ = ScanRetry(context.Background(), targets, 2, opts)
+	if got := reg.Counter("sweep.targets").Value(); got != 6 {
+		t.Fatalf("sweep.targets after two sweeps = %d, want 6", got)
+	}
+}

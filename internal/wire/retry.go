@@ -14,9 +14,11 @@ import (
 	"errors"
 	"io"
 	"net"
+	"strings"
 	"syscall"
 	"time"
 
+	"securepki/internal/obs"
 	"securepki/internal/stats"
 )
 
@@ -51,6 +53,18 @@ type Options struct {
 	Sleep SleepFunc
 	// Dial opens connections; nil uses net.Dialer.
 	Dial DialFunc
+	// Obs receives the client's live metrics: per-attempt outcome counters
+	// keyed by Reason (wire.attempt.*), the jittered backoff-delay
+	// histogram, and — folded once per ScanRetry barrier — the sweep.*
+	// counters SweepStats is sourced from. nil disables instrumentation.
+	// Every metric recorded here is deterministic for a deterministic fault
+	// schedule: outcome per (target, attempt) is a pure function of the
+	// schedule, and sharded counters sum the same at any worker count.
+	Obs *obs.Registry
+
+	// obsShard is the stable counter shard live increments target; ScanRetry
+	// sets it to the worker index so concurrent fetches never contend.
+	obsShard int
 }
 
 func (o Options) withDefaults() Options {
@@ -185,6 +199,10 @@ type FetchStats struct {
 // returns the presented DER chain (leaf first). Retryable failures back off
 // exponentially with seeded jitter; terminal failures and an exhausted parent
 // context return immediately.
+// backoffDelayBoundsMS buckets the jittered retry delays; the envelope
+// defaults cap at 2s, so the top finite bucket is 5s.
+var backoffDelayBoundsMS = []int64{1, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000}
+
 func FetchChainOpts(ctx context.Context, addr string, opts Options) ([][]byte, FetchStats, error) {
 	opts = opts.withDefaults()
 	jitter := stats.NewRNG(opts.Seed)
@@ -192,14 +210,20 @@ func FetchChainOpts(ctx context.Context, addr string, opts Options) ([][]byte, F
 	for attempt := 0; ; attempt++ {
 		chain, err := fetchAttempt(ctx, addr, opts.AttemptTimeout, opts.Dial)
 		fs.Attempts++
+		opts.Obs.Counter("wire.attempts").AddShard(opts.obsShard, 1)
 		if err == nil {
+			opts.Obs.Counter("wire.attempt.ok").AddShard(opts.obsShard, 1)
 			return chain, fs, nil
 		}
+		opts.Obs.Counter("wire.attempt.fail."+Reason(err)).AddShard(opts.obsShard, 1)
 		fs.FailReasons = append(fs.FailReasons, Reason(err))
 		if attempt >= opts.Retries || Classify(err) != ClassRetryable || ctx.Err() != nil {
 			return nil, fs, err
 		}
-		if serr := opts.Sleep(ctx, BackoffDelay(opts, attempt, jitter)); serr != nil {
+		delay := BackoffDelay(opts, attempt, jitter)
+		opts.Obs.Counter("wire.retries").AddShard(opts.obsShard, 1)
+		opts.Obs.Histogram("wire.backoff.delay_ms", backoffDelayBoundsMS).Observe(delay.Milliseconds())
+		if serr := opts.Sleep(ctx, delay); serr != nil {
 			return nil, fs, err // budget exhausted mid-backoff; report the fetch error
 		}
 	}
@@ -219,29 +243,78 @@ type SweepStats struct {
 	Reasons *stats.Counter
 }
 
-func summarize(results []Result) SweepStats {
-	st := SweepStats{Targets: len(results), Reasons: stats.NewCounter()}
+// sweepAttemptsBounds buckets attempts-per-target; the retry knob rarely
+// exceeds single digits.
+var sweepAttemptsBounds = []int64{1, 2, 3, 4, 6, 8, 12, 16}
+
+// FoldSweep accumulates one sweep's results into reg under the sweep.*
+// namespace, serially in target order. It is the single source both
+// SweepStats and the -metrics-out document draw the sweep counters from,
+// so the two can never drift apart.
+func FoldSweep(reg *obs.Registry, results []Result) {
+	if reg == nil {
+		return
+	}
+	reg.Counter("sweep.targets").Add(int64(len(results)))
+	attemptsHist := reg.Histogram("sweep.attempts_per_target", sweepAttemptsBounds)
 	for _, r := range results {
-		st.Attempts += r.Attempts
+		reg.Counter("sweep.attempts").Add(int64(r.Attempts))
+		attemptsHist.Observe(int64(r.Attempts))
 		if r.Attempts > 1 {
-			st.Retries += r.Attempts - 1
+			reg.Counter("sweep.retries").Add(int64(r.Attempts - 1))
 		}
 		reasons := r.FailReasons
 		if r.Err == nil {
-			st.OK++
+			reg.Counter("sweep.ok").Inc()
 		} else {
-			st.Failed++
+			reg.Counter("sweep.failed").Inc()
 			if len(reasons) > 0 {
-				st.Reasons.Inc("fail:" + reasons[len(reasons)-1])
+				reg.Counter("sweep.fail." + reasons[len(reasons)-1]).Inc()
 				reasons = reasons[:len(reasons)-1]
 			} else {
 				// Cancelled before the first attempt (Attempts == 0).
-				st.Reasons.Inc("fail:" + Reason(r.Err))
+				reg.Counter("sweep.fail." + Reason(r.Err)).Inc()
 			}
 		}
 		for _, reason := range reasons {
-			st.Reasons.Inc("retry:" + reason)
+			reg.Counter("sweep.retry." + reason).Inc()
+		}
+	}
+}
+
+// SweepStatsFrom reads SweepStats back out of the sweep.* counters —
+// SweepStats is a view over the metrics, not a parallel bookkeeping system.
+func SweepStatsFrom(reg *obs.Registry) SweepStats {
+	st := SweepStats{Reasons: stats.NewCounter()}
+	for _, m := range reg.Snapshot().Metrics {
+		if m.Type != "counter" {
+			continue
+		}
+		v := int(*m.Value)
+		switch m.Name {
+		case "sweep.targets":
+			st.Targets = v
+		case "sweep.ok":
+			st.OK = v
+		case "sweep.failed":
+			st.Failed = v
+		case "sweep.attempts":
+			st.Attempts = v
+		case "sweep.retries":
+			st.Retries = v
+		default:
+			if reason, ok := strings.CutPrefix(m.Name, "sweep.retry."); ok {
+				st.Reasons.Add("retry:"+reason, v)
+			} else if reason, ok := strings.CutPrefix(m.Name, "sweep.fail."); ok {
+				st.Reasons.Add("fail:"+reason, v)
+			}
 		}
 	}
 	return st
+}
+
+func summarize(results []Result) SweepStats {
+	reg := obs.NewRegistry()
+	FoldSweep(reg, results)
+	return SweepStatsFrom(reg)
 }

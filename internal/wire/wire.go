@@ -283,11 +283,14 @@ func ScanRetry(ctx context.Context, targets []string, workers int, opts Options)
 	idx := make(chan int)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			for i := range idx {
 				topts := opts
 				topts.Seed = deriveSeed(opts.Seed, uint64(i))
+				// Each worker owns a counter shard, so live wire.* metric
+				// increments never contend; the sums are shard-independent.
+				topts.obsShard = w
 				chain, fs, err := FetchChainOpts(ctx, targets[i], topts)
 				results[i] = Result{
 					Addr:        targets[i],
@@ -297,7 +300,7 @@ func ScanRetry(ctx context.Context, targets []string, workers int, opts Options)
 					Err:         err,
 				}
 			}
-		}()
+		}(w)
 	}
 feed:
 	for i := range targets {
@@ -312,5 +315,9 @@ feed:
 	}
 	close(idx)
 	wg.Wait()
+	// One serial fold in target order feeds both the caller's registry and
+	// the returned SweepStats (summarize folds into a scratch registry), so
+	// the -json summary and the metrics document can never disagree.
+	FoldSweep(opts.Obs, results)
 	return results, summarize(results)
 }
