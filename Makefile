@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet lint race bench bench-all fuzz-seeds bench-smoke chaos-smoke obs-smoke check ci
+.PHONY: all build test vet lint race bench bench-all fuzz-seeds bench-smoke chaos-smoke obs-smoke query-smoke check ci
 
 all: build test
 
@@ -35,7 +35,7 @@ fuzz-seeds:
 # One iteration of each snapshot benchmark — catches benchmarks that no
 # longer compile or crash without burning CI minutes on timing.
 bench-smoke:
-	$(GO) test -run='^$$' -bench=Snapshot -benchtime=1x ./internal/snapshot
+	$(GO) test -run='^$$' -bench='Snapshot|Query' -benchtime=1x ./internal/snapshot ./internal/querystore
 
 # One cell of the chaos matrix under the race detector: a full certscan
 # sweep against a 30%-faulty population must produce a corpus snapshot
@@ -43,6 +43,14 @@ bench-smoke:
 # semantics").
 chaos-smoke:
 	$(GO) test -race -run 'TestChaosMatrixSnapshotIdentical/workers=4$$' -v ./cmd/certscan
+
+# Query smoke: build a small v3 snapshot, serve it with the certquery
+# handler stack on a random port, prove all four lookup endpoints answer,
+# and validate the query.* metrics artifact against the obs schema. With
+# QUERY_SMOKE_OUT the artifact lands next to the other obs artifacts.
+query-smoke:
+	QUERY_SMOKE_OUT=$(CURDIR)/obs-artifacts $(GO) test -race -run 'TestQuerySmoke$$' -v -count=1 ./cmd/certquery
+	@echo wrote obs-artifacts/query_metrics.json
 
 # Observability smoke: a small instrumented sweep with the full obs surface
 # on (metric registry, span tracer, parallel observer) must emit
@@ -60,13 +68,14 @@ ci: build vet lint
 	$(MAKE) bench-smoke
 	$(MAKE) chaos-smoke
 	$(MAKE) obs-smoke
+	$(MAKE) query-smoke
 
 # Perf trajectory: snapshot + parse benchmarks rendered to machine-readable
 # JSON so future PRs have a baseline to compare against (certs/sec, MB/s,
 # allocs/op per benchmark).
 bench:
-	$(GO) test -run='^$$' -bench='Snapshot|Parse' -benchmem \
-		./internal/snapshot ./internal/x509lite \
+	$(GO) test -run='^$$' -bench='Snapshot|Parse|Query' -benchmem \
+		./internal/snapshot ./internal/x509lite ./internal/querystore ./cmd/certquery \
 		| $(GO) run ./cmd/benchjson > BENCH_snapshot.json
 	@echo wrote BENCH_snapshot.json
 

@@ -13,7 +13,7 @@
 // appends one JSON line per pipeline-stage span.
 //
 // With -corpus the scan stage is replaced by loading a snapshot written by
-// scangen or analyze -save-corpus (either format; v2 decodes across
+// scangen or analyze -save-corpus (any format; v2/v3 decode across
 // -workers). The world is still regenerated from -seed/-small so validation
 // runs against the same root store that issued the corpus — use the same
 // sizing flags as the run that wrote it. Ground truth is not persisted, so
@@ -41,7 +41,7 @@ func main() {
 		list       = flag.Bool("list", false, "list experiment IDs and exit")
 		plotDir    = flag.String("plotdir", "", "also write gnuplot-ready .dat files and plots.gp to this directory")
 		asJSON     = flag.Bool("json", false, "print a machine-readable summary instead of experiment text")
-		corpus     = flag.String("corpus", "", "load the corpus from this snapshot instead of scanning (v1 or v2)")
+		corpus     = flag.String("corpus", "", "load the corpus from this snapshot instead of scanning (v1, v2 or v3)")
 		saveTo     = flag.String("save-corpus", "", "after the run, write the corpus as a v2 snapshot to this file")
 		metricsOut = flag.String("metrics-out", "", "write the run's metrics as a versioned JSON document")
 		traceOut   = flag.String("trace-out", "", "append pipeline-stage span events as JSON lines")

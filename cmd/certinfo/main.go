@@ -6,10 +6,16 @@
 //
 //	certinfo [-lint] [-der] file.pem [file2.pem ...]
 //	servesim ... | certinfo -fetch host:port
+//	certinfo -corpus corpus.v3 -fp <hex-sha256> [-lint]
+//
+// -corpus pulls a single certificate out of a v3 snapshot by fingerprint via
+// the point-lookup read path (internal/querystore) — no corpus decode, so it
+// answers in milliseconds even against a multi-gigabyte snapshot.
 package main
 
 import (
 	"context"
+	"encoding/hex"
 	"flag"
 	"fmt"
 	"io"
@@ -17,20 +23,32 @@ import (
 	"time"
 
 	"securepki/internal/certlint"
+	"securepki/internal/querystore"
 	"securepki/internal/wire"
 	"securepki/internal/x509lite"
 )
 
 func main() {
 	var (
-		lint  = flag.Bool("lint", false, "run the pathology linter on each certificate")
-		der   = flag.Bool("der", false, "input is raw DER, not PEM")
-		fetch = flag.String("fetch", "", "fetch the chain from a host:port (wire protocol) instead of reading files")
+		lint   = flag.Bool("lint", false, "run the pathology linter on each certificate")
+		der    = flag.Bool("der", false, "input is raw DER, not PEM")
+		fetch  = flag.String("fetch", "", "fetch the chain from a host:port (wire protocol) instead of reading files")
+		corpus = flag.String("corpus", "", "look the certificate up in this v3 snapshot instead of reading files")
+		fpHex  = flag.String("fp", "", "with -corpus: hex SHA-256 fingerprint of the certificate to fetch")
 	)
 	flag.Parse()
 
 	var certs []*x509lite.Certificate
 	switch {
+	case *corpus != "":
+		if *fpHex == "" {
+			fatal(fmt.Errorf("-corpus needs -fp <hex-sha256>"))
+		}
+		cert, err := lookupCorpus(*corpus, *fpHex)
+		if err != nil {
+			fatal(err)
+		}
+		certs = append(certs, cert)
 	case *fetch != "":
 		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
@@ -76,6 +94,30 @@ func main() {
 			}
 		}
 	}
+}
+
+// lookupCorpus opens the v3 snapshot read-only and fetches one certificate
+// by fingerprint through the point-lookup index.
+func lookupCorpus(path, fpHex string) (*x509lite.Certificate, error) {
+	raw, err := hex.DecodeString(fpHex)
+	var fp x509lite.Fingerprint
+	if err != nil || len(raw) != len(fp) {
+		return nil, fmt.Errorf("-fp: want %d hex chars", 2*len(fp))
+	}
+	copy(fp[:], raw)
+	st, err := querystore.Open(path, querystore.Options{})
+	if err != nil {
+		return nil, err
+	}
+	defer st.Close()
+	cert, ok, err := st.ByFingerprint(fp)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, fmt.Errorf("%s: no certificate %s", path, fpHex)
+	}
+	return cert, nil
 }
 
 func load(data []byte, rawDER bool) []*x509lite.Certificate {

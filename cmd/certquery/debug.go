@@ -1,0 +1,44 @@
+package main
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/* on the default mux
+	"os"
+
+	"securepki/internal/obs"
+)
+
+// startDebug binds the opt-in debug endpoint (-debug-addr): expvar under
+// /debug/vars and the pprof profiles under /debug/pprof/, both of which
+// their packages register on http.DefaultServeMux at import time. The live
+// metric registry is published as the "obs" expvar so a serving store can
+// be watched mid-flight. Returns the bound address so ":0" callers can
+// discover the port.
+func startDebug(addr string, reg *obs.Registry) (string, error) {
+	publishObs(reg)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	go func() {
+		if err := http.Serve(ln, nil); err != nil {
+			// The listener lives for the whole process; a serve error is
+			// diagnostic only — queries must not die for it.
+			fmt.Fprintf(os.Stderr, "certquery: debug server: %v\n", err)
+		}
+	}()
+	return ln.Addr().String(), nil
+}
+
+// publishObs registers the registry snapshot as the "obs" expvar exactly
+// once — expvar panics on duplicate names, and tests start several debug
+// servers in one process. First registry wins; later calls are no-ops.
+func publishObs(reg *obs.Registry) {
+	if expvar.Get("obs") != nil {
+		return
+	}
+	expvar.Publish("obs", expvar.Func(func() any { return reg.Snapshot() }))
+}

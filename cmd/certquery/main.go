@@ -1,0 +1,123 @@
+// Command certquery serves point lookups over a snapshot v3 file as a small
+// JSON HTTP API — the paper's "query the corpus" workflows (certificate by
+// fingerprint, key-sharing group by SPKI, sighting history by IP, cert
+// population by AS) without ever decoding the corpus into memory.
+//
+// Usage:
+//
+//	certquery -corpus corpus.v3 [-addr 127.0.0.1:0] [-cache 16]
+//	          [-no-mmap] [-verify] [-linger 0]
+//	          [-metrics-out metrics.json] [-debug-addr :6060]
+//
+// Endpoints:
+//
+//	GET /v1/cert/{fp}   one certificate by hex SHA-256 fingerprint
+//	GET /v1/spki/{spki} fingerprints of every cert carrying the public key
+//	GET /v1/ip/{ip}     everything the dotted-quad IP served, across scans
+//	GET /v1/as/{asn}    fingerprints of every cert observed inside the AS
+//	GET /healthz        corpus cardinalities and index status
+//
+// Missing keys answer 404 with a JSON error body; malformed keys answer
+// 400; the only 500s are store-level failures (a corrupt shard surfacing
+// lazily). The bound address is printed to stdout so ":0" callers can
+// discover the port. -metrics-out writes the query.* registry on exit;
+// -debug-addr serves expvar (/debug/vars) and pprof (/debug/pprof/).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"securepki/internal/obs"
+	"securepki/internal/querystore"
+)
+
+func main() {
+	var (
+		corpus     = flag.String("corpus", "", "v3 snapshot file to serve (required)")
+		addr       = flag.String("addr", "127.0.0.1:0", "listen address (port 0 = ephemeral, printed to stdout)")
+		cache      = flag.Int("cache", 16, "hot-shard cache size (decompressed cert shards kept resident)")
+		noMmap     = flag.Bool("no-mmap", false, "use pread instead of mmap for the snapshot file")
+		verify     = flag.Bool("verify", false, "re-hash every served certificate against its index fingerprint")
+		linger     = flag.Duration("linger", 0, "serve for this long then exit (0 = until interrupted)")
+		metricsOut = flag.String("metrics-out", "", "write the run's metrics as a versioned JSON document on exit")
+		debugAddr  = flag.String("debug-addr", "", "serve expvar (/debug/vars) and pprof (/debug/pprof/) on this address while serving")
+	)
+	flag.Parse()
+	if *corpus == "" {
+		fatal(fmt.Errorf("-corpus is required"))
+	}
+
+	reg := obs.NewRegistry()
+	if *debugAddr != "" {
+		bound, err := startDebug(*debugAddr, reg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "certquery: debug endpoints on http://%s/debug/\n", bound)
+	}
+
+	st, err := querystore.Open(*corpus, querystore.Options{
+		CacheShards:   *cache,
+		VerifyDigests: *verify,
+		DisableMmap:   *noMmap,
+		Obs:           reg,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	defer st.Close()
+	stats := st.Stats()
+	fmt.Fprintf(os.Stderr, "certquery: %s: %d certs, %d scans, %d observations, %d IP keys, %d AS keys\n",
+		*corpus, stats.Certs, stats.Scans, stats.Observations, stats.IPKeys, stats.ASKys)
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	// The bound address is the machine-readable line; everything else goes
+	// to stderr so scripts can capture just the port.
+	fmt.Printf("%s\n", ln.Addr())
+
+	srv := &http.Server{Handler: newServer(st, reg, time.Now).mux()}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	var timeout <-chan time.Time
+	if *linger > 0 {
+		timeout = time.After(*linger)
+	}
+	select {
+	case <-sig:
+	case <-timeout:
+	case err := <-done:
+		if err != nil && err != http.ErrServerClosed {
+			fatal(err)
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "certquery: shutdown: %v\n", err)
+	}
+
+	if *metricsOut != "" {
+		if err := obs.WriteMetricsFile(*metricsOut, reg); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "certquery: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,238 @@
+package main
+
+import (
+	"encoding/base64"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"securepki/internal/netsim"
+	"securepki/internal/obs"
+	"securepki/internal/querystore"
+	"securepki/internal/x509lite"
+)
+
+// latencyBoundsUS buckets request latency in microseconds: sub-100µs is the
+// hot-cache index path, the 1–10ms decades are shard inflations, anything
+// above is the disk or a stall.
+var latencyBoundsUS = []int64{50, 100, 250, 500, 1000, 2500, 5000, 10000, 50000, 250000}
+
+// server wires the querystore into HTTP handlers with query.http.* metrics.
+type server struct {
+	st  *querystore.Store
+	now func() time.Time
+
+	reqs, c2xx, c4xx, c5xx *obs.Counter
+	lat                    *obs.Histogram
+}
+
+func newServer(st *querystore.Store, reg *obs.Registry, now func() time.Time) *server {
+	return &server{
+		st:   st,
+		now:  now,
+		reqs: reg.Counter("query.http.requests"),
+		c2xx: reg.Counter("query.http.status_2xx"),
+		c4xx: reg.Counter("query.http.status_4xx"),
+		c5xx: reg.Counter("query.http.status_5xx"),
+		lat:  reg.Histogram("query.http.latency_us", latencyBoundsUS, obs.Volatile),
+	}
+}
+
+// mux routes the API. Go 1.22 patterns give method + path-value matching.
+func (s *server) mux() *http.ServeMux {
+	m := http.NewServeMux()
+	m.HandleFunc("GET /healthz", s.wrap(s.handleHealth))
+	m.HandleFunc("GET /v1/cert/{fp}", s.wrap(s.handleCert))
+	m.HandleFunc("GET /v1/spki/{spki}", s.wrap(s.handleSPKI))
+	m.HandleFunc("GET /v1/ip/{ip}", s.wrap(s.handleIP))
+	m.HandleFunc("GET /v1/as/{asn}", s.wrap(s.handleAS))
+	return m
+}
+
+// wrap layers counting and latency observation over a handler that returns
+// the status code it wrote.
+func (s *server) wrap(h func(w http.ResponseWriter, r *http.Request) int) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := s.now()
+		s.reqs.Inc()
+		code := h(w, r)
+		s.lat.Observe(s.now().Sub(start).Microseconds())
+		switch {
+		case code >= 500:
+			s.c5xx.Inc()
+		case code >= 400:
+			s.c4xx.Inc()
+		default:
+			s.c2xx.Inc()
+		}
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) int {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) // a mid-body write error leaves nothing to salvage
+	return code
+}
+
+type errorJSON struct {
+	Error string `json:"error"`
+}
+
+// writeErr emits the JSON error body. Absent keys are 404 — a miss is a
+// well-formed answer about the corpus, not a server failure.
+func writeErr(w http.ResponseWriter, code int, msg string) int {
+	return writeJSON(w, code, errorJSON{Error: msg})
+}
+
+func parseFingerprint(s string) (x509lite.Fingerprint, error) {
+	var fp x509lite.Fingerprint
+	raw, err := hex.DecodeString(s)
+	if err != nil || len(raw) != len(fp) {
+		return fp, fmt.Errorf("want %d hex chars", 2*len(fp))
+	}
+	copy(fp[:], raw)
+	return fp, nil
+}
+
+type healthJSON struct {
+	Status       string `json:"status"`
+	Certs        int    `json:"certs"`
+	Scans        int    `json:"scans"`
+	Observations uint64 `json:"observations"`
+	IPKeys       int    `json:"ip_keys"`
+	ASKeys       int    `json:"as_keys"`
+}
+
+func (s *server) handleHealth(w http.ResponseWriter, r *http.Request) int {
+	st := s.st.Stats()
+	return writeJSON(w, http.StatusOK, healthJSON{
+		Status: "ok", Certs: st.Certs, Scans: st.Scans,
+		Observations: st.Observations, IPKeys: st.IPKeys, ASKeys: st.ASKys,
+	})
+}
+
+type certJSON struct {
+	Fingerprint string    `json:"fingerprint"`
+	SPKI        string    `json:"spki"`
+	SubjectCN   string    `json:"subject_cn"`
+	IssuerCN    string    `json:"issuer_cn"`
+	NotBefore   time.Time `json:"not_before"`
+	NotAfter    time.Time `json:"not_after"`
+	DNSNames    []string  `json:"dns_names,omitempty"`
+	SelfSigned  bool      `json:"self_signed"`
+	IsCA        bool      `json:"is_ca"`
+	DER         string    `json:"der_base64"`
+}
+
+func (s *server) handleCert(w http.ResponseWriter, r *http.Request) int {
+	fp, err := parseFingerprint(r.PathValue("fp"))
+	if err != nil {
+		return writeErr(w, http.StatusBadRequest, fmt.Sprintf("bad fingerprint: %v", err))
+	}
+	cert, ok, err := s.st.ByFingerprint(fp)
+	if err != nil {
+		return writeErr(w, http.StatusInternalServerError, err.Error())
+	}
+	if !ok {
+		return writeErr(w, http.StatusNotFound, "not found")
+	}
+	return writeJSON(w, http.StatusOK, certJSON{
+		Fingerprint: fp.String(),
+		SPKI:        cert.PublicKeyFingerprint().String(),
+		SubjectCN:   cert.Subject.CommonName,
+		IssuerCN:    cert.Issuer.CommonName,
+		NotBefore:   cert.NotBefore,
+		NotAfter:    cert.NotAfter,
+		DNSNames:    cert.DNSNames,
+		SelfSigned:  cert.SelfSigned(),
+		IsCA:        cert.IsCA,
+		DER:         base64.StdEncoding.EncodeToString(cert.Raw),
+	})
+}
+
+type certSetJSON struct {
+	Key   string   `json:"key"`
+	Count int      `json:"count"`
+	Certs []string `json:"certs"`
+}
+
+func (s *server) handleSPKI(w http.ResponseWriter, r *http.Request) int {
+	spki, err := parseFingerprint(r.PathValue("spki"))
+	if err != nil {
+		return writeErr(w, http.StatusBadRequest, fmt.Sprintf("bad spki: %v", err))
+	}
+	fps, ok, err := s.st.BySPKI(spki)
+	if err != nil {
+		return writeErr(w, http.StatusInternalServerError, err.Error())
+	}
+	if !ok {
+		return writeErr(w, http.StatusNotFound, "not found")
+	}
+	return writeJSON(w, http.StatusOK, certSetJSON{Key: spki.String(), Count: len(fps), Certs: fpStrings(fps)})
+}
+
+type sightingJSON struct {
+	Scan        int       `json:"scan"`
+	Operator    string    `json:"operator"`
+	Time        time.Time `json:"time"`
+	Fingerprint string    `json:"fingerprint"`
+}
+
+type ipJSON struct {
+	IP        string         `json:"ip"`
+	Count     int            `json:"count"`
+	Sightings []sightingJSON `json:"sightings"`
+}
+
+func (s *server) handleIP(w http.ResponseWriter, r *http.Request) int {
+	ip, err := netsim.ParseIP(r.PathValue("ip"))
+	if err != nil {
+		return writeErr(w, http.StatusBadRequest, fmt.Sprintf("bad ip: %v", err))
+	}
+	sightings, ok, err := s.st.ByIP(ip)
+	if err != nil {
+		return writeErr(w, http.StatusInternalServerError, err.Error())
+	}
+	if !ok {
+		return writeErr(w, http.StatusNotFound, "not found")
+	}
+	out := ipJSON{IP: r.PathValue("ip"), Count: len(sightings), Sightings: make([]sightingJSON, len(sightings))}
+	for i, sg := range sightings {
+		out.Sightings[i] = sightingJSON{
+			Scan:        sg.Scan,
+			Operator:    sg.Operator.String(),
+			Time:        sg.Time,
+			Fingerprint: sg.Fingerprint.String(),
+		}
+	}
+	return writeJSON(w, http.StatusOK, out)
+}
+
+func (s *server) handleAS(w http.ResponseWriter, r *http.Request) int {
+	asn, err := strconv.Atoi(r.PathValue("asn"))
+	if err != nil || asn < 0 {
+		return writeErr(w, http.StatusBadRequest, "bad asn: want a non-negative integer")
+	}
+	fps, ok, err := s.st.ByAS(asn)
+	if err != nil {
+		return writeErr(w, http.StatusInternalServerError, err.Error())
+	}
+	if !ok {
+		return writeErr(w, http.StatusNotFound, "not found")
+	}
+	return writeJSON(w, http.StatusOK, certSetJSON{Key: strconv.Itoa(asn), Count: len(fps), Certs: fpStrings(fps)})
+}
+
+func fpStrings(fps []x509lite.Fingerprint) []string {
+	out := make([]string, len(fps))
+	for i, fp := range fps {
+		out[i] = fp.String()
+	}
+	return out
+}

@@ -8,7 +8,7 @@
 //
 //	certscan -targets targets.txt [-workers 32] [-timeout 3s] [-repeat 1 -interval 2s]
 //	         [-retries 0] [-backoff 100ms] [-backoff-max 2s] [-scan-seed 1]
-//	         [-o corpus.spki] [-json]
+//	         [-o corpus.spki [-format v2|v3]] [-json]
 //	         [-metrics-out metrics.json] [-trace-out trace.jsonl] [-debug-addr :6060]
 //
 // -metrics-out writes the run's metric registry (wire.*, sweep.*,
@@ -29,7 +29,8 @@
 //
 // With -o the sweeps are also accumulated as a scan corpus — each sweep
 // becomes one scan, each grabbed certificate one (certificate, IP)
-// observation — and written as a v2 snapshot that analyze/linkdev can load.
+// observation — and written as a snapshot that analyze/linkdev can load
+// (-format v3 adds the point-lookup indexes certquery serves from).
 // Only IPv4-literal targets can appear in the corpus (the observation model
 // is address-based); hostname targets are swept but skipped from the corpus
 // with a warning.
@@ -62,7 +63,8 @@ func main() {
 		scanSeed    = flag.Uint64("scan-seed", 1, "seed for the backoff jitter streams")
 		repeat      = flag.Int("repeat", 1, "number of sweeps")
 		interval    = flag.Duration("interval", 2*time.Second, "pause between sweeps")
-		outCorpus   = flag.String("o", "", "accumulate sweeps into a corpus and write it as a v2 snapshot")
+		outCorpus   = flag.String("o", "", "accumulate sweeps into a corpus and write it as a snapshot (see -format)")
+		outFormat   = flag.String("format", "v2", "snapshot format for -o: v2 (sharded columnar) or v3 (adds point-lookup indexes for certquery)")
 		jsonOut     = flag.Bool("json", false, "print a JSON run summary (retry/failure counters) to stdout")
 		metricsOut  = flag.String("metrics-out", "", "write the run's metrics as a versioned JSON document")
 		traceOut    = flag.String("trace-out", "", "append per-sweep span events as JSON lines")
@@ -71,6 +73,10 @@ func main() {
 	flag.Parse()
 	if *targetsFile == "" {
 		fmt.Fprintln(os.Stderr, "certscan: -targets is required")
+		os.Exit(2)
+	}
+	if *outFormat != "v2" && *outFormat != "v3" {
+		fmt.Fprintf(os.Stderr, "certscan: unknown -format %q (want v2 or v3)\n", *outFormat)
 		os.Exit(2)
 	}
 	targets, err := readTargets(*targetsFile)
@@ -131,7 +137,13 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		if err := snapshot.Write(f, corpus, snapshot.Options{Obs: reg}); err != nil {
+		write := snapshot.Write
+		if *outFormat == "v3" {
+			// A live scan has no routing view, so the v3 AS index is empty;
+			// fingerprint/SPKI/IP lookups all work.
+			write = snapshot.WriteV3
+		}
+		if err := write(f, corpus, snapshot.Options{Obs: reg}); err != nil {
 			f.Close()
 			fatal(err)
 		}

@@ -4,16 +4,26 @@
 //
 // Usage:
 //
-//	scangen -o corpus.spki [-format v2|v1] [-workers 0]
+//	scangen -o corpus.spki [-format v3|v2|v1] [-workers 0]
 //	        [-devices 8600] [-sites 3700] [-seed 1] [-umich 30] [-rapid7 17]
 //	        [-metrics-out metrics.json]
+//	scangen -upgrade old.spki -o corpus.v3 [-format v3]
+//	        [-prefix2as corpus.prefix2as -asinfo corpus.asinfo]
 //
 // -metrics-out writes the generation run's metric registry (core.*,
 // snapshot.* and parallel.*) as a versioned JSON document.
 //
 // The default output is the v2 sharded columnar snapshot (internal/snapshot);
-// -format v1 keeps the legacy gzip+gob blob for older consumers. Every
-// reader in this repo sniffs the format, so either loads everywhere.
+// -format v3 appends the point-lookup index sections that cmd/certquery and
+// internal/querystore serve from, and -format v1 keeps the legacy gzip+gob
+// blob for older consumers. Every streaming reader in this repo sniffs the
+// format, so any of them loads everywhere.
+//
+// -upgrade skips generation: it loads an existing snapshot (any format) and
+// rewrites it as -format. A loaded corpus carries no network view, so an
+// upgraded v3 file gets an empty AS index unless -prefix2as (and optionally
+// -asinfo) supply the RouteViews/CAIDA-style dumps a -dump-net run wrote —
+// then the AS index is rebuilt from that routing table.
 package main
 
 import (
@@ -30,8 +40,11 @@ import (
 func main() {
 	var (
 		out        = flag.String("out", "corpus.spki", "output corpus file")
-		format     = flag.String("format", "v2", "snapshot format: v2 (sharded columnar) or v1 (legacy gzip+gob)")
-		workers    = flag.Int("workers", 0, "encoder worker pool for -format v2 (0 = GOMAXPROCS); bytes identical at any setting")
+		format     = flag.String("format", "v2", "snapshot format: v3 (columnar + point-lookup indexes), v2 (sharded columnar) or v1 (legacy gzip+gob)")
+		workers    = flag.Int("workers", 0, "encoder worker pool for -format v2/v3 (0 = GOMAXPROCS); bytes identical at any setting")
+		upgrade    = flag.String("upgrade", "", "re-encode this existing snapshot (any format) as -format instead of generating")
+		prefix2as  = flag.String("prefix2as", "", "with -upgrade -format v3: RouteViews-style prefix dump to rebuild the AS index from")
+		asinfo     = flag.String("asinfo", "", "with -prefix2as: AS-info dump (asn|org|country|type lines)")
 		dumpNet    = flag.Bool("dump-net", false, "also write <out>.prefix2as and <out>.asinfo (RouteViews/CAIDA-style datasets)")
 		devices    = flag.Int("devices", 0, "number of end-user devices (0 = default)")
 		sites      = flag.Int("sites", 0, "number of websites (0 = default)")
@@ -43,9 +56,15 @@ func main() {
 	)
 	flag.StringVar(out, "o", "corpus.spki", "shorthand for -out")
 	flag.Parse()
-	if *format != "v1" && *format != "v2" {
-		fmt.Fprintf(os.Stderr, "scangen: unknown -format %q (want v1 or v2)\n", *format)
+	if *format != "v1" && *format != "v2" && *format != "v3" {
+		fmt.Fprintf(os.Stderr, "scangen: unknown -format %q (want v1, v2 or v3)\n", *format)
 		os.Exit(2)
+	}
+	if *upgrade != "" {
+		if err := upgradeSnapshot(*upgrade, *out, *format, *workers, *prefix2as, *asinfo, *metricsOut); err != nil {
+			fatal(err)
+		}
+		return
 	}
 
 	cfg := core.DefaultConfig()
@@ -88,10 +107,17 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	if *format == "v1" {
+	switch *format {
+	case "v1":
 		err = p.Corpus.Write(f)
-	} else {
+	case "v2":
 		err = snapshot.Write(f, p.Corpus, snapshot.Options{Workers: *workers, Obs: reg})
+	case "v3":
+		err = snapshot.WriteV3(f, p.Corpus, snapshot.Options{
+			Workers: *workers,
+			Obs:     reg,
+			ASOf:    snapshot.InternetASOf(p.World.Internet),
+		})
 	}
 	if err != nil {
 		f.Close()

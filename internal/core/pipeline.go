@@ -148,8 +148,27 @@ func (p *Pipeline) WriteSnapshot(w io.Writer) error {
 	return nil
 }
 
+// WriteSnapshotV3 serialises the corpus in the v3 indexed format: the same
+// sharded payloads as v2 plus the point-lookup index sections that
+// cmd/certquery and internal/querystore serve from. When the pipeline has a
+// generated world, its simulated Internet provides the AS index; a corpus
+// loaded from disk has no network view, so the AS section is written empty.
+func (p *Pipeline) WriteSnapshotV3(w io.Writer) error {
+	if p.Corpus == nil {
+		return fmt.Errorf("core: WriteSnapshotV3 before Scan or LoadSnapshot")
+	}
+	opt := snapshot.Options{Workers: p.Config.Workers, Obs: p.Config.Obs}
+	if p.World != nil && p.World.Internet != nil {
+		opt.ASOf = snapshot.InternetASOf(p.World.Internet)
+	}
+	if err := snapshot.WriteV3(w, p.Corpus, opt); err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	return nil
+}
+
 // LoadSnapshot replaces the pipeline's scan stage with a corpus read from a
-// snapshot in either on-disk format (v1 gob or v2 columnar), decoding across
+// snapshot in any on-disk format (v1 gob, v2 columnar, v3 indexed), decoding across
 // Config.Workers. Ground truth is not persisted, so p.Truth stays nil and
 // truth-based evaluations degrade to zeros; everything downstream of the
 // corpus (Validate, Link, Track) runs as usual.

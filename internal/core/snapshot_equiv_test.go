@@ -25,11 +25,14 @@ func TestSnapshotLoadEquivalence(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	var v1, v2 bytes.Buffer
+	var v1, v2, v3 bytes.Buffer
 	if err := ref.Corpus.Write(&v1); err != nil {
 		t.Fatal(err)
 	}
 	if err := ref.WriteSnapshot(&v2); err != nil {
+		t.Fatal(err)
+	}
+	if err := ref.WriteSnapshotV3(&v3); err != nil {
 		t.Fatal(err)
 	}
 
@@ -41,6 +44,8 @@ func TestSnapshotLoadEquivalence(t *testing.T) {
 		{"v1", v1.Bytes(), 1},
 		{"v2-serial", v2.Bytes(), 1},
 		{"v2-parallel", v2.Bytes(), 4},
+		{"v3-serial", v3.Bytes(), 1},
+		{"v3-parallel", v3.Bytes(), 4},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -1,0 +1,81 @@
+package querystore
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+)
+
+// shardCache keeps up to cap decompressed certificate-shard payloads
+// resident. The read path is lock-free: lookups load an immutable
+// copy-on-write map and bump a per-entry usage tick, so concurrent hits on
+// hot shards never contend. Only a miss that has just inflated a shard takes
+// the mutex, republishes a copied map, and — over capacity — evicts the
+// entry with the stalest tick. Payloads are immutable once inserted, so a
+// reader holding a just-evicted slice is still safe.
+type shardCache struct {
+	cap  int
+	tick atomic.Int64
+	cur  atomic.Value // map[uint32]*cacheEntry, copy-on-write
+	mu   sync.Mutex   // serialises map replacement
+}
+
+type cacheEntry struct {
+	raw  []byte
+	used atomic.Int64
+}
+
+func newShardCache(capacity int) *shardCache {
+	c := &shardCache{cap: capacity}
+	c.cur.Store(map[uint32]*cacheEntry{})
+	return c
+}
+
+// get returns the cached payload for the shard, if resident.
+func (c *shardCache) get(id uint32) ([]byte, bool) {
+	m := c.cur.Load().(map[uint32]*cacheEntry)
+	e, ok := m[id]
+	if !ok {
+		return nil, false
+	}
+	e.used.Store(c.tick.Add(1))
+	return e.raw, true
+}
+
+// put publishes a freshly inflated payload and reports whether an eviction
+// was needed. If another goroutine raced the same shard in first, its copy
+// wins and is returned, so all callers share one buffer.
+func (c *shardCache) put(id uint32, raw []byte) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	old := c.cur.Load().(map[uint32]*cacheEntry)
+	if e, ok := old[id]; ok {
+		e.used.Store(c.tick.Add(1))
+		return e.raw, false
+	}
+	next := make(map[uint32]*cacheEntry, len(old)+1)
+	for k, v := range old {
+		next[k] = v
+	}
+	e := &cacheEntry{raw: raw}
+	e.used.Store(c.tick.Add(1))
+	next[id] = e
+	evicted := false
+	for len(next) > c.cap {
+		victim, best := uint32(0), int64(math.MaxInt64)
+		for k, v := range next {
+			if u := v.used.Load(); u < best {
+				best, victim = u, k
+			}
+		}
+		delete(next, victim)
+		evicted = true
+	}
+	c.cur.Store(next)
+	return raw, evicted
+}
+
+// len reports the number of resident shards (tests only).
+func (c *shardCache) len() int {
+	return len(c.cur.Load().(map[uint32]*cacheEntry))
+}

@@ -1,0 +1,415 @@
+// Package querystore is the random-access read path over snapshot v3 files:
+// open a file, answer point lookups — certificate by fingerprint, cert set
+// by SPKI, sighting run by IP, cert set by AS — without ever decoding the
+// corpus. The whole-corpus load (snapshot.Read) costs seconds at paper scale
+// because every shard must be inflated and every DER re-parsed; a point
+// lookup here is a binary search over an mmapped index section plus, for
+// certificate bodies, one shard inflation that a small hot-shard cache
+// amortises across clustered queries.
+//
+// Zero-copy rules: index sections are served directly from the mapped file
+// (or from buffers read once at open, on the io.ReaderAt fallback); they are
+// never written to. Certificate DER always comes out of a decompressed heap
+// buffer, never aliases the mapping, so parsed certificates stay valid after
+// Close. Every section is checksum-verified and structurally validated at
+// open — sortedness, contiguous posting groups, in-bounds offsets — so the
+// lookup hot path indexes without rechecking; shard payloads are verified
+// against their table checksums lazily, on first inflation. Like v2, the
+// checksums catch corruption, not tampering: an attacker who can rewrite
+// the file can rewrite the digests to match (set Options.VerifyDigests when
+// the file is untrusted).
+//
+// The store is safe for concurrent readers; lookups scale across cores
+// because the hot path takes no locks (the cache is copy-on-write).
+package querystore
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+	"time"
+
+	"securepki/internal/netsim"
+	"securepki/internal/obs"
+	"securepki/internal/scanstore"
+	"securepki/internal/snapshot"
+	"securepki/internal/x509lite"
+)
+
+// Options tunes a Store. The zero value is ready to use.
+type Options struct {
+	// CacheShards bounds the hot-shard cache: how many decompressed
+	// certificate shards stay resident (default 16). With the default shard
+	// granularity that is ~32k hot certificates.
+	CacheShards int
+	// VerifyDigests re-hashes every DER served by ByFingerprint against the
+	// index fingerprint — the tamper check, at one SHA-256 per hit.
+	VerifyDigests bool
+	// DisableMmap forces the io.ReaderAt fallback even where mmap is
+	// available. Mostly for tests and A/B benchmarks.
+	DisableMmap bool
+	// Obs receives query.* metrics; nil disables instrumentation.
+	Obs *obs.Registry
+}
+
+// mapping is the random-access seam between the store and its file: mmap
+// where the platform provides it (see mmap_unix.go), pread everywhere else.
+// Bytes returns n bytes at off — a zero-copy subslice for mmap, a fresh
+// buffer for the fallback — and must bounds-check both ends.
+type mapping interface {
+	io.ReaderAt
+	Bytes(off, n int64) ([]byte, error)
+	Close() error
+}
+
+// mmapOpen is installed by the one build-tagged mmap file at init; nil on
+// platforms without it, which routes every open through the fallback.
+var mmapOpen func(f *os.File, size int64) (mapping, error)
+
+// fileMapping is the io.ReaderAt fallback over an open file.
+type fileMapping struct{ f *os.File }
+
+func (m *fileMapping) ReadAt(p []byte, off int64) (int, error) { return m.f.ReadAt(p, off) }
+
+func (m *fileMapping) Bytes(off, n int64) ([]byte, error) {
+	if n == 0 {
+		return nil, nil
+	}
+	buf := make([]byte, n)
+	if _, err := m.f.ReadAt(buf, off); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+func (m *fileMapping) Close() error { return m.f.Close() }
+
+// readerAtMapping adapts any io.ReaderAt (OpenReaderAt's seam).
+type readerAtMapping struct {
+	ra   io.ReaderAt
+	size int64
+}
+
+func (m *readerAtMapping) ReadAt(p []byte, off int64) (int, error) { return m.ra.ReadAt(p, off) }
+
+func (m *readerAtMapping) Bytes(off, n int64) ([]byte, error) {
+	if n == 0 {
+		return nil, nil
+	}
+	buf := make([]byte, n)
+	if _, err := m.ra.ReadAt(buf, off); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+func (m *readerAtMapping) Close() error { return nil }
+
+// Store answers point lookups over one open v3 snapshot. Safe for
+// concurrent use after Open returns.
+type Store struct {
+	lay   *snapshot.V3Layout
+	src   mapping
+	secs  [snapshot.V3SectionCount]sectionBytes
+	cache *shardCache
+
+	verify bool
+
+	cFP, cSPKI, cIP, cAS, cMiss        *obs.Counter
+	cCacheHit, cCacheMiss, cCacheEvict *obs.Counter
+	cInflate                           *obs.Counter
+}
+
+type sectionBytes struct{ keys, post []byte }
+
+// Open maps (or, failing that, opens for pread) a v3 snapshot file and
+// validates every index section. v1/v2 files are rejected with an error that
+// names the upgrade path — the point-lookup sections only exist in v3.
+func Open(path string, opt Options) (*Store, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("querystore: %w", err)
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("querystore: %w", err)
+	}
+	size := fi.Size()
+	var src mapping
+	if !opt.DisableMmap && mmapOpen != nil {
+		if m, err := mmapOpen(f, size); err == nil {
+			src = m
+			f.Close() // the mapping outlives the descriptor
+		}
+	}
+	if src == nil {
+		src = &fileMapping{f: f}
+	}
+	st, err := open(src, size, opt)
+	if err != nil {
+		src.Close()
+		return nil, err
+	}
+	return st, nil
+}
+
+// OpenReaderAt opens a store over any random-access source — the fallback
+// path made explicit, used by tests and in-memory tooling.
+func OpenReaderAt(ra io.ReaderAt, size int64, opt Options) (*Store, error) {
+	st, err := open(&readerAtMapping{ra: ra, size: size}, size, opt)
+	if err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+func open(src mapping, size int64, opt Options) (*Store, error) {
+	lay, err := snapshot.ReadV3Layout(src, size)
+	if err != nil {
+		if bytes.Contains([]byte(err.Error()), []byte("not a v3 snapshot")) {
+			return nil, fmt.Errorf("%w (point lookups need v3: rewrite with scangen -upgrade <in> -o <out> -format v3)", err)
+		}
+		return nil, err
+	}
+	st := &Store{lay: lay, src: src, verify: opt.VerifyDigests}
+	for i, sec := range lay.Sections {
+		keys, err := src.Bytes(sec.KeysOff, sec.KeysLen())
+		if err != nil {
+			return nil, fmt.Errorf("querystore: read index section %d keys: %w", i, err)
+		}
+		post, err := src.Bytes(sec.PostOff, int64(sec.PostLen))
+		if err != nil {
+			return nil, fmt.Errorf("querystore: read index section %d postings: %w", i, err)
+		}
+		// Checksums and structure are judged once here; lookups then index
+		// these bytes without rechecking.
+		if err := lay.ValidateSection(i, keys, post); err != nil {
+			return nil, err
+		}
+		st.secs[i] = sectionBytes{keys: keys, post: post}
+	}
+	cacheShards := opt.CacheShards
+	if cacheShards <= 0 {
+		cacheShards = 16
+	}
+	st.cache = newShardCache(cacheShards)
+
+	reg := opt.Obs
+	st.cFP = reg.Counter("query.lookup.fingerprint")
+	st.cSPKI = reg.Counter("query.lookup.spki")
+	st.cIP = reg.Counter("query.lookup.ip")
+	st.cAS = reg.Counter("query.lookup.as")
+	st.cMiss = reg.Counter("query.lookup.miss")
+	st.cCacheHit = reg.Counter("query.cache.hit", obs.Volatile)
+	st.cCacheMiss = reg.Counter("query.cache.miss", obs.Volatile)
+	st.cCacheEvict = reg.Counter("query.cache.evict", obs.Volatile)
+	st.cInflate = reg.Counter("query.cache.inflate_raw_bytes", obs.Volatile)
+	reg.Gauge("query.store.certs").Set(int64(lay.CertCount))
+	reg.Gauge("query.store.scans").Set(int64(lay.ScanCount))
+	reg.Gauge("query.store.observations").Set(int64(lay.ObsCount))
+	return st, nil
+}
+
+// Close releases the mapping (or file). Certificates returned earlier stay
+// valid — their DER was copied out of decompressed buffers, never the map.
+func (s *Store) Close() error {
+	src := s.src
+	s.src = nil
+	if src == nil {
+		return nil
+	}
+	return src.Close()
+}
+
+// Stats describes the opened snapshot.
+type Stats struct {
+	Certs, Scans  int
+	Observations  uint64
+	IPKeys, ASKys int
+}
+
+// Stats returns corpus and index cardinalities.
+func (s *Store) Stats() Stats {
+	return Stats{
+		Certs:        int(s.lay.CertCount),
+		Scans:        int(s.lay.ScanCount),
+		Observations: s.lay.ObsCount,
+		IPKeys:       int(s.lay.Sections[2].KeyCount),
+		ASKys:        int(s.lay.Sections[3].KeyCount),
+	}
+}
+
+// NumCerts returns the number of distinct certificates in the snapshot.
+func (s *Store) NumCerts() int { return int(s.lay.CertCount) }
+
+// NumScans returns the number of scans in the snapshot.
+func (s *Store) NumScans() int { return int(s.lay.ScanCount) }
+
+// fingerprintAt returns the fingerprint of the certref's entry in the sorted
+// fingerprint index. Refs were bounds-checked at open.
+func (s *Store) fingerprintAt(ref uint32) x509lite.Fingerprint {
+	var fp x509lite.Fingerprint
+	copy(fp[:], s.secs[0].keys[int(ref)*snapshot.V3FPEntry:])
+	return fp
+}
+
+// ByFingerprint finds one certificate by SHA-256 fingerprint: a binary
+// search over the fingerprint index, then a lazy single-cert parse out of
+// the (cached) decompressed shard. The boolean is false when the
+// fingerprint is not in the corpus.
+func (s *Store) ByFingerprint(fp x509lite.Fingerprint) (*x509lite.Certificate, bool, error) {
+	keys := s.secs[0].keys
+	n := int(s.lay.CertCount)
+	k := sort.Search(n, func(i int) bool {
+		return bytes.Compare(keys[i*snapshot.V3FPEntry:i*snapshot.V3FPEntry+32], fp[:]) >= 0
+	})
+	if k >= n || !bytes.Equal(keys[k*snapshot.V3FPEntry:k*snapshot.V3FPEntry+32], fp[:]) {
+		s.cMiss.Inc()
+		return nil, false, nil
+	}
+	e := keys[k*snapshot.V3FPEntry:]
+	shard := binary.LittleEndian.Uint32(e[32:])
+	off := binary.LittleEndian.Uint32(e[36:])
+	dlen := binary.LittleEndian.Uint32(e[40:])
+	raw, err := s.shardRaw(shard)
+	if err != nil {
+		return nil, false, err
+	}
+	der := raw[off : off+dlen]
+	if s.verify {
+		if got := x509lite.FingerprintBytes(der); got != fp {
+			return nil, false, fmt.Errorf("querystore: cert %s digest mismatch (stored DER hashes to %s)", fp, got)
+		}
+	}
+	cert, err := x509lite.ParseWithDigest(der, fp)
+	if err != nil {
+		return nil, false, fmt.Errorf("querystore: cert %s: %w", fp, err)
+	}
+	s.cFP.Inc()
+	return cert, true, nil
+}
+
+// BySPKI returns the fingerprints of every certificate carrying the public
+// key, ascending in index order — the paper's key-sharing groups, served in
+// one binary search.
+func (s *Store) BySPKI(spki x509lite.Fingerprint) ([]x509lite.Fingerprint, bool, error) {
+	sec := s.secs[1]
+	n := int(s.lay.Sections[1].KeyCount)
+	k := sort.Search(n, func(i int) bool {
+		return bytes.Compare(sec.keys[i*snapshot.V3SPKIEntry:i*snapshot.V3SPKIEntry+32], spki[:]) >= 0
+	})
+	if k >= n || !bytes.Equal(sec.keys[k*snapshot.V3SPKIEntry:k*snapshot.V3SPKIEntry+32], spki[:]) {
+		s.cMiss.Inc()
+		return nil, false, nil
+	}
+	e := sec.keys[k*snapshot.V3SPKIEntry:]
+	off := binary.LittleEndian.Uint32(e[32:])
+	cnt := binary.LittleEndian.Uint32(e[36:])
+	fps := make([]x509lite.Fingerprint, cnt)
+	for j := range fps {
+		fps[j] = s.fingerprintAt(binary.LittleEndian.Uint32(sec.post[(off+uint32(j))*4:]))
+	}
+	s.cSPKI.Inc()
+	return fps, true, nil
+}
+
+// Sighting is one (scan, certificate) appearance at an IP, with the scan's
+// metadata resolved from the scan-metadata section.
+type Sighting struct {
+	Scan        int
+	Operator    scanstore.Operator
+	Time        time.Time
+	Fingerprint x509lite.Fingerprint
+}
+
+// ByIP returns everything the IP served across all scans, in (scan, cert)
+// order, deduplicated.
+func (s *Store) ByIP(ip netsim.IP) ([]Sighting, bool, error) {
+	sec := s.secs[2]
+	n := int(s.lay.Sections[2].KeyCount)
+	want := uint32(ip)
+	k := sort.Search(n, func(i int) bool {
+		return binary.LittleEndian.Uint32(sec.keys[i*snapshot.V3IPEntry:]) >= want
+	})
+	if k >= n || binary.LittleEndian.Uint32(sec.keys[k*snapshot.V3IPEntry:]) != want {
+		s.cMiss.Inc()
+		return nil, false, nil
+	}
+	e := sec.keys[k*snapshot.V3IPEntry:]
+	off := binary.LittleEndian.Uint32(e[4:])
+	cnt := binary.LittleEndian.Uint32(e[8:])
+	out := make([]Sighting, cnt)
+	for j := range out {
+		scan := binary.LittleEndian.Uint32(sec.post[(off+uint32(j))*8:])
+		ref := binary.LittleEndian.Uint32(sec.post[(off+uint32(j))*8+4:])
+		meta := snapshot.ScanMetaAt(s.secs[4].keys, int(scan))
+		out[j] = Sighting{
+			Scan:        int(scan),
+			Operator:    scanstore.Operator(meta.Operator),
+			Time:        meta.Time,
+			Fingerprint: s.fingerprintAt(ref),
+		}
+	}
+	s.cIP.Inc()
+	return out, true, nil
+}
+
+// ByAS returns the fingerprints of every certificate observed inside the AS,
+// ascending in index order. Snapshots written without a network view
+// (Options.ASOf nil at write time) answer false for every AS.
+func (s *Store) ByAS(asn int) ([]x509lite.Fingerprint, bool, error) {
+	if asn < 0 || int64(asn) > math.MaxUint32 {
+		s.cMiss.Inc()
+		return nil, false, nil
+	}
+	sec := s.secs[3]
+	n := int(s.lay.Sections[3].KeyCount)
+	want := uint32(asn)
+	k := sort.Search(n, func(i int) bool {
+		return binary.LittleEndian.Uint32(sec.keys[i*snapshot.V3ASEntry:]) >= want
+	})
+	if k >= n || binary.LittleEndian.Uint32(sec.keys[k*snapshot.V3ASEntry:]) != want {
+		s.cMiss.Inc()
+		return nil, false, nil
+	}
+	e := sec.keys[k*snapshot.V3ASEntry:]
+	off := binary.LittleEndian.Uint32(e[4:])
+	cnt := binary.LittleEndian.Uint32(e[8:])
+	fps := make([]x509lite.Fingerprint, cnt)
+	for j := range fps {
+		fps[j] = s.fingerprintAt(binary.LittleEndian.Uint32(sec.post[(off+uint32(j))*4:]))
+	}
+	s.cAS.Inc()
+	return fps, true, nil
+}
+
+// shardRaw returns the decompressed payload of one certificate shard, via
+// the hot-shard cache. The shard checksum is verified on the inflate path,
+// so a corrupted payload region is caught the first time it is touched.
+func (s *Store) shardRaw(i uint32) ([]byte, error) {
+	if raw, ok := s.cache.get(i); ok {
+		s.cCacheHit.Inc()
+		return raw, nil
+	}
+	s.cCacheMiss.Inc()
+	sh := s.lay.Shards[i]
+	comp, err := s.src.Bytes(sh.Off, int64(sh.CompLen))
+	if err != nil {
+		return nil, fmt.Errorf("querystore: read shard %d: %w", i, err)
+	}
+	raw, err := sh.Inflate(comp)
+	if err != nil {
+		return nil, fmt.Errorf("querystore: shard %d: %w", i, err)
+	}
+	s.cInflate.Add(int64(len(raw)))
+	raw, evicted := s.cache.put(i, raw)
+	if evicted {
+		s.cCacheEvict.Inc()
+	}
+	return raw, nil
+}

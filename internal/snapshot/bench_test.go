@@ -25,6 +25,7 @@ var benchState struct {
 	c    *scanstore.Corpus
 	v1   []byte
 	v2   []byte
+	v3   []byte
 }
 
 func benchCorpus(tb testing.TB) (*scanstore.Corpus, []byte, []byte) {
@@ -40,8 +41,18 @@ func benchCorpus(tb testing.TB) (*scanstore.Corpus, []byte, []byte) {
 			tb.Fatal(err)
 		}
 		benchState.v2 = v2.Bytes()
+		var v3 bytes.Buffer
+		if err := WriteV3(&v3, benchState.c, Options{ASOf: testASOf}); err != nil {
+			tb.Fatal(err)
+		}
+		benchState.v3 = v3.Bytes()
 	})
 	return benchState.c, benchState.v1, benchState.v2
+}
+
+func benchCorpusV3(tb testing.TB) (*scanstore.Corpus, []byte) {
+	c, _, _ := benchCorpus(tb)
+	return c, benchState.v3
 }
 
 func reportCorpusRates(b *testing.B) {
@@ -77,6 +88,18 @@ func BenchmarkSnapshotWrite(b *testing.B) {
 		}
 		reportCorpusRates(b)
 	})
+	b.Run("v3", func(b *testing.B) {
+		_, v3 := benchCorpusV3(b)
+		b.SetBytes(int64(len(v3)))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := WriteV3(io.Discard, c, Options{Workers: runtime.GOMAXPROCS(0), ASOf: testASOf}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		reportCorpusRates(b)
+	})
 }
 
 func BenchmarkSnapshotRead(b *testing.B) {
@@ -101,4 +124,7 @@ func BenchmarkSnapshotRead(b *testing.B) {
 	run("v1-gob", v1, 1)
 	run("v2-serial", v2, 1)
 	run("v2-parallel", v2, runtime.GOMAXPROCS(0))
+	_, v3 := benchCorpusV3(b)
+	run("v3-serial", v3, 1)
+	run("v3-parallel", v3, runtime.GOMAXPROCS(0))
 }

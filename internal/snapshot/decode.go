@@ -21,11 +21,11 @@ const headerFixed = 8 + 3*8 + 2*4
 // tableEntry is the byte length of one shard-table entry.
 const tableEntry = 4*8 + 32
 
-// Read loads a corpus snapshot in either format: the first bytes select the
+// Read loads a corpus snapshot in any format: the first bytes select the
 // decoder (gzip magic → v1 gob via scanstore.ReadFrom, "SPKISNP2" → v2
-// columnar). All input is treated as hostile — truncation, corruption and
-// absurd length fields yield explicit errors, never panics or unbounded
-// allocation.
+// columnar, "SPKISNP3" → v3 columnar + indexes). All input is treated as
+// hostile — truncation, corruption and absurd length fields yield explicit
+// errors, never panics or unbounded allocation.
 func Read(r io.Reader, opt Options) (*scanstore.Corpus, error) {
 	opt = opt.withDefaults()
 	br := bufio.NewReaderSize(r, 1<<16)
@@ -40,6 +40,11 @@ func Read(r io.Reader, opt Options) (*scanstore.Corpus, error) {
 		}
 		opt.Obs.Counter("snapshot.decode.v1").Inc()
 		return c, nil
+	}
+	// Inputs shorter than a full magic fall through to readV2, whose own
+	// header read reports them as truncated or bad-magic.
+	if magic, err := br.Peek(8); err == nil && string(magic) == MagicV3 {
+		return readV3(br, opt)
 	}
 	return readV2(br, opt)
 }
@@ -141,12 +146,38 @@ func readV2(r io.Reader, opt Options) (*scanstore.Corpus, error) {
 		comps[i] = comp
 	}
 
-	// Decode shards concurrently: checksum, inflate, split columns, and for
-	// certificate shards re-parse every DER inside the worker.
+	certParts, scanParts, err := decodeShards(metas, sums, comps, certShards, certCount, opt)
+	if err != nil {
+		return nil, err
+	}
+
+	// Trailing garbage is corruption, not padding.
+	var trail [1]byte
+	if n, _ := r.Read(trail[:]); n != 0 {
+		return nil, fmt.Errorf("snapshot: trailing bytes after last shard")
+	}
+
+	c, err := assembleCorpus(certParts, scanParts, obsCount)
+	if err != nil {
+		return nil, err
+	}
+	opt.Obs.Counter("snapshot.decode.shards").Add(int64(nShards))
+	opt.Obs.Counter("snapshot.decode.certs").Add(int64(certCount))
+	opt.Obs.Counter("snapshot.decode.scans").Add(int64(scanCount))
+	opt.Obs.Counter("snapshot.decode.observations").Add(int64(obsCount))
+	return c, nil
+}
+
+// decodeShards fans the decompression and column decode of every shard out
+// over the worker pool: checksum, inflate, split columns, and for
+// certificate shards re-parse every DER inside the worker. Shared by the v2
+// and v3 streaming readers, whose payload bytes are identical.
+func decodeShards(metas []shardMeta, sums [][32]byte, comps [][]byte, certShards uint32, certCount uint64, opt Options) ([][]*x509lite.Certificate, [][]decodedScan, error) {
+	nShards := len(metas)
 	certParts := make([][]*x509lite.Certificate, certShards)
-	scanParts := make([][]decodedScan, scanShards)
+	scanParts := make([][]decodedScan, nShards-int(certShards))
 	errs := make([]error, nShards)
-	forEachShard(opt.Workers, int(nShards), func(i int) {
+	forEachShard(opt.Workers, nShards, func(i int) {
 		m := metas[i]
 		if sum := sha256.Sum256(comps[i]); sum != sums[i] {
 			errs[i] = fmt.Errorf("snapshot: shard %d checksum mismatch", i)
@@ -186,17 +217,16 @@ func readV2(r io.Reader, opt Options) (*scanstore.Corpus, error) {
 	})
 	for _, err := range errs {
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 	}
+	return certParts, scanParts, nil
+}
 
-	// Trailing garbage is corruption, not padding.
-	var trail [1]byte
-	if n, _ := r.Read(trail[:]); n != 0 {
-		return nil, fmt.Errorf("snapshot: trailing bytes after last shard")
-	}
-
-	// Serial assembly in shard order keeps IDs and scan order deterministic.
+// assembleCorpus interns certificates and appends scans serially in shard
+// order, keeping IDs and scan order deterministic, then cross-checks the
+// header's observation count against what the shards actually carried.
+func assembleCorpus(certParts [][]*x509lite.Certificate, scanParts [][]decodedScan, obsCount uint64) (*scanstore.Corpus, error) {
 	c := scanstore.NewCorpus()
 	idx := 0
 	for _, part := range certParts {
@@ -219,10 +249,6 @@ func readV2(r io.Reader, opt Options) (*scanstore.Corpus, error) {
 	if totalObs != obsCount {
 		return nil, fmt.Errorf("snapshot: header claims %d observations, shards carry %d", obsCount, totalObs)
 	}
-	opt.Obs.Counter("snapshot.decode.shards").Add(int64(nShards))
-	opt.Obs.Counter("snapshot.decode.certs").Add(int64(certCount))
-	opt.Obs.Counter("snapshot.decode.scans").Add(int64(scanCount))
-	opt.Obs.Counter("snapshot.decode.observations").Add(int64(obsCount))
 	return c, nil
 }
 

@@ -1,0 +1,161 @@
+package snapshot
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"fmt"
+	"io"
+
+	"securepki/internal/scanstore"
+)
+
+// readV3 loads a complete corpus from a v3 stream. The payload decode is
+// exactly v2's; the appended index sections are then held to a stricter
+// standard than structural validity: the loader rebuilds the deterministic
+// sections (fingerprint, SPKI, IP, scan metadata) from the decoded corpus
+// and demands byte equality, so a v3 file whose indexes disagree with its
+// own payloads is rejected outright. The AS section cannot be rebuilt (the
+// writer's network view is not in the file), so it gets the full structural
+// validation instead.
+func readV3(r io.Reader, opt Options) (*scanstore.Corpus, error) {
+	fixed := make([]byte, headerFixedV3)
+	if _, err := io.ReadFull(r, fixed[:8]); err != nil {
+		return nil, fmt.Errorf("snapshot: truncated header: %w", err)
+	}
+	if string(fixed[:8]) != MagicV3 {
+		return nil, fmt.Errorf("snapshot: bad magic %q", fixed[:8])
+	}
+	if _, err := io.ReadFull(r, fixed[8:]); err != nil {
+		return nil, fmt.Errorf("snapshot: truncated header: %w", err)
+	}
+	lay, nShards, err := parseV3Fixed(fixed)
+	if err != nil {
+		return nil, err
+	}
+
+	table := make([]byte, nShards*tableEntry)
+	if _, err := io.ReadFull(r, table); err != nil {
+		return nil, fmt.Errorf("snapshot: truncated shard table: %w", err)
+	}
+	itable := make([]byte, V3SectionCount*idxTableEntry)
+	if _, err := io.ReadFull(r, itable); err != nil {
+		return nil, fmt.Errorf("snapshot: truncated index table: %w", err)
+	}
+	var wantHeadSum [32]byte
+	if _, err := io.ReadFull(r, wantHeadSum[:]); err != nil {
+		return nil, fmt.Errorf("snapshot: truncated header checksum: %w", err)
+	}
+	h := sha256.New()
+	h.Write(fixed)
+	h.Write(table)
+	h.Write(itable)
+	if !bytes.Equal(h.Sum(nil), wantHeadSum[:]) {
+		return nil, fmt.Errorf("snapshot: header checksum mismatch")
+	}
+	if err := parseV3Tables(lay, table, itable); err != nil {
+		return nil, err
+	}
+
+	// Shard payloads, decoded exactly like v2.
+	metas := make([]shardMeta, len(lay.Shards))
+	sums := make([][32]byte, len(lay.Shards))
+	comps := make([][]byte, len(lay.Shards))
+	off := int64(headerFixedV3) + int64(len(table)) + int64(len(itable)) + 32
+	for i, sh := range lay.Shards {
+		metas[i] = shardMeta{first: sh.First, count: sh.Count, rawLen: sh.RawLen, compLen: sh.CompLen}
+		sums[i] = sh.Sum
+		comp, err := readPayload(r, sh.CompLen)
+		if err != nil {
+			return nil, fmt.Errorf("snapshot: shard %d payload: %w", i, err)
+		}
+		comps[i] = comp
+		off += int64(sh.CompLen)
+	}
+	certParts, scanParts, err := decodeShards(metas, sums, comps, lay.CertShards, lay.CertCount, opt)
+	if err != nil {
+		return nil, err
+	}
+
+	// Index sections, with the alignment padding verified to be zeros.
+	if err := readPadZeros(r, pad8(off)); err != nil {
+		return nil, err
+	}
+	off += pad8(off)
+	var indexBytes int64
+	sections := make([][2][]byte, V3SectionCount)
+	for i := range lay.Sections {
+		sec := lay.Sections[i]
+		keys, err := readPayload(r, uint64(sec.KeysLen()))
+		if err != nil {
+			return nil, fmt.Errorf("snapshot: index section %d keys: %w", i, err)
+		}
+		post, err := readPayload(r, sec.PostLen)
+		if err != nil {
+			return nil, fmt.Errorf("snapshot: index section %d postings: %w", i, err)
+		}
+		off += sec.KeysLen() + int64(sec.PostLen)
+		if err := readPadZeros(r, pad8(off)); err != nil {
+			return nil, err
+		}
+		off += pad8(off)
+		sections[i] = [2][]byte{keys, post}
+		indexBytes += int64(len(keys)) + int64(len(post))
+	}
+	var trail [1]byte
+	if n, _ := r.Read(trail[:]); n != 0 {
+		return nil, fmt.Errorf("snapshot: trailing bytes after last index section")
+	}
+	for i := range sections {
+		if err := lay.ValidateSection(i, sections[i][0], sections[i][1]); err != nil {
+			return nil, err
+		}
+	}
+
+	c, err := assembleCorpus(certParts, scanParts, lay.ObsCount)
+	if err != nil {
+		return nil, err
+	}
+
+	// Rebuild the corpus-determined sections with the file's own shard
+	// geometry and insist on byte equality.
+	certRanges := make([]shardRange, lay.CertShards)
+	for i := range certRanges {
+		sh := lay.Shards[i]
+		certRanges[i] = shardRange{first: int(sh.First), count: int(sh.Count)}
+	}
+	rebuilt, err := buildV3Sections(c, certRanges, Options{Workers: opt.Workers})
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: rebuild indexes: %w", err)
+	}
+	for _, i := range []int{0, 1, 2, 4} { // fp, spki, ip, scanmeta; as is writer-dependent
+		if !bytes.Equal(sections[i][0], rebuilt[i].keys) || !bytes.Equal(sections[i][1], rebuilt[i].post) {
+			return nil, fmt.Errorf("snapshot: index section %d does not match the decoded corpus", i)
+		}
+	}
+
+	opt.Obs.Counter("snapshot.decode.v3").Inc()
+	opt.Obs.Counter("snapshot.decode.index_bytes").Add(indexBytes)
+	opt.Obs.Counter("snapshot.decode.shards").Add(int64(nShards))
+	opt.Obs.Counter("snapshot.decode.certs").Add(int64(lay.CertCount))
+	opt.Obs.Counter("snapshot.decode.scans").Add(int64(lay.ScanCount))
+	opt.Obs.Counter("snapshot.decode.observations").Add(int64(lay.ObsCount))
+	return c, nil
+}
+
+// readPadZeros consumes n alignment bytes and rejects any non-zero filler —
+// padding is not a place to smuggle bytes past the checksums.
+func readPadZeros(r io.Reader, n int64) error {
+	if n == 0 {
+		return nil
+	}
+	var pad [8]byte
+	if _, err := io.ReadFull(r, pad[:n]); err != nil {
+		return fmt.Errorf("snapshot: truncated padding: %w", err)
+	}
+	for _, b := range pad[:n] {
+		if b != 0 {
+			return fmt.Errorf("snapshot: non-zero padding byte")
+		}
+	}
+	return nil
+}

@@ -24,67 +24,14 @@ type encodedShard struct {
 // contract. Output bytes are identical for any opt.Workers value.
 func Write(w io.Writer, c *scanstore.Corpus, opt Options) error {
 	opt = opt.withDefaults()
-	certs := c.Certs()
-	scans := c.Scans()
-	if len(certs) > maxCerts {
-		return fmt.Errorf("snapshot: %d certificates exceed format cap", len(certs))
-	}
-	if len(scans) > maxScans {
-		return fmt.Errorf("snapshot: %d scans exceed format cap", len(scans))
-	}
-	for i, rec := range certs {
-		if len(rec.Cert.Raw) == 0 || len(rec.Cert.Raw) > MaxCertDER {
-			return fmt.Errorf("snapshot: cert %d DER length %d outside (0, %d]", i, len(rec.Cert.Raw), MaxCertDER)
-		}
-	}
-	var obsCount uint64
-	for _, s := range scans {
-		obsCount += uint64(len(s.Obs))
+	certs, scans, obsCount, certRanges, scanRanges, err := prepareWrite(c, opt)
+	if err != nil {
+		return err
 	}
 
-	certRanges := shardRanges(len(certs), opt.CertsPerShard)
-	scanRanges := shardRanges(len(scans), opt.ScansPerShard)
-	if len(certRanges)+len(scanRanges) > maxShards {
-		return fmt.Errorf("snapshot: %d shards exceed format cap %d; raise CertsPerShard/ScansPerShard",
-			len(certRanges)+len(scanRanges), maxShards)
-	}
-
-	// Encode and compress every shard concurrently. Shard boundaries were
-	// fixed above from data sizes alone, so the worker count only decides
-	// which goroutine produces which byte range, never the bytes themselves.
-	shards := make([]encodedShard, len(certRanges)+len(scanRanges))
-	errs := make([]error, len(shards))
-	forEachShard(opt.Workers, len(shards), func(i int) {
-		var raw []byte
-		var rg shardRange
-		if i < len(certRanges) {
-			rg = certRanges[i]
-			raw = encodeCertShard(certs[rg.first : rg.first+rg.count])
-		} else {
-			rg = scanRanges[i-len(certRanges)]
-			raw = encodeScanShard(scans[rg.first : rg.first+rg.count])
-		}
-		comp, err := gzipShard(raw)
-		if err != nil {
-			errs[i] = fmt.Errorf("snapshot: compress shard %d: %w", i, err)
-			return
-		}
-		shards[i] = encodedShard{
-			first:  rg.first,
-			count:  rg.count,
-			rawLen: len(raw),
-			comp:   comp,
-			sum:    sha256.Sum256(comp),
-		}
-		// Shard i is a stable identity (fixed by data, not scheduling), so it
-		// doubles as the counter shard: no contention, same sums everywhere.
-		opt.Obs.Counter("snapshot.encode.raw_bytes").AddShard(i, int64(len(raw)))
-		opt.Obs.Counter("snapshot.encode.comp_bytes").AddShard(i, int64(len(comp)))
-	})
-	for _, err := range errs {
-		if err != nil {
-			return err
-		}
+	shards, err := encodeShards(certs, scans, certRanges, scanRanges, opt)
+	if err != nil {
+		return err
 	}
 	opt.Obs.Counter("snapshot.encode.shards").Add(int64(len(shards)))
 	opt.Obs.Counter("snapshot.encode.certs").Add(int64(len(certs)))
@@ -117,6 +64,77 @@ func Write(w io.Writer, c *scanstore.Corpus, opt Options) error {
 		}
 	}
 	return nil
+}
+
+// prepareWrite validates the corpus against the format caps and fixes the
+// shard boundaries, identically for v2 and v3.
+func prepareWrite(c *scanstore.Corpus, opt Options) (certs []*scanstore.CertRecord, scans []*scanstore.Scan, obsCount uint64, certRanges, scanRanges []shardRange, err error) {
+	certs = c.Certs()
+	scans = c.Scans()
+	if len(certs) > maxCerts {
+		return nil, nil, 0, nil, nil, fmt.Errorf("snapshot: %d certificates exceed format cap", len(certs))
+	}
+	if len(scans) > maxScans {
+		return nil, nil, 0, nil, nil, fmt.Errorf("snapshot: %d scans exceed format cap", len(scans))
+	}
+	for i, rec := range certs {
+		if len(rec.Cert.Raw) == 0 || len(rec.Cert.Raw) > MaxCertDER {
+			return nil, nil, 0, nil, nil, fmt.Errorf("snapshot: cert %d DER length %d outside (0, %d]", i, len(rec.Cert.Raw), MaxCertDER)
+		}
+	}
+	for _, s := range scans {
+		obsCount += uint64(len(s.Obs))
+	}
+	certRanges = shardRanges(len(certs), opt.CertsPerShard)
+	scanRanges = shardRanges(len(scans), opt.ScansPerShard)
+	if len(certRanges)+len(scanRanges) > maxShards {
+		return nil, nil, 0, nil, nil, fmt.Errorf("snapshot: %d shards exceed format cap %d; raise CertsPerShard/ScansPerShard",
+			len(certRanges)+len(scanRanges), maxShards)
+	}
+	return certs, scans, obsCount, certRanges, scanRanges, nil
+}
+
+// encodeShards encodes and compresses every shard concurrently; v2 and v3
+// share it, so both formats carry byte-identical shard payloads. Shard
+// boundaries are fixed by the caller from data sizes alone, so the worker
+// count only decides which goroutine produces which byte range, never the
+// bytes themselves.
+func encodeShards(certs []*scanstore.CertRecord, scans []*scanstore.Scan, certRanges, scanRanges []shardRange, opt Options) ([]encodedShard, error) {
+	shards := make([]encodedShard, len(certRanges)+len(scanRanges))
+	errs := make([]error, len(shards))
+	forEachShard(opt.Workers, len(shards), func(i int) {
+		var raw []byte
+		var rg shardRange
+		if i < len(certRanges) {
+			rg = certRanges[i]
+			raw = encodeCertShard(certs[rg.first : rg.first+rg.count])
+		} else {
+			rg = scanRanges[i-len(certRanges)]
+			raw = encodeScanShard(scans[rg.first : rg.first+rg.count])
+		}
+		comp, err := gzipShard(raw)
+		if err != nil {
+			errs[i] = fmt.Errorf("snapshot: compress shard %d: %w", i, err)
+			return
+		}
+		shards[i] = encodedShard{
+			first:  rg.first,
+			count:  rg.count,
+			rawLen: len(raw),
+			comp:   comp,
+			sum:    sha256.Sum256(comp),
+		}
+		// Shard i is a stable identity (fixed by data, not scheduling), so it
+		// doubles as the counter shard: no contention, same sums everywhere.
+		opt.Obs.Counter("snapshot.encode.raw_bytes").AddShard(i, int64(len(raw)))
+		opt.Obs.Counter("snapshot.encode.comp_bytes").AddShard(i, int64(len(comp)))
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return shards, nil
 }
 
 // encodeCertShard lays out the three certificate columns: uvarint DER

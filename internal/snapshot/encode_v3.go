@@ -1,0 +1,362 @@
+package snapshot
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"securepki/internal/parallel"
+	"securepki/internal/scanstore"
+	"securepki/internal/x509lite"
+)
+
+// v3SectionData is one index section ready to write: key array, posting
+// array, and the table-entry fields derived from them.
+type v3SectionData struct {
+	kind     uint32
+	keyCount uint64
+	keys     []byte
+	post     []byte
+}
+
+// WriteV3 serialises the corpus in the v3 format: v2's sharded columnar
+// payloads followed by the five point-lookup index sections. Like Write, the
+// output is byte-identical at any opt.Workers value — index construction
+// fans out over contiguous shard chunks merged in order, and every sort key
+// is a total order over the data.
+func WriteV3(w io.Writer, c *scanstore.Corpus, opt Options) error {
+	opt = opt.withDefaults()
+	certs, scans, obsCount, certRanges, scanRanges, err := prepareWrite(c, opt)
+	if err != nil {
+		return err
+	}
+
+	shards, err := encodeShards(certs, scans, certRanges, scanRanges, opt)
+	if err != nil {
+		return err
+	}
+	sections, err := buildV3Sections(c, certRanges, opt)
+	if err != nil {
+		return err
+	}
+	var indexBytes int64
+	for _, s := range sections {
+		indexBytes += int64(len(s.keys)) + int64(len(s.post))
+	}
+	opt.Obs.Counter("snapshot.encode.shards").Add(int64(len(shards)))
+	opt.Obs.Counter("snapshot.encode.certs").Add(int64(len(certs)))
+	opt.Obs.Counter("snapshot.encode.scans").Add(int64(len(scans)))
+	opt.Obs.Counter("snapshot.encode.observations").Add(int64(obsCount))
+	opt.Obs.Counter("snapshot.encode.index_bytes").Add(indexBytes)
+
+	// Fixed header, shard table, index table, header digest.
+	var head bytes.Buffer
+	head.WriteString(MagicV3)
+	putU64(&head, uint64(len(certs)))
+	putU64(&head, uint64(len(scans)))
+	putU64(&head, obsCount)
+	putU32(&head, uint32(len(certRanges)))
+	putU32(&head, uint32(len(scanRanges)))
+	putU32(&head, V3SectionCount)
+	putU32(&head, 0) // reserved
+	for _, sh := range shards {
+		putU64(&head, uint64(sh.first))
+		putU64(&head, uint64(sh.count))
+		putU64(&head, uint64(sh.rawLen))
+		putU64(&head, uint64(len(sh.comp)))
+		head.Write(sh.sum[:])
+	}
+	for _, s := range sections {
+		putU32(&head, s.kind)
+		putU32(&head, v3EntrySize(s.kind))
+		putU64(&head, s.keyCount)
+		putU64(&head, uint64(len(s.post)))
+		putU64(&head, 0) // reserved
+		sum := sha256SectionSum(s.keys, s.post)
+		head.Write(sum[:])
+	}
+	headSum := sha256SectionSum(head.Bytes(), nil)
+	head.Write(headSum[:])
+	if _, err := w.Write(head.Bytes()); err != nil {
+		return fmt.Errorf("snapshot: write header: %w", err)
+	}
+
+	off := int64(head.Len())
+	for i, sh := range shards {
+		if _, err := w.Write(sh.comp); err != nil {
+			return fmt.Errorf("snapshot: write shard %d: %w", i, err)
+		}
+		off += int64(len(sh.comp))
+	}
+	var zeros [8]byte
+	writePad := func() error {
+		if n := pad8(off); n > 0 {
+			if _, err := w.Write(zeros[:n]); err != nil {
+				return fmt.Errorf("snapshot: write padding: %w", err)
+			}
+			off += n
+		}
+		return nil
+	}
+	if err := writePad(); err != nil {
+		return err
+	}
+	for i, s := range sections {
+		if _, err := w.Write(s.keys); err != nil {
+			return fmt.Errorf("snapshot: write index section %d keys: %w", i, err)
+		}
+		off += int64(len(s.keys))
+		if _, err := w.Write(s.post); err != nil {
+			return fmt.Errorf("snapshot: write index section %d postings: %w", i, err)
+		}
+		off += int64(len(s.post))
+		if err := writePad(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// fpLoc locates one certificate: where its DER lives (shard, offset into the
+// uncompressed payload, length) keyed by fingerprint.
+type fpLoc struct {
+	fp               x509lite.Fingerprint
+	shard, off, dlen uint32
+}
+
+// buildV3Sections constructs the five index sections. certRanges must be the
+// same shard boundaries the payloads were encoded with — on the write path
+// they come from the sizing knobs, on the verify path from the file's own
+// shard table. Every stage is deterministic in opt.Workers: parallel loops
+// own contiguous chunks, partial results merge in chunk order, and final
+// orders come from sorts with total keys.
+func buildV3Sections(c *scanstore.Corpus, certRanges []shardRange, opt Options) ([V3SectionCount]v3SectionData, error) {
+	var out [V3SectionCount]v3SectionData
+	certs := c.Certs()
+	scans := c.Scans()
+	w := opt.Workers
+
+	// Per-shard DER locations, then one global sort by fingerprint. Offsets
+	// replay encodeCertShard's layout: the uvarint length column precedes the
+	// concatenated DER bytes.
+	locs := make([]fpLoc, len(certs))
+	parallel.Do(w, len(certRanges), func(_, lo, hi int) {
+		for si := lo; si < hi; si++ {
+			rg := certRanges[si]
+			recs := certs[rg.first : rg.first+rg.count]
+			off := 0
+			for _, rec := range recs {
+				off += uvarintLen(uint64(len(rec.Cert.Raw)))
+			}
+			for j, rec := range recs {
+				locs[rg.first+j] = fpLoc{
+					fp:    rec.Cert.Fingerprint(),
+					shard: uint32(si),
+					off:   uint32(off),
+					dlen:  uint32(len(rec.Cert.Raw)),
+				}
+				off += len(rec.Cert.Raw)
+			}
+		}
+	})
+	order := make([]int, len(certs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		return bytes.Compare(locs[order[a]].fp[:], locs[order[b]].fp[:]) < 0
+	})
+	// refOf maps CertID → position in the sorted fingerprint index; all
+	// posting arrays reference certificates through it.
+	refOf := make([]uint32, len(certs))
+	fpKeys := make([]byte, len(certs)*V3FPEntry)
+	for pos, id := range order {
+		refOf[id] = uint32(pos)
+		l := locs[id]
+		e := fpKeys[pos*V3FPEntry:]
+		copy(e[:32], l.fp[:])
+		binary.LittleEndian.PutUint32(e[32:], l.shard)
+		binary.LittleEndian.PutUint32(e[36:], l.off)
+		binary.LittleEndian.PutUint32(e[40:], l.dlen)
+	}
+	out[0] = v3SectionData{kind: V3KindFP, keyCount: uint64(len(certs)), keys: fpKeys}
+
+	// SPKI → cert set: hash every public key in parallel, sort (spki, ref).
+	spkis := parallel.Map(w, len(certs), func(i int) x509lite.Fingerprint {
+		return certs[i].Cert.PublicKeyFingerprint()
+	})
+	spkiOrder := make([]int, len(certs))
+	for i := range spkiOrder {
+		spkiOrder[i] = i
+	}
+	sort.Slice(spkiOrder, func(a, b int) bool {
+		ia, ib := spkiOrder[a], spkiOrder[b]
+		if cmp := bytes.Compare(spkis[ia][:], spkis[ib][:]); cmp != 0 {
+			return cmp < 0
+		}
+		return refOf[ia] < refOf[ib]
+	})
+	var spkiKeys, spkiPost []byte
+	for lo := 0; lo < len(spkiOrder); {
+		hi := lo
+		for hi < len(spkiOrder) && spkis[spkiOrder[hi]] == spkis[spkiOrder[lo]] {
+			hi++
+		}
+		var e [V3SPKIEntry]byte
+		copy(e[:32], spkis[spkiOrder[lo]][:])
+		binary.LittleEndian.PutUint32(e[32:], uint32(lo))
+		binary.LittleEndian.PutUint32(e[36:], uint32(hi-lo))
+		spkiKeys = append(spkiKeys, e[:]...)
+		for _, id := range spkiOrder[lo:hi] {
+			spkiPost = binary.LittleEndian.AppendUint32(spkiPost, refOf[id])
+		}
+		lo = hi
+	}
+	out[1] = v3SectionData{kind: V3KindSPKI, keyCount: uint64(len(spkiKeys) / V3SPKIEntry), keys: spkiKeys, post: spkiPost}
+
+	// IP → (scan, cert) sightings: invert scans in parallel chunks, merge in
+	// scan order, then sort and deduplicate the (ip, scan, ref) triples.
+	type ipTriple struct{ ip, scan, ref uint32 }
+	nChunks := parallel.NumShards(w, len(scans))
+	ipParts := make([][]ipTriple, nChunks)
+	parallel.Do(w, len(scans), func(chunk, lo, hi int) {
+		var part []ipTriple
+		for si := lo; si < hi; si++ {
+			for _, o := range scans[si].Obs {
+				part = append(part, ipTriple{ip: uint32(o.IP), scan: uint32(si), ref: refOf[o.Cert]})
+			}
+		}
+		ipParts[chunk] = part
+	})
+	var triples []ipTriple
+	for _, part := range ipParts {
+		triples = append(triples, part...)
+	}
+	sort.Slice(triples, func(a, b int) bool {
+		if triples[a].ip != triples[b].ip {
+			return triples[a].ip < triples[b].ip
+		}
+		if triples[a].scan != triples[b].scan {
+			return triples[a].scan < triples[b].scan
+		}
+		return triples[a].ref < triples[b].ref
+	})
+	var ipKeys, ipPost []byte
+	elems := uint32(0)
+	for lo := 0; lo < len(triples); {
+		hi := lo
+		for hi < len(triples) && triples[hi].ip == triples[lo].ip {
+			hi++
+		}
+		start, count := elems, uint32(0)
+		prev := ipTriple{}
+		for k, t := range triples[lo:hi] {
+			if k > 0 && t == prev {
+				continue // repeat sighting of the same (scan, cert) at this IP
+			}
+			prev = t
+			ipPost = binary.LittleEndian.AppendUint32(ipPost, t.scan)
+			ipPost = binary.LittleEndian.AppendUint32(ipPost, t.ref)
+			count++
+		}
+		elems += count
+		var e [V3IPEntry]byte
+		binary.LittleEndian.PutUint32(e[0:], triples[lo].ip)
+		binary.LittleEndian.PutUint32(e[4:], start)
+		binary.LittleEndian.PutUint32(e[8:], count)
+		ipKeys = append(ipKeys, e[:]...)
+		lo = hi
+	}
+	out[2] = v3SectionData{kind: V3KindIP, keyCount: uint64(len(ipKeys) / V3IPEntry), keys: ipKeys, post: ipPost}
+
+	// AS → cert set, only when the writer has a network view. Resolution
+	// fans out per scan chunk; (asn, ref) pairs sort and deduplicate like the
+	// IP triples. A nil ASOf leaves the section empty, never wrong.
+	var asKeys, asPost []byte
+	var asKeyCount uint64
+	if opt.ASOf != nil {
+		type asRef struct{ asn, ref uint32 }
+		asParts := make([][]asRef, nChunks)
+		asErrs := make([]error, nChunks)
+		parallel.Do(w, len(scans), func(chunk, lo, hi int) {
+			var part []asRef
+			for si := lo; si < hi; si++ {
+				at := scans[si].Time
+				for _, o := range scans[si].Obs {
+					asn, ok := opt.ASOf(o.IP, at)
+					if !ok {
+						continue
+					}
+					if asn < 0 || int64(asn) > math.MaxUint32 {
+						asErrs[chunk] = fmt.Errorf("snapshot: AS number %d outside uint32", asn)
+						return
+					}
+					part = append(part, asRef{asn: uint32(asn), ref: refOf[o.Cert]})
+				}
+			}
+			asParts[chunk] = part
+		})
+		for _, err := range asErrs {
+			if err != nil {
+				return out, err
+			}
+		}
+		var pairs []asRef
+		for _, part := range asParts {
+			pairs = append(pairs, part...)
+		}
+		sort.Slice(pairs, func(a, b int) bool {
+			if pairs[a].asn != pairs[b].asn {
+				return pairs[a].asn < pairs[b].asn
+			}
+			return pairs[a].ref < pairs[b].ref
+		})
+		elems := uint32(0)
+		for lo := 0; lo < len(pairs); {
+			hi := lo
+			for hi < len(pairs) && pairs[hi].asn == pairs[lo].asn {
+				hi++
+			}
+			start, count := elems, uint32(0)
+			prev := asRef{}
+			for k, p := range pairs[lo:hi] {
+				if k > 0 && p == prev {
+					continue
+				}
+				prev = p
+				asPost = binary.LittleEndian.AppendUint32(asPost, p.ref)
+				count++
+			}
+			elems += count
+			var e [V3ASEntry]byte
+			binary.LittleEndian.PutUint32(e[0:], pairs[lo].asn)
+			binary.LittleEndian.PutUint32(e[4:], start)
+			binary.LittleEndian.PutUint32(e[8:], count)
+			asKeys = append(asKeys, e[:]...)
+			lo = hi
+		}
+		asKeyCount = uint64(len(asKeys) / V3ASEntry)
+	}
+	out[3] = v3SectionData{kind: V3KindAS, keyCount: asKeyCount, keys: asKeys, post: asPost}
+
+	// Scan metadata, in scan-ID order — small, serial.
+	metaKeys := make([]byte, len(scans)*V3ScanMetaEntry)
+	for i, s := range scans {
+		if int64(s.Operator) < 0 || int64(s.Operator) > 1<<20 {
+			return out, fmt.Errorf("snapshot: scan %d operator %d outside format range", i, s.Operator)
+		}
+		if uint64(len(s.Obs)) > math.MaxUint32 {
+			return out, fmt.Errorf("snapshot: scan %d has %d observations, cap %d", i, len(s.Obs), uint32(math.MaxUint32))
+		}
+		e := metaKeys[i*V3ScanMetaEntry:]
+		binary.LittleEndian.PutUint32(e[0:], uint32(s.Operator))
+		binary.LittleEndian.PutUint32(e[4:], uint32(s.Time.Nanosecond()))
+		binary.LittleEndian.PutUint64(e[8:], uint64(s.Time.Unix()))
+		binary.LittleEndian.PutUint32(e[16:], uint32(len(s.Obs)))
+	}
+	out[4] = v3SectionData{kind: V3KindScanMeta, keyCount: uint64(len(scans)), keys: metaKeys}
+	return out, nil
+}

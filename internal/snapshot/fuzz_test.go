@@ -21,6 +21,8 @@ func FuzzReadSnapshot(f *testing.F) {
 	}
 	v1 := v1buf.Bytes()
 	empty := encodeV2(f, scanstore.NewCorpus(), Options{})
+	v3 := encodeV3(f, c, Options{CertsPerShard: 5, ScansPerShard: 2, ASOf: testASOf})
+	emptyV3 := encodeV3(f, scanstore.NewCorpus(), Options{})
 
 	f.Add(v2)
 	f.Add(v1)
@@ -33,6 +35,18 @@ func FuzzReadSnapshot(f *testing.F) {
 	f.Add([]byte("SPKISNP2 but then nonsense"))
 	f.Add([]byte{0x1f, 0x8b, 0x01, 0x02})
 	f.Add([]byte{})
+	f.Add(v3)
+	f.Add(emptyV3)
+	f.Add(v3[:len(v3)/2])
+	f.Add(v3[:len(v3)-30]) // cuts into the index sections
+	f.Add(flipByte(v3, len(v3)-5))
+	f.Add(flipByte(v3, headerFixedV3+4))
+	// A forged v3: structurally valid indexes that disagree with the
+	// payloads (scan 0's operator flipped, checksums recomputed).
+	f.Add(patchV3Section(f, v3, 4, func(keys, post []byte) {
+		keys[0] ^= 1
+	}))
+	f.Add([]byte("SPKISNP3 but then nonsense"))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		if len(data) > 1<<20 {

@@ -64,7 +64,9 @@ package snapshot
 
 import (
 	"compress/gzip"
+	"time"
 
+	"securepki/internal/netsim"
 	"securepki/internal/obs"
 	"securepki/internal/parallel"
 )
@@ -114,6 +116,12 @@ type Options struct {
 	// untrusted source; leave it off for snapshots you produced yourself,
 	// where re-hashing every DER only slows the load.
 	VerifyDigests bool
+	// ASOf resolves an IP to its announcing AS number at a point in time;
+	// WriteV3 uses it to build the AS → cert-set index (scangen passes the
+	// simulated Internet's Lookup). nil writes an empty AS section — v3 files
+	// produced without a network model simply answer no AS queries. The other
+	// index sections never depend on it. Ignored by Write (v2) and Read.
+	ASOf func(ip netsim.IP, at time.Time) (asn int, ok bool)
 	// Obs receives codec metrics (snapshot.encode.* / snapshot.decode.*:
 	// per-shard raw/compressed byte counts, inflate ratios, digest-verify
 	// counts). nil disables instrumentation. Every snapshot.* metric is a
