@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet lint race bench bench-all fuzz-seeds bench-smoke chaos-smoke obs-smoke query-smoke check ci
+.PHONY: all build test vet lint race bench bench-all fuzz-seeds bench-smoke chaos-smoke obs-smoke query-smoke lint-corpus-smoke check ci
 
 all: build test
 
@@ -52,6 +52,13 @@ query-smoke:
 	QUERY_SMOKE_OUT=$(CURDIR)/obs-artifacts $(GO) test -race -run 'TestQuerySmoke$$' -v -count=1 ./cmd/certquery
 	@echo wrote obs-artifacts/query_metrics.json
 
+# Lint-corpus smoke: the pipeline's lint stage over a generated corpus must
+# produce byte-identical findings at workers 1/4/16 under the race detector,
+# and the persisted findings column must round-trip every finding (see
+# DESIGN.md "Lint registry contract").
+lint-corpus-smoke:
+	$(GO) test -race -run 'TestLintCorpusSmoke$$' -v -count=1 ./internal/core
+
 # Observability smoke: a small instrumented sweep with the full obs surface
 # on (metric registry, span tracer, parallel observer) must emit
 # schema-valid metrics and trace artifacts. OBS_SMOKE_OUT leaves
@@ -69,13 +76,14 @@ ci: build vet lint
 	$(MAKE) chaos-smoke
 	$(MAKE) obs-smoke
 	$(MAKE) query-smoke
+	$(MAKE) lint-corpus-smoke
 
 # Perf trajectory: snapshot + parse benchmarks rendered to machine-readable
 # JSON so future PRs have a baseline to compare against (certs/sec, MB/s,
 # allocs/op per benchmark).
 bench:
-	$(GO) test -run='^$$' -bench='Snapshot|Parse|Query' -benchmem \
-		./internal/snapshot ./internal/x509lite ./internal/querystore ./cmd/certquery \
+	$(GO) test -run='^$$' -bench='Snapshot|Parse|Query|Lint' -benchmem \
+		./internal/snapshot ./internal/x509lite ./internal/querystore ./internal/certlint ./cmd/certquery \
 		| $(GO) run ./cmd/benchjson > BENCH_snapshot.json
 	@echo wrote BENCH_snapshot.json
 

@@ -6,11 +6,18 @@
 //
 //	analyze [-small] [-seed 1] [-workers 0] [-exp all|fig3,table6,...] [-list]
 //	        [-corpus corpus.spki] [-save-corpus corpus.spki]
+//	        [-lint-out findings.lc] [-lint-in findings.lc] [-lint-config certlint.json]
 //	        [-metrics-out metrics.json] [-trace-out trace.jsonl]
 //
 // -metrics-out writes the pipeline's metric registry (core.*, linking.*,
-// snapshot.* and parallel.*) as a versioned JSON document; -trace-out
+// lint.*, snapshot.* and parallel.*) as a versioned JSON document; -trace-out
 // appends one JSON line per pipeline-stage span.
+//
+// -lint-out persists the lint stage's findings as the checksummed sidecar
+// column certquery serves on /v1/lint; -lint-in replaces the lint stage with
+// findings loaded from such a column (the lint/lintcuts experiments then cut
+// the persisted findings); -lint-config scopes or suppresses linters with
+// certlint.json semantics.
 //
 // With -corpus the scan stage is replaced by loading a snapshot written by
 // scangen or analyze -save-corpus (any format; v2/v3 decode across
@@ -27,9 +34,11 @@ import (
 	"os"
 	"strings"
 
+	"securepki/internal/certlint"
 	"securepki/internal/core"
 	"securepki/internal/obs"
 	"securepki/internal/parallel"
+	"securepki/internal/snapshot"
 )
 
 func main() {
@@ -43,6 +52,9 @@ func main() {
 		asJSON     = flag.Bool("json", false, "print a machine-readable summary instead of experiment text")
 		corpus     = flag.String("corpus", "", "load the corpus from this snapshot instead of scanning (v1, v2 or v3)")
 		saveTo     = flag.String("save-corpus", "", "after the run, write the corpus as a v2 snapshot to this file")
+		lintOut    = flag.String("lint-out", "", "write the lint stage's findings as a sidecar column to this file")
+		lintIn     = flag.String("lint-in", "", "load findings from a persisted column instead of re-linting")
+		lintConf   = flag.String("lint-config", "", "certlint.json suppression/scoping config for the lint stage")
 		metricsOut = flag.String("metrics-out", "", "write the run's metrics as a versioned JSON document")
 		traceOut   = flag.String("trace-out", "", "append pipeline-stage span events as JSON lines")
 	)
@@ -63,6 +75,14 @@ func main() {
 		cfg.World.Seed = *seed
 	}
 	cfg.Workers = *workers
+	if *lintConf != "" {
+		lintCfg, err := certlint.LoadConfig(*lintConf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "analyze:", err)
+			os.Exit(1)
+		}
+		cfg.LintConfig = lintCfg
+	}
 
 	var selected []core.Experiment
 	if *exp == "all" {
@@ -114,6 +134,38 @@ func main() {
 	span.End()
 	fmt.Fprintf(os.Stderr, "pipeline complete in %v (%d certs, %d scans)\n\n",
 		span.Timer, p.Corpus.NumCerts(), p.Corpus.NumScans())
+
+	if *lintIn != "" {
+		lc, err := snapshot.ReadLintColumnFile(*lintIn)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "analyze:", err)
+			os.Exit(1)
+		}
+		results := make([]certlint.CertFindings, lc.CertCount())
+		for k := range results {
+			results[k] = certlint.CertFindings{Fingerprint: lc.Fingerprint(k), Findings: lc.FindingsAt(k)}
+		}
+		p.LintResults = results
+		fmt.Fprintf(os.Stderr, "lint findings loaded from %s (%d certs, %d findings)\n\n",
+			*lintIn, lc.CertCount(), lc.FindingCount())
+	}
+	if *lintOut != "" {
+		f, err := os.Create(*lintOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "analyze:", err)
+			os.Exit(1)
+		}
+		if err := p.WriteLintColumn(f); err != nil {
+			f.Close()
+			fmt.Fprintln(os.Stderr, "analyze:", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "analyze:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "lint findings written to %s\n\n", *lintOut)
+	}
 
 	if *metricsOut != "" {
 		if err := obs.WriteMetricsFile(*metricsOut, reg); err != nil {
@@ -184,6 +236,7 @@ func runFromSnapshot(cfg core.Config, path string) (*core.Pipeline, error) {
 		return nil, err
 	}
 	p.Validate()
+	p.Lint()
 	p.Link()
 	p.Track()
 	return p, nil

@@ -1,10 +1,10 @@
 // Command certinfo inspects certificates like `openssl x509 -text` and lints
-// them for the device-certificate pathologies the paper catalogues. It reads
-// PEM or raw DER from files or stdin.
+// them with the full registry battery (severity, linter version and detail
+// per finding). It reads PEM or raw DER from files or stdin.
 //
 // Usage:
 //
-//	certinfo [-lint] [-der] file.pem [file2.pem ...]
+//	certinfo [-lint] [-lint-config certlint.json] [-der] file.pem [file2.pem ...]
 //	servesim ... | certinfo -fetch host:port
 //	certinfo -corpus corpus.v3 -fp <hex-sha256> [-lint]
 //
@@ -30,13 +30,23 @@ import (
 
 func main() {
 	var (
-		lint   = flag.Bool("lint", false, "run the pathology linter on each certificate")
-		der    = flag.Bool("der", false, "input is raw DER, not PEM")
+		lint     = flag.Bool("lint", false, "run the registry linters on each certificate")
+		lintConf = flag.String("lint-config", "", "certlint.json suppression/scoping config for -lint")
+		der      = flag.Bool("der", false, "input is raw DER, not PEM")
 		fetch  = flag.String("fetch", "", "fetch the chain from a host:port (wire protocol) instead of reading files")
 		corpus = flag.String("corpus", "", "look the certificate up in this v3 snapshot instead of reading files")
 		fpHex  = flag.String("fp", "", "with -corpus: hex SHA-256 fingerprint of the certificate to fetch")
 	)
 	flag.Parse()
+
+	var lintCfg *certlint.Config
+	if *lintConf != "" {
+		cfg, err := certlint.LoadConfig(*lintConf)
+		if err != nil {
+			fatal(err)
+		}
+		lintCfg = cfg
+	}
 
 	var certs []*x509lite.Certificate
 	switch {
@@ -85,7 +95,7 @@ func main() {
 		}
 		fmt.Print(cert.Text())
 		if *lint {
-			findings := certlint.RunAll(cert, nil)
+			findings := certlint.Default().RunCert(cert, nil, lintCfg)
 			if len(findings) == 0 {
 				fmt.Println("    Lint: clean")
 			}

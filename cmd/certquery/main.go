@@ -5,8 +5,8 @@
 //
 // Usage:
 //
-//	certquery -corpus corpus.v3 [-addr 127.0.0.1:0] [-cache 16]
-//	          [-no-mmap] [-verify] [-linger 0]
+//	certquery -corpus corpus.v3 [-lint findings.lc] [-addr 127.0.0.1:0]
+//	          [-cache 16] [-no-mmap] [-verify] [-linger 0]
 //	          [-metrics-out metrics.json] [-debug-addr :6060]
 //
 // Endpoints:
@@ -15,6 +15,7 @@
 //	GET /v1/spki/{spki} fingerprints of every cert carrying the public key
 //	GET /v1/ip/{ip}     everything the dotted-quad IP served, across scans
 //	GET /v1/as/{asn}    fingerprints of every cert observed inside the AS
+//	GET /v1/lint/{fp}   persisted lint findings from the -lint sidecar column
 //	GET /healthz        corpus cardinalities and index status
 //
 // Missing keys answer 404 with a JSON error body; malformed keys answer
@@ -37,11 +38,13 @@ import (
 
 	"securepki/internal/obs"
 	"securepki/internal/querystore"
+	"securepki/internal/snapshot"
 )
 
 func main() {
 	var (
 		corpus     = flag.String("corpus", "", "v3 snapshot file to serve (required)")
+		lintPath   = flag.String("lint", "", "findings sidecar column to serve on /v1/lint (written by analyze -lint-out)")
 		addr       = flag.String("addr", "127.0.0.1:0", "listen address (port 0 = ephemeral, printed to stdout)")
 		cache      = flag.Int("cache", 16, "hot-shard cache size (decompressed cert shards kept resident)")
 		noMmap     = flag.Bool("no-mmap", false, "use pread instead of mmap for the snapshot file")
@@ -78,6 +81,16 @@ func main() {
 	fmt.Fprintf(os.Stderr, "certquery: %s: %d certs, %d scans, %d observations, %d IP keys, %d AS keys\n",
 		*corpus, stats.Certs, stats.Scans, stats.Observations, stats.IPKeys, stats.ASKys)
 
+	var lint *snapshot.LintColumn
+	if *lintPath != "" {
+		lint, err = snapshot.ReadLintColumnFile(*lintPath)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "certquery: %s: %d linters, %d certs, %d findings\n",
+			*lintPath, len(lint.Lints), lint.CertCount(), lint.FindingCount())
+	}
+
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		fatal(err)
@@ -86,7 +99,7 @@ func main() {
 	// to stderr so scripts can capture just the port.
 	fmt.Printf("%s\n", ln.Addr())
 
-	srv := &http.Server{Handler: newServer(st, reg, time.Now).mux()}
+	srv := &http.Server{Handler: newServer(st, lint, reg, time.Now).mux()}
 	done := make(chan error, 1)
 	go func() { done <- srv.Serve(ln) }()
 

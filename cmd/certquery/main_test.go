@@ -17,6 +17,7 @@ import (
 	"testing"
 	"time"
 
+	"securepki/internal/certlint"
 	"securepki/internal/faultnet"
 	"securepki/internal/netsim"
 	"securepki/internal/obs"
@@ -78,13 +79,31 @@ func testASOf(ip netsim.IP, _ time.Time) (int, bool) {
 	return 0, false
 }
 
-// startServer writes the corpus to a v3 file, opens a store, and serves the
-// API on a loopback listener wrapped in the faultnet seam (zero policy =
-// healthy network; the seam is the point where chaos tests would plug in).
-// Returns the base URL and the live registry.
+// lintCorpus runs the default registry over the corpus and persists the
+// findings column next to the snapshot, mirroring analyze -lint-out.
+func lintCorpus(tb testing.TB, c *scanstore.Corpus, path string) []certlint.CertFindings {
+	tb.Helper()
+	var certs []*x509lite.Certificate
+	ctx := &certlint.Context{KeyCount: make(map[x509lite.Fingerprint]int)}
+	for _, rec := range c.Certs() {
+		certs = append(certs, rec.Cert)
+		ctx.KeyCount[rec.Cert.PublicKeyFingerprint()]++
+	}
+	results := certlint.Default().RunCorpus(certs, ctx, certlint.Options{Workers: 2})
+	if err := snapshot.WriteLintColumnFile(path, results, certlint.Default().Infos()); err != nil {
+		tb.Fatal(err)
+	}
+	return results
+}
+
+// startServer writes the corpus to a v3 file plus the lint sidecar column,
+// opens a store, and serves the API on a loopback listener wrapped in the
+// faultnet seam (zero policy = healthy network; the seam is the point where
+// chaos tests would plug in). Returns the base URL and the live registry.
 func startServer(tb testing.TB, c *scanstore.Corpus) (string, *obs.Registry) {
 	tb.Helper()
-	path := filepath.Join(tb.TempDir(), "corpus.v3")
+	dir := tb.TempDir()
+	path := filepath.Join(dir, "corpus.v3")
 	f, err := os.Create(path)
 	if err != nil {
 		tb.Fatal(err)
@@ -93,6 +112,12 @@ func startServer(tb testing.TB, c *scanstore.Corpus) (string, *obs.Registry) {
 		tb.Fatal(err)
 	}
 	if err := f.Close(); err != nil {
+		tb.Fatal(err)
+	}
+	lintPath := filepath.Join(dir, "findings.lc")
+	lintCorpus(tb, c, lintPath)
+	lint, err := snapshot.ReadLintColumnFile(lintPath)
+	if err != nil {
 		tb.Fatal(err)
 	}
 	reg := obs.NewRegistry()
@@ -106,7 +131,7 @@ func startServer(tb testing.TB, c *scanstore.Corpus) (string, *obs.Registry) {
 		tb.Fatal(err)
 	}
 	fln := faultnet.Wrap(ln, faultnet.Policy{}, 0)
-	srv := &http.Server{Handler: newServer(st, reg, time.Now).mux()}
+	srv := &http.Server{Handler: newServer(st, lint, reg, time.Now).mux()}
 	go srv.Serve(fln)
 	tb.Cleanup(func() { srv.Close() })
 	return "http://" + ln.Addr().String(), reg
@@ -178,6 +203,80 @@ func TestQueryAPI(t *testing.T) {
 	if asResp.Count == 0 {
 		t.Fatalf("as body: %+v", asResp)
 	}
+
+	// The lint sidecar answers for the same fingerprint: the self-signed
+	// 20-year test certs trip several linters.
+	var lintResp lintJSON
+	if code := getJSON(t, base+"/v1/lint/"+fp.String(), &lintResp); code != 200 {
+		t.Fatalf("lint: %d", code)
+	}
+	if lintResp.Fingerprint != fp.String() || lintResp.Count == 0 || len(lintResp.Findings) != lintResp.Count {
+		t.Fatalf("lint body: %+v", lintResp)
+	}
+	ids := map[string]findingJSON{}
+	for _, f := range lintResp.Findings {
+		ids[f.Lint] = f
+	}
+	want, ok := ids["self_signed"]
+	if !ok {
+		t.Fatalf("lint findings missing self_signed: %+v", lintResp)
+	}
+	if want.Severity != "INFO" || want.Version < 1 {
+		t.Fatalf("self_signed finding: %+v", want)
+	}
+}
+
+// TestLintEndpointMatchesRun: every fingerprint served by /v1/lint answers
+// with exactly the findings the registry produced for it.
+func TestLintEndpointMatchesRun(t *testing.T) {
+	c := testCorpus(t, 40, 2, 10)
+	base, _ := startServer(t, c)
+	var certs []*x509lite.Certificate
+	ctx := &certlint.Context{KeyCount: make(map[x509lite.Fingerprint]int)}
+	for _, rec := range c.Certs() {
+		certs = append(certs, rec.Cert)
+		ctx.KeyCount[rec.Cert.PublicKeyFingerprint()]++
+	}
+	for _, cf := range certlint.Default().RunCorpus(certs, ctx, certlint.Options{}) {
+		var resp lintJSON
+		if code := getJSON(t, base+"/v1/lint/"+cf.Fingerprint.String(), &resp); code != 200 {
+			t.Fatalf("lint %s: %d", cf.Fingerprint, code)
+		}
+		if len(resp.Findings) != len(cf.Findings) {
+			t.Fatalf("lint %s: served %d findings, registry produced %d", cf.Fingerprint, len(resp.Findings), len(cf.Findings))
+		}
+		for i, f := range cf.Findings {
+			got := resp.Findings[i]
+			if got.Lint != f.LintID || got.Version != f.Version || got.Severity != f.Severity.String() || got.Detail != f.Detail {
+				t.Fatalf("lint %s finding %d: %+v vs %+v", cf.Fingerprint, i, got, f)
+			}
+		}
+	}
+}
+
+// TestLintEndpointWithoutColumn: a server started without -lint answers 404
+// on every lint key rather than crashing.
+func TestLintEndpointWithoutColumn(t *testing.T) {
+	c := testCorpus(t, 8, 1, 4)
+	reg := obs.NewRegistry()
+	srv := newServer(nil, nil, reg, time.Now)
+	// Only the lint route is exercised; the nil store is never touched.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := &http.Server{Handler: srv.mux()}
+	go hs.Serve(ln)
+	t.Cleanup(func() { hs.Close() })
+	base := "http://" + ln.Addr().String()
+	fp := c.Cert(0).Cert.Fingerprint()
+	var e errorJSON
+	if code := getJSON(t, base+"/v1/lint/"+fp.String(), &e); code != http.StatusNotFound {
+		t.Fatalf("lint without column: %d, want 404", code)
+	}
+	if e.Error == "" {
+		t.Fatal("lint without column: empty error body")
+	}
 }
 
 // TestQueryMissesAre404 is the regression test for the absent-key status:
@@ -190,6 +289,7 @@ func TestQueryMissesAre404(t *testing.T) {
 		"/v1/spki/" + "ff" + "00000000000000000000000000000000000000000000000000000000000000",
 		"/v1/ip/192.0.2.1",
 		"/v1/as/65999",
+		"/v1/lint/" + "ff" + "00000000000000000000000000000000000000000000000000000000000000",
 	}
 	for _, path := range misses {
 		var e errorJSON
@@ -200,7 +300,7 @@ func TestQueryMissesAre404(t *testing.T) {
 		}
 	}
 	// Malformed keys are the client's fault: 400, not 404 or 500.
-	for _, path := range []string{"/v1/cert/zz", "/v1/ip/not-an-ip", "/v1/as/-3", "/v1/as/x"} {
+	for _, path := range []string{"/v1/cert/zz", "/v1/ip/not-an-ip", "/v1/as/-3", "/v1/as/x", "/v1/lint/zz"} {
 		if code := getJSON(t, base+path, nil); code != http.StatusBadRequest {
 			t.Fatalf("%s: status %d, want 400", path, code)
 		}
@@ -344,6 +444,10 @@ func TestQuerySmoke(t *testing.T) {
 	}
 	if code := getJSON(t, base+"/v1/as/65999", nil); code != http.StatusNotFound {
 		t.Fatalf("absent AS: code=%d, want 404", code)
+	}
+	var lintResp lintJSON
+	if code := getJSON(t, base+"/v1/lint/"+rec.Cert.Fingerprint().String(), &lintResp); code != 200 || lintResp.Count == 0 {
+		t.Fatalf("lint endpoint: code=%d body=%+v", code, lintResp)
 	}
 
 	metricsPath := filepath.Join(outDir, "query_metrics.json")

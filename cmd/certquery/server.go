@@ -12,6 +12,7 @@ import (
 	"securepki/internal/netsim"
 	"securepki/internal/obs"
 	"securepki/internal/querystore"
+	"securepki/internal/snapshot"
 	"securepki/internal/x509lite"
 )
 
@@ -21,17 +22,21 @@ import (
 var latencyBoundsUS = []int64{50, 100, 250, 500, 1000, 2500, 5000, 10000, 50000, 250000}
 
 // server wires the querystore into HTTP handlers with query.http.* metrics.
+// lint is the optional findings sidecar column (-lint); nil means the
+// endpoint answers 404 for every key.
 type server struct {
-	st  *querystore.Store
-	now func() time.Time
+	st   *querystore.Store
+	lint *snapshot.LintColumn
+	now  func() time.Time
 
 	reqs, c2xx, c4xx, c5xx *obs.Counter
 	lat                    *obs.Histogram
 }
 
-func newServer(st *querystore.Store, reg *obs.Registry, now func() time.Time) *server {
+func newServer(st *querystore.Store, lint *snapshot.LintColumn, reg *obs.Registry, now func() time.Time) *server {
 	return &server{
 		st:   st,
+		lint: lint,
 		now:  now,
 		reqs: reg.Counter("query.http.requests"),
 		c2xx: reg.Counter("query.http.status_2xx"),
@@ -49,6 +54,7 @@ func (s *server) mux() *http.ServeMux {
 	m.HandleFunc("GET /v1/spki/{spki}", s.wrap(s.handleSPKI))
 	m.HandleFunc("GET /v1/ip/{ip}", s.wrap(s.handleIP))
 	m.HandleFunc("GET /v1/as/{asn}", s.wrap(s.handleAS))
+	m.HandleFunc("GET /v1/lint/{fp}", s.wrap(s.handleLint))
 	return m
 }
 
@@ -227,6 +233,46 @@ func (s *server) handleAS(w http.ResponseWriter, r *http.Request) int {
 		return writeErr(w, http.StatusNotFound, "not found")
 	}
 	return writeJSON(w, http.StatusOK, certSetJSON{Key: strconv.Itoa(asn), Count: len(fps), Certs: fpStrings(fps)})
+}
+
+type findingJSON struct {
+	Lint     string `json:"lint"`
+	Version  int    `json:"version"`
+	Severity string `json:"severity"`
+	Detail   string `json:"detail,omitempty"`
+}
+
+type lintJSON struct {
+	Fingerprint string        `json:"fingerprint"`
+	Count       int           `json:"count"`
+	Findings    []findingJSON `json:"findings"`
+}
+
+// handleLint serves the persisted findings of one certificate from the lint
+// sidecar column. A fingerprint in the column with zero findings is a clean
+// 200 — absence of findings is an answer, not a miss.
+func (s *server) handleLint(w http.ResponseWriter, r *http.Request) int {
+	fp, err := parseFingerprint(r.PathValue("fp"))
+	if err != nil {
+		return writeErr(w, http.StatusBadRequest, fmt.Sprintf("bad fingerprint: %v", err))
+	}
+	if s.lint == nil {
+		return writeErr(w, http.StatusNotFound, "no lint column loaded (serve with -lint findings.lc)")
+	}
+	findings, ok := s.lint.Findings(fp)
+	if !ok {
+		return writeErr(w, http.StatusNotFound, "not found")
+	}
+	out := lintJSON{Fingerprint: fp.String(), Count: len(findings), Findings: make([]findingJSON, len(findings))}
+	for i, f := range findings {
+		out.Findings[i] = findingJSON{
+			Lint:     f.LintID,
+			Version:  f.Version,
+			Severity: f.Severity.String(),
+			Detail:   f.Detail,
+		}
+	}
+	return writeJSON(w, http.StatusOK, out)
 }
 
 func fpStrings(fps []x509lite.Fingerprint) []string {

@@ -1,0 +1,205 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"securepki/internal/certlint"
+	"securepki/internal/netsim"
+	"securepki/internal/scanstore"
+	"securepki/internal/x509lite"
+)
+
+// The paper attributes invalid certificates to issuers, networks and device
+// populations (§5.3–§5.5). LintCuts applies the same attribution to lint
+// findings: given a corpus lint run — live from certlint.RunCorpus or loaded
+// back from a persisted findings column — it cuts the findings by device
+// class, by issuer, and by dominant AS, so a structural defect can be traced
+// to the population that ships it.
+
+// LintCutRow aggregates the findings attributed to one group.
+type LintCutRow struct {
+	Label    string
+	Certs    int // observed certificates in the group carrying >=1 finding
+	Findings int
+	// BySeverity counts findings per severity, indexed by certlint.Severity.
+	BySeverity [certlint.NumSeverities]int
+	// TopLint is the group's most frequent lint ID (ties break toward the
+	// lexically smaller ID) and TopLintN its count.
+	TopLint  string
+	TopLintN int
+}
+
+// LintCutsReport is the downstream view of one corpus lint run.
+type LintCutsReport struct {
+	// Certs / Findings cover every observed certificate with findings.
+	Certs      int
+	Findings   int
+	BySeverity [certlint.NumSeverities]int
+
+	// ByDeviceClass covers all groups; ByIssuer and ByAS keep the topN.
+	ByDeviceClass []LintCutRow
+	ByIssuer      []LintCutRow
+	ByAS          []LintCutRow
+}
+
+// FindingsByFingerprint indexes a corpus lint run for attribution joins.
+func FindingsByFingerprint(results []certlint.CertFindings) map[x509lite.Fingerprint][]certlint.Finding {
+	m := make(map[x509lite.Fingerprint][]certlint.Finding, len(results))
+	for _, cf := range results {
+		if len(cf.Findings) > 0 {
+			m[cf.Fingerprint] = cf.Findings
+		}
+	}
+	return m
+}
+
+// lintCutAccum accumulates one group before rank extraction.
+type lintCutAccum struct {
+	certs    int
+	findings int
+	bySev    [certlint.NumSeverities]int
+	perLint  map[string]int
+}
+
+func (a *lintCutAccum) add(findings []certlint.Finding) {
+	a.certs++
+	for _, f := range findings {
+		a.findings++
+		if f.Severity >= 0 && int(f.Severity) < certlint.NumSeverities {
+			a.bySev[f.Severity]++
+		}
+		if a.perLint == nil {
+			a.perLint = make(map[string]int)
+		}
+		a.perLint[f.LintID]++
+	}
+}
+
+// LintCuts joins findings (keyed by certificate fingerprint, as produced by
+// FindingsByFingerprint or a loaded findings column) against the dataset and
+// cuts them by device class, issuer, and dominant AS. Certificates without
+// findings, and findings for certificates never observed on the wire, are
+// excluded. topN bounds the issuer and AS tables; the device-class table is
+// always complete.
+func (d *Dataset) LintCuts(findings map[x509lite.Fingerprint][]certlint.Finding, topN int) LintCutsReport {
+	byDevice := make(map[string]*lintCutAccum)
+	byIssuer := make(map[string]*lintCutAccum)
+	byAS := make(map[string]*lintCutAccum)
+	var rep LintCutsReport
+
+	accumInto := func(m map[string]*lintCutAccum, label string, fs []certlint.Finding) {
+		a := m[label]
+		if a == nil {
+			a = &lintCutAccum{}
+			m[label] = a
+		}
+		a.add(fs)
+	}
+
+	d.EachObserved(func(rec *scanstore.CertRecord, invalid bool) {
+		fs := findings[rec.Cert.Fingerprint()]
+		if len(fs) == 0 {
+			return
+		}
+		rep.Certs++
+		for _, f := range fs {
+			rep.Findings++
+			if f.Severity >= 0 && int(f.Severity) < certlint.NumSeverities {
+				rep.BySeverity[f.Severity]++
+			}
+		}
+
+		accumInto(byDevice, ClassifyDevice(rec.Cert), fs)
+
+		issuer := rec.Cert.Issuer.CommonName
+		if issuer == "" {
+			issuer = emptyIssuerLabel
+		}
+		accumInto(byIssuer, issuer, fs)
+
+		// Dominant-AS attribution, same rule as ASDiversity: the AS that
+		// advertised the certificate most often wins.
+		seen := make(map[int]int)
+		var domAS *netsim.AS
+		domCount := 0
+		for _, sg := range d.Index.Sightings(rec.ID) {
+			as := d.Internet.Lookup(sg.IP, d.Corpus.Scan(sg.Scan).Time)
+			if as == nil {
+				continue
+			}
+			seen[as.ASN]++
+			if seen[as.ASN] > domCount {
+				domCount = seen[as.ASN]
+				domAS = as
+			}
+		}
+		if domAS != nil {
+			accumInto(byAS, domAS.Name(), fs)
+		}
+	})
+
+	rep.ByDeviceClass = rankLintCut(byDevice, 0)
+	rep.ByIssuer = rankLintCut(byIssuer, topN)
+	rep.ByAS = rankLintCut(byAS, topN)
+	return rep
+}
+
+// rankLintCut extracts a deterministic table from a group map: rows sorted by
+// findings desc, then certs desc, then label asc; topN <= 0 keeps all rows.
+func rankLintCut(m map[string]*lintCutAccum, topN int) []LintCutRow {
+	rows := make([]LintCutRow, 0, len(m))
+	for label, a := range m {
+		row := LintCutRow{
+			Label:      label,
+			Certs:      a.certs,
+			Findings:   a.findings,
+			BySeverity: a.bySev,
+		}
+		for id, n := range a.perLint {
+			if n > row.TopLintN || (n == row.TopLintN && id < row.TopLint) {
+				row.TopLint, row.TopLintN = id, n
+			}
+		}
+		rows = append(rows, row)
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Findings != rows[j].Findings {
+			return rows[i].Findings > rows[j].Findings
+		}
+		if rows[i].Certs != rows[j].Certs {
+			return rows[i].Certs > rows[j].Certs
+		}
+		return rows[i].Label < rows[j].Label
+	})
+	if topN > 0 && len(rows) > topN {
+		rows = rows[:topN]
+	}
+	return rows
+}
+
+// FormatLintCuts renders the report's three tables for terminal output.
+func FormatLintCuts(rep LintCutsReport) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Lint findings over observed certificates: %d findings on %d certs", rep.Findings, rep.Certs)
+	fmt.Fprintf(&b, " (INFO %d, WARN %d, ERROR %d, FATAL %d)\n\n",
+		rep.BySeverity[certlint.Info], rep.BySeverity[certlint.Warn],
+		rep.BySeverity[certlint.Error], rep.BySeverity[certlint.Fatal])
+	formatLintCutTable(&b, "By device class", rep.ByDeviceClass)
+	formatLintCutTable(&b, "By issuer", rep.ByIssuer)
+	formatLintCutTable(&b, "By AS", rep.ByAS)
+	return b.String()
+}
+
+func formatLintCutTable(b *strings.Builder, title string, rows []LintCutRow) {
+	fmt.Fprintf(b, "%s\n%-46s %8s %9s  %s\n", title, "group", "certs", "findings", "top lint")
+	for _, r := range rows {
+		label := r.Label
+		if len(label) > 46 {
+			label = label[:43] + "..."
+		}
+		fmt.Fprintf(b, "%-46s %8d %9d  %s (%d)\n", label, r.Certs, r.Findings, r.TopLint, r.TopLintN)
+	}
+	b.WriteString("\n")
+}

@@ -1,0 +1,119 @@
+package analysis
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"securepki/internal/certlint"
+	"securepki/internal/x509lite"
+)
+
+// lintRun lints the whole fixture corpus with the default registry.
+func lintRun(t *testing.T, d *Dataset, workers int) []certlint.CertFindings {
+	t.Helper()
+	certs := make([]*x509lite.Certificate, 0, d.Corpus.NumCerts())
+	ctx := &certlint.Context{KeyCount: make(map[x509lite.Fingerprint]int)}
+	for _, rec := range d.Corpus.Certs() {
+		certs = append(certs, rec.Cert)
+		ctx.KeyCount[rec.Cert.PublicKeyFingerprint()]++
+	}
+	return certlint.Default().RunCorpus(certs, ctx, certlint.Options{Workers: workers})
+}
+
+func TestLintCutsShape(t *testing.T) {
+	d := dataset(t)
+	findings := FindingsByFingerprint(lintRun(t, d, 4))
+	rep := d.LintCuts(findings, 5)
+
+	if rep.Certs == 0 || rep.Findings == 0 {
+		t.Fatalf("empty report: %d certs, %d findings", rep.Certs, rep.Findings)
+	}
+	if rep.Findings < rep.Certs {
+		t.Errorf("fewer findings (%d) than flagged certs (%d)", rep.Findings, rep.Certs)
+	}
+	sevSum := 0
+	for _, n := range rep.BySeverity {
+		sevSum += n
+	}
+	if sevSum != rep.Findings {
+		t.Errorf("severity counts sum to %d, want %d", sevSum, rep.Findings)
+	}
+
+	// Device-class table is complete: every flagged cert lands in exactly one
+	// class, and every label is a known Table 4 class.
+	known := map[string]bool{
+		ClassRouter: true, ClassUnknown: true, ClassVPN: true, ClassStorage: true,
+		ClassRemoteAdmin: true, ClassFirewall: true, ClassIPCamera: true, ClassOther: true,
+	}
+	classCerts := 0
+	for _, row := range rep.ByDeviceClass {
+		if !known[row.Label] {
+			t.Errorf("unknown device class %q", row.Label)
+		}
+		if row.TopLint == "" || row.TopLintN == 0 {
+			t.Errorf("class %q has no top lint", row.Label)
+		}
+		classCerts += row.Certs
+	}
+	if classCerts != rep.Certs {
+		t.Errorf("device classes cover %d certs, want %d", classCerts, rep.Certs)
+	}
+
+	if len(rep.ByIssuer) == 0 || len(rep.ByIssuer) > 5 {
+		t.Fatalf("issuer rows = %d, want 1..5", len(rep.ByIssuer))
+	}
+	if len(rep.ByAS) == 0 || len(rep.ByAS) > 5 {
+		t.Fatalf("AS rows = %d, want 1..5", len(rep.ByAS))
+	}
+	// netsim AS labels render as "#ASN Name (CC)".
+	if !strings.HasPrefix(rep.ByAS[0].Label, "#") {
+		t.Errorf("AS label = %q", rep.ByAS[0].Label)
+	}
+	// Tables are sorted by findings desc.
+	for _, rows := range [][]LintCutRow{rep.ByDeviceClass, rep.ByIssuer, rep.ByAS} {
+		for i := 1; i < len(rows); i++ {
+			if rows[i-1].Findings < rows[i].Findings {
+				t.Errorf("rows unsorted: %q (%d) before %q (%d)",
+					rows[i-1].Label, rows[i-1].Findings, rows[i].Label, rows[i].Findings)
+			}
+		}
+	}
+
+	out := FormatLintCuts(rep)
+	for _, want := range []string{"By device class", "By issuer", "By AS", "INFO"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestLintCutsDeterministic pins that the cuts are identical whatever worker
+// count produced the findings — the whole chain is order-independent.
+func TestLintCutsDeterministic(t *testing.T) {
+	d := dataset(t)
+	serial := d.LintCuts(FindingsByFingerprint(lintRun(t, d, 1)), 5)
+	parallel := d.LintCuts(FindingsByFingerprint(lintRun(t, d, 8)), 5)
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Error("lint cuts differ between serial and parallel lint runs")
+	}
+}
+
+// TestLintCutsExcludesUnobserved pins the join rule: findings for fingerprints
+// the corpus never saw on the wire do not count.
+func TestLintCutsExcludesUnobserved(t *testing.T) {
+	d := dataset(t)
+	findings := FindingsByFingerprint(lintRun(t, d, 4))
+	base := d.LintCuts(findings, 5)
+
+	var ghost x509lite.Fingerprint
+	ghost[0] = 0xFF
+	findings[ghost] = []certlint.Finding{{LintID: "ghost", Version: 1, Severity: certlint.Fatal, Detail: "x"}}
+	got := d.LintCuts(findings, 5)
+	if !reflect.DeepEqual(base, got) {
+		t.Error("findings for an unobserved fingerprint changed the report")
+	}
+	if got.BySeverity[certlint.Fatal] != base.BySeverity[certlint.Fatal] {
+		t.Error("ghost FATAL finding counted")
+	}
+}

@@ -1,11 +1,17 @@
-// Package certlint is a zlint-style certificate linter specialised for the
-// pathologies the paper catalogues in end-user-device certificates: negative
-// and absurd validity periods, IP-address and empty subjects, missing
-// revocation plumbing, bogus versions, firmware-epoch timestamps, and keys
-// shared across unrelated certificates.
+// Package certlint is a pluggable, pkimetal-style certificate lint registry
+// specialised for the pathologies the paper catalogues in end-user-device
+// certificates: negative and absurd validity periods, IP-address and empty
+// subjects, missing revocation plumbing, bogus versions, firmware-epoch
+// timestamps, and keys shared across unrelated certificates.
 //
-// Each check is a Lint with a stable ID; RunAll returns the findings for one
-// certificate, and Survey aggregates prevalence over a population — the §5
+// Each check is a Linter with a stable ID, a version, a four-level severity
+// and an applicability profile (leaf/subordinate/root plus the device classes
+// of the simulated population). Default() returns the built-in battery;
+// Registry.RunCert lints one certificate and Registry.RunCorpus a whole
+// population through the deterministic worker pool, byte-identical at any
+// worker count. certlint.json (LoadConfig) disables, rescopes or suppresses
+// individual linters with the same per-rule replace semantics as
+// repolint.json. Survey aggregates prevalence over a population — the §5
 // "why is so much of the PKI invalid" analysis in executable form.
 package certlint
 
@@ -13,224 +19,15 @@ import (
 	"fmt"
 	"sort"
 	"strings"
-	"time"
 
 	"securepki/internal/x509lite"
 )
 
-// Severity grades a finding.
-type Severity int
-
-// Severities, mildest first.
-const (
-	// Notice: unusual but harmless (e.g. very long validity).
-	Notice Severity = iota
-	// Warning: weakens the certificate's usefulness (no SAN, IP subject).
-	Warning
-	// Error: the certificate is broken or dangerous (negative validity,
-	// bogus version, shared key).
-	Error
-)
-
-// String returns the label used in reports.
-func (s Severity) String() string {
-	switch s {
-	case Notice:
-		return "NOTICE"
-	case Warning:
-		return "WARNING"
-	case Error:
-		return "ERROR"
-	default:
-		return "UNKNOWN"
-	}
-}
-
-// Finding is one triggered lint.
-type Finding struct {
-	LintID   string
-	Severity Severity
-	Detail   string
-}
-
-func (f Finding) String() string {
-	return fmt.Sprintf("%s %s: %s", f.Severity, f.LintID, f.Detail)
-}
-
-// Lint is one check over a certificate. Check returns a detail string and
-// whether the lint triggered.
-type Lint struct {
-	ID       string
-	Severity Severity
-	// Describe explains what the lint detects.
-	Describe string
-	Check    func(c *x509lite.Certificate) (string, bool)
-}
-
-// Context supplies population-level knowledge to lints that need it (key
-// sharing cannot be judged from one certificate alone).
-type Context struct {
-	// KeyCount maps public-key fingerprints to how many distinct
-	// certificates carry them; nil disables the shared-key lint.
-	KeyCount map[x509lite.Fingerprint]int
-}
-
-// Lints returns the full lint battery in stable order.
-func Lints() []Lint {
-	return []Lint{
-		{
-			ID: "validity_negative", Severity: Error,
-			Describe: "NotAfter precedes NotBefore (5.38% of the paper's invalid certs)",
-			Check: func(c *x509lite.Certificate) (string, bool) {
-				if d := c.ValidityDays(); d < 0 {
-					return fmt.Sprintf("validity is %.0f days", d), true
-				}
-				return "", false
-			},
-		},
-		{
-			ID: "validity_excessive", Severity: Notice,
-			Describe: "validity period over 10 years (invalid median was 20y)",
-			Check: func(c *x509lite.Certificate) (string, bool) {
-				if d := c.ValidityDays(); d > 3653 {
-					return fmt.Sprintf("validity is %.1f years", d/365.25), true
-				}
-				return "", false
-			},
-		},
-		{
-			ID: "validity_beyond_y3000", Severity: Warning,
-			Describe: "NotAfter in the year 3000 or later",
-			Check: func(c *x509lite.Certificate) (string, bool) {
-				if c.NotAfter.Year() >= 3000 {
-					return fmt.Sprintf("NotAfter is %d", c.NotAfter.Year()), true
-				}
-				return "", false
-			},
-		},
-		{
-			ID: "subject_empty", Severity: Warning,
-			Describe: "entirely empty subject (925k certs in the paper)",
-			Check: func(c *x509lite.Certificate) (string, bool) {
-				if c.Subject.Empty() {
-					return "subject has no attributes", true
-				}
-				return "", false
-			},
-		},
-		{
-			ID: "subject_private_ip", Severity: Warning,
-			Describe: "Common Name is a private (RFC 1918) address",
-			Check: func(c *x509lite.Certificate) (string, bool) {
-				if isPrivateIPString(c.Subject.CommonName) {
-					return "CN " + c.Subject.CommonName, true
-				}
-				return "", false
-			},
-		},
-		{
-			ID: "subject_ip", Severity: Notice,
-			Describe: "Common Name is a literal IP address (46.9% of the paper's CNs)",
-			Check: func(c *x509lite.Certificate) (string, bool) {
-				cn := c.Subject.CommonName
-				if looksLikeIPv4(cn) && !isPrivateIPString(cn) {
-					return "CN " + cn, true
-				}
-				return "", false
-			},
-		},
-		{
-			ID: "san_missing", Severity: Warning,
-			Describe: "leaf certificate without a Subject Alternative Name",
-			Check: func(c *x509lite.Certificate) (string, bool) {
-				if c.IsCA {
-					return "", false
-				}
-				if len(c.DNSNames) == 0 && len(c.IPAddresses) == 0 {
-					return "no SAN extension", true
-				}
-				return "", false
-			},
-		},
-		{
-			ID: "revocation_missing", Severity: Notice,
-			Describe: "no CRL, OCSP or AIA endpoint (99%+ of invalid certs)",
-			Check: func(c *x509lite.Certificate) (string, bool) {
-				if len(c.CRLDistributionPoints) == 0 && len(c.OCSPServer) == 0 && len(c.IssuingCertificateURL) == 0 {
-					return "no revocation endpoints", true
-				}
-				return "", false
-			},
-		},
-		{
-			ID: "version_bogus", Severity: Error,
-			Describe: "X.509 version other than 1 or 3 (the paper saw 2, 4, 13)",
-			Check: func(c *x509lite.Certificate) (string, bool) {
-				if c.Version != 1 && c.Version != 3 {
-					return fmt.Sprintf("version %d", c.Version), true
-				}
-				return "", false
-			},
-		},
-		{
-			ID: "version_v1_leaf", Severity: Warning,
-			Describe: "version 1 certificate (cannot distinguish CA from leaf)",
-			Check: func(c *x509lite.Certificate) (string, bool) {
-				if c.Version == 1 {
-					return "v1 certificate", true
-				}
-				return "", false
-			},
-		},
-		{
-			ID: "notbefore_ancient", Severity: Warning,
-			Describe: "NotBefore more than ~3 years before NotAfter-derived issuance era (firmware epoch clocks)",
-			Check: func(c *x509lite.Certificate) (string, bool) {
-				if c.NotBefore.Year() > 1 && c.NotBefore.Before(time.Date(2008, 1, 1, 0, 0, 0, 0, time.UTC)) {
-					return "NotBefore " + c.NotBefore.Format("2006-01-02"), true
-				}
-				return "", false
-			},
-		},
-		{
-			ID: "self_signed", Severity: Notice,
-			Describe: "certificate verifies under its own key",
-			Check: func(c *x509lite.Certificate) (string, bool) {
-				if c.SelfSigned() {
-					return "self-signed", true
-				}
-				return "", false
-			},
-		},
-	}
-}
-
-// contextLints returns the lints that need population context.
-func contextLints(ctx *Context) []Lint {
-	if ctx == nil || ctx.KeyCount == nil {
-		return nil
-	}
-	return []Lint{{
-		ID: "key_shared", Severity: Error,
-		Describe: "public key appears in other certificates (47% of the paper's invalid certs)",
-		Check: func(c *x509lite.Certificate) (string, bool) {
-			if n := ctx.KeyCount[c.PublicKeyFingerprint()]; n > 1 {
-				return fmt.Sprintf("key shared by %d certificates", n), true
-			}
-			return "", false
-		},
-	}}
-}
-
-// RunAll lints one certificate, with optional population context.
+// RunAll lints one certificate against the default registry with optional
+// population context — the pre-registry entry point, kept for callers that
+// need neither config nor corpus batching.
 func RunAll(c *x509lite.Certificate, ctx *Context) []Finding {
-	var out []Finding
-	for _, l := range append(Lints(), contextLints(ctx)...) {
-		if detail, hit := l.Check(c); hit {
-			out = append(out, Finding{LintID: l.ID, Severity: l.Severity, Detail: detail})
-		}
-	}
-	return out
+	return Default().RunCert(c, ctx, nil)
 }
 
 // SurveyRow is one lint's prevalence in a population split.
@@ -303,9 +100,9 @@ func Survey(certs []*x509lite.Certificate, invalid func(*x509lite.Certificate) b
 // FormatSurvey renders survey rows as a table.
 func FormatSurvey(rows []SurveyRow) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-22s %-8s %10s %10s\n", "lint", "severity", "valid", "invalid")
+	fmt.Fprintf(&b, "%-28s %-8s %10s %10s\n", "lint", "severity", "valid", "invalid")
 	for _, r := range rows {
-		fmt.Fprintf(&b, "%-22s %-8s %9.1f%% %9.1f%%\n", r.LintID, r.Severity, 100*r.ValidFrac, 100*r.InvalidFrac)
+		fmt.Fprintf(&b, "%-28s %-8s %9.1f%% %9.1f%%\n", r.LintID, r.Severity, 100*r.ValidFrac, 100*r.InvalidFrac)
 	}
 	return b.String()
 }

@@ -1,0 +1,200 @@
+package certlint
+
+import (
+	"flag"
+	"math/big"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"securepki/internal/x509lite"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite testdata/findings.golden")
+
+// lintFixture is the bidirectional contract every registered linter must
+// ship: a template mutation that triggers it and one that does not, so both
+// directions of the check are pinned.
+type lintFixture struct {
+	trigger func(*x509lite.Template)
+	clean   func(*x509lite.Template)
+	// keyCount builds the population context (key_shared needs one); 0
+	// means lint without context.
+	triggerKeyCount int
+	cleanKeyCount   int
+}
+
+// fixtures maps every default-registry linter ID to its bidirectional
+// fixture, in the order the golden file renders them.
+func fixtures() map[string]lintFixture {
+	return map[string]lintFixture{
+		"validity_negative": {
+			trigger: func(t *x509lite.Template) { t.NotAfter = t.NotBefore.AddDate(0, 0, -100) },
+		},
+		"validity_excessive": {
+			trigger: func(t *x509lite.Template) { t.NotAfter = t.NotBefore.AddDate(20, 0, 0) },
+		},
+		"validity_beyond_y3000": {
+			trigger: func(t *x509lite.Template) { t.NotAfter = time.Date(3010, 1, 1, 0, 0, 0, 0, time.UTC) },
+		},
+		"subject_empty": {
+			trigger: func(t *x509lite.Template) { t.Subject = x509lite.Name{} },
+		},
+		"subject_private_ip": {
+			trigger: func(t *x509lite.Template) { t.Subject.CommonName = "192.168.1.1" },
+			clean:   func(t *x509lite.Template) { t.Subject.CommonName = "8.8.8.8" },
+		},
+		"subject_ip": {
+			trigger: func(t *x509lite.Template) { t.Subject.CommonName = "8.8.8.8" },
+			clean:   func(t *x509lite.Template) { t.Subject.CommonName = "192.168.1.1" },
+		},
+		"san_missing": {
+			trigger: func(t *x509lite.Template) { t.DNSNames = nil },
+		},
+		"revocation_missing": {
+			trigger: func(t *x509lite.Template) { t.OCSPServer = nil },
+		},
+		"version_bogus": {
+			trigger: func(t *x509lite.Template) { t.Version = 13 },
+		},
+		"version_v1_leaf": {
+			trigger: func(t *x509lite.Template) { t.Version = 1 },
+		},
+		"notbefore_ancient": {
+			trigger: func(t *x509lite.Template) {
+				t.NotBefore = time.Date(2000, 5, 1, 0, 0, 0, 0, time.UTC)
+				t.NotAfter = time.Date(2020, 5, 1, 0, 0, 0, 0, time.UTC)
+			},
+		},
+		"self_signed": {
+			trigger: nil, // the default fixture is self-signed
+			clean:   func(t *x509lite.Template) { t.CorruptSignature = true },
+		},
+		"key_shared": {
+			triggerKeyCount: 3,
+			cleanKeyCount:   1,
+		},
+		"serial_nonpositive": {
+			trigger: func(t *x509lite.Template) { t.SerialNumber = big.NewInt(-5) },
+		},
+		"serial_absurd_length": {
+			trigger: func(t *x509lite.Template) {
+				raw := make([]byte, 21)
+				raw[0] = 1
+				t.SerialNumber = new(big.Int).SetBytes(raw)
+			},
+		},
+		"san_duplicate": {
+			trigger: func(t *x509lite.Template) { t.DNSNames = []string{"device.example", "device.example"} },
+		},
+		"time_encoding_mismatch": {
+			trigger: func(t *x509lite.Template) { t.ForceGeneralizedTime = true },
+			clean: func(t *x509lite.Template) {
+				// GeneralizedTime is the mandated encoding from 2050 on.
+				t.ForceGeneralizedTime = true
+				t.NotBefore = time.Date(2051, 1, 1, 0, 0, 0, 0, time.UTC)
+				t.NotAfter = time.Date(2052, 1, 1, 0, 0, 0, 0, time.UTC)
+			},
+		},
+		"basicconstraints_missing_ca": {
+			trigger: func(t *x509lite.Template) { t.KeyUsage = 0x04 }, // keyCertSign, no basicConstraints
+			clean: func(t *x509lite.Template) {
+				t.KeyUsage = 0x04
+				t.IsCA = true
+				t.IncludeBasicConstraints = true
+			},
+		},
+		"key_usage_missing": {
+			trigger: nil, // the default fixture carries no KeyUsage
+			clean:   func(t *x509lite.Template) { t.KeyUsage = 0x80 },
+		},
+		"dns_name_malformed": {
+			trigger: func(t *x509lite.Template) { t.DNSNames = []string{"bad name!.example"} },
+		},
+		"revocation_expected_enterprise": {
+			trigger: func(t *x509lite.Template) {
+				t.Subject.CommonName = "SecureGate VPN 1000"
+				t.Issuer = t.Subject
+				t.OCSPServer = nil
+			},
+			clean: func(t *x509lite.Template) {
+				t.Subject.CommonName = "SecureGate VPN 1000"
+				t.Issuer = t.Subject
+			},
+		},
+	}
+}
+
+func contextWithCount(c *x509lite.Certificate, n int) *Context {
+	if n == 0 {
+		return nil
+	}
+	return &Context{KeyCount: map[x509lite.Fingerprint]int{c.PublicKeyFingerprint(): n}}
+}
+
+// TestEveryLinterHasBidirectionalFixture is the registry's coverage gate:
+// each registered linter must come with a fixture that triggers it and a
+// fixture that does not, and both must behave.
+func TestEveryLinterHasBidirectionalFixture(t *testing.T) {
+	fx := fixtures()
+	for _, l := range Default().Linters() {
+		f, ok := fx[l.ID]
+		if !ok {
+			t.Errorf("linter %s has no fixture", l.ID)
+			continue
+		}
+		trigger := lintCert(t, f.trigger)
+		if !hasLint(Default().RunCert(trigger, contextWithCount(trigger, f.triggerKeyCount), nil), l.ID) {
+			t.Errorf("linter %s: trigger fixture does not trigger", l.ID)
+		}
+		clean := lintCert(t, f.clean)
+		if hasLint(Default().RunCert(clean, contextWithCount(clean, f.cleanKeyCount), nil), l.ID) {
+			t.Errorf("linter %s: clean fixture triggers", l.ID)
+		}
+	}
+	for id := range fx {
+		if _, ok := Default().Lookup(id); !ok {
+			t.Errorf("fixture %s has no registered linter", id)
+		}
+	}
+}
+
+// TestFindingsGolden pins the rendered findings of every trigger fixture —
+// IDs, versions, severities, details and sort order all at once. Regenerate
+// with `go test ./internal/certlint -run TestFindingsGolden -update` after
+// an intentional change.
+func TestFindingsGolden(t *testing.T) {
+	fx := fixtures()
+	var b strings.Builder
+	for _, l := range Default().Linters() {
+		f, ok := fx[l.ID]
+		if !ok {
+			t.Fatalf("linter %s has no fixture", l.ID)
+		}
+		c := lintCert(t, f.trigger)
+		b.WriteString("== " + l.ID + "\n")
+		for _, finding := range Default().RunCert(c, contextWithCount(c, f.triggerKeyCount), nil) {
+			b.WriteString(finding.String() + "\n")
+		}
+	}
+	got := b.String()
+
+	path := filepath.Join("testdata", "findings.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("findings drifted from golden.\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}

@@ -1,0 +1,177 @@
+package certlint
+
+import (
+	"fmt"
+	"strings"
+
+	"securepki/internal/x509lite"
+)
+
+// keyUsageCertSign is the keyCertSign bit of the KeyUsage extension's first
+// byte (bit 5 of the DER BIT STRING, MSB-first — crypto/x509's
+// KeyUsageCertSign in wire order).
+const keyUsageCertSign = 0x04
+
+// registerExtendedLints installs the checks added with the registry: RFC
+// 5280 conformance rules the original battery did not cover, several of them
+// scoped by profile to the device classes where the paper's population makes
+// the rule meaningful.
+func registerExtendedLints(r *Registry) {
+	r.MustRegister(Linter{
+		ID: "serial_nonpositive", Version: 1, Severity: Error,
+		Describe: "serial number is zero or negative (RFC 5280 §4.1.2.2 requires a positive integer)",
+		Check: func(c *x509lite.Certificate, _ *Context) (string, bool) {
+			if c.SerialNumber == nil {
+				return "serial absent", true
+			}
+			if c.SerialNumber.Sign() <= 0 {
+				return "serial " + c.SerialNumber.String(), true
+			}
+			return "", false
+		},
+	})
+	r.MustRegister(Linter{
+		ID: "serial_absurd_length", Version: 1, Severity: Fatal,
+		Describe: "serial number longer than 20 octets (RFC 5280 cap; strict parsers reject)",
+		Check: func(c *x509lite.Certificate, _ *Context) (string, bool) {
+			if c.SerialNumber == nil {
+				return "", false
+			}
+			if n := len(c.SerialNumber.Bytes()); n > 20 {
+				return fmt.Sprintf("serial is %d octets", n), true
+			}
+			return "", false
+		},
+	})
+	r.MustRegister(Linter{
+		ID: "san_duplicate", Version: 1, Severity: Warn,
+		Describe: "Subject Alternative Name lists the same name twice",
+		Check: func(c *x509lite.Certificate, _ *Context) (string, bool) {
+			seen := make(map[string]bool, len(c.DNSNames)+len(c.IPAddresses))
+			for _, d := range c.DNSNames {
+				k := "dns:" + strings.ToLower(d)
+				if seen[k] {
+					return "duplicate SAN " + d, true
+				}
+				seen[k] = true
+			}
+			for _, ip := range c.IPAddresses {
+				k := "ip:" + ip.String()
+				if seen[k] {
+					return "duplicate SAN " + ip.String(), true
+				}
+				seen[k] = true
+			}
+			return "", false
+		},
+	})
+	r.MustRegister(Linter{
+		ID: "time_encoding_mismatch", Version: 1, Severity: Error,
+		Describe: "validity time DER encoding violates RFC 5280 §4.1.2.5 (GeneralizedTime before 2050 or UTCTime from 2050 on)",
+		Check: func(c *x509lite.Certificate, _ *Context) (string, bool) {
+			bad := func(year int, generalized bool) bool {
+				if year <= 1 { // zero time: field never parsed
+					return false
+				}
+				return generalized != (year >= 2050)
+			}
+			switch {
+			case bad(c.NotBefore.Year(), c.NotBeforeGeneralized):
+				return fmt.Sprintf("NotBefore year %d encoded as %s", c.NotBefore.Year(), timeTagName(c.NotBeforeGeneralized)), true
+			case bad(c.NotAfter.Year(), c.NotAfterGeneralized):
+				return fmt.Sprintf("NotAfter year %d encoded as %s", c.NotAfter.Year(), timeTagName(c.NotAfterGeneralized)), true
+			}
+			return "", false
+		},
+	})
+	r.MustRegister(Linter{
+		ID: "basicconstraints_missing_ca", Version: 1, Severity: Warn,
+		Describe: "certificate asserts CA powers (keyCertSign or a CA-styled name) without a basicConstraints extension",
+		Check: func(c *x509lite.Certificate, _ *Context) (string, bool) {
+			if c.BasicConstraintsValid {
+				return "", false
+			}
+			if c.KeyUsage&keyUsageCertSign != 0 {
+				return "keyCertSign without basicConstraints", true
+			}
+			cn := strings.ToLower(c.Subject.CommonName)
+			if strings.Contains(cn, "certificate authority") || strings.HasSuffix(cn, " ca") || strings.Contains(cn, "root ca") {
+				return "CA-styled name without basicConstraints: " + c.Subject.CommonName, true
+			}
+			return "", false
+		},
+	})
+	r.MustRegister(Linter{
+		ID: "key_usage_missing", Version: 1, Severity: Info,
+		Describe: "leaf certificate without a KeyUsage extension",
+		Profiles: ProfileLeaf,
+		Check: func(c *x509lite.Certificate, _ *Context) (string, bool) {
+			if c.KeyUsage == 0 {
+				return "no KeyUsage extension", true
+			}
+			return "", false
+		},
+	})
+	r.MustRegister(Linter{
+		ID: "dns_name_malformed", Version: 1, Severity: Warn,
+		Describe: "SAN dNSName is not a well-formed DNS name (bad label length, characters or wildcard position)",
+		Check: func(c *x509lite.Certificate, _ *Context) (string, bool) {
+			for _, d := range c.DNSNames {
+				if !wellFormedDNSName(d) {
+					return "malformed dNSName " + fmt.Sprintf("%q", d), true
+				}
+			}
+			return "", false
+		},
+	})
+	r.MustRegister(Linter{
+		ID: "revocation_expected_enterprise", Version: 1, Severity: Warn,
+		Describe: "enterprise-class device certificate (VPN, firewall, remote admin) without revocation plumbing",
+		Profiles: ProfileVPN | ProfileFirewall | ProfileRemoteAdmin,
+		Check: func(c *x509lite.Certificate, _ *Context) (string, bool) {
+			if len(c.CRLDistributionPoints) == 0 && len(c.OCSPServer) == 0 && len(c.IssuingCertificateURL) == 0 {
+				return "enterprise device without revocation endpoints", true
+			}
+			return "", false
+		},
+	})
+}
+
+func timeTagName(generalized bool) string {
+	if generalized {
+		return "GeneralizedTime"
+	}
+	return "UTCTime"
+}
+
+// wellFormedDNSName checks the preferred name syntax of RFC 1035 §2.3.1 as
+// relaxed for certificates: labels of 1–63 LDH characters, digits allowed in
+// any position, and at most one wildcard, only as the entire leftmost label.
+func wellFormedDNSName(s string) bool {
+	if s == "" || len(s) > 253 {
+		return false
+	}
+	labels := strings.Split(s, ".")
+	for i, l := range labels {
+		if l == "*" && i == 0 && len(labels) > 1 {
+			continue
+		}
+		if len(l) == 0 || len(l) > 63 {
+			return false
+		}
+		if l[0] == '-' || l[len(l)-1] == '-' {
+			return false
+		}
+		for _, ch := range []byte(l) {
+			switch {
+			case ch >= 'a' && ch <= 'z':
+			case ch >= 'A' && ch <= 'Z':
+			case ch >= '0' && ch <= '9':
+			case ch == '-' || ch == '_':
+			default:
+				return false
+			}
+		}
+	}
+	return true
+}

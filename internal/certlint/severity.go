@@ -1,0 +1,61 @@
+package certlint
+
+// Severity grades a finding on the pkimetal-style four-level taxonomy.
+//
+// Migration note (PR 7): the original three-level scale mapped onto this one
+// as Notice→INFO, Warning→WARN, Error→ERROR. FATAL is new and reserved for
+// certificates that independent parsers are entitled to reject outright
+// (bogus X.509 versions, serials past the RFC 5280 20-octet cap) — the
+// differential-harness evidence is that crypto/x509 refuses them, so any
+// downstream consumer may never even see the certificate. The integer order
+// INFO < WARN < ERROR < FATAL is part of the findings sort contract and of
+// the persisted column format; never reorder.
+type Severity int
+
+// Severities, mildest first.
+const (
+	// Info: unusual but harmless (e.g. very long validity).
+	Info Severity = iota
+	// Warn: weakens the certificate's usefulness (no SAN, IP subject).
+	Warn
+	// Error: the certificate is broken or dangerous (negative validity,
+	// shared key, wrong time encoding).
+	Error
+	// Fatal: strict parsers reject the certificate outright (bogus version,
+	// absurd serial).
+	Fatal
+)
+
+// NumSeverities is the size of per-severity accumulator arrays.
+const NumSeverities = 4
+
+// String returns the label used in reports and in the findings column.
+func (s Severity) String() string {
+	switch s {
+	case Info:
+		return "INFO"
+	case Warn:
+		return "WARN"
+	case Error:
+		return "ERROR"
+	case Fatal:
+		return "FATAL"
+	default:
+		return "UNKNOWN"
+	}
+}
+
+// ParseSeverity maps a label back to its Severity.
+func ParseSeverity(label string) (Severity, bool) {
+	switch label {
+	case "INFO":
+		return Info, true
+	case "WARN":
+		return Warn, true
+	case "ERROR":
+		return Error, true
+	case "FATAL":
+		return Fatal, true
+	}
+	return 0, false
+}

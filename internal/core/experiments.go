@@ -149,8 +149,13 @@ func Experiments() []Experiment {
 		},
 		{
 			ID: "lint", Title: "Certificate pathology survey (extension)",
-			Paper: "codifies §5's qualitative findings (negative validity, IP/empty subjects, missing revocation info) as lints over valid vs invalid populations",
+			Paper: "codifies §5's qualitative findings (negative validity, IP/empty subjects, missing revocation info) as registry lints over valid vs invalid populations",
 			Run:   runLint,
+		},
+		{
+			ID: "lintcuts", Title: "Lint findings by device class, issuer and AS (extension)",
+			Paper: "applies §5.3–§5.5's attribution (issuers, networks, device populations) to the registry's findings",
+			Run:   runLintCuts,
 		},
 	}
 }
@@ -433,6 +438,24 @@ func runTruth(p *Pipeline) string {
 }
 
 func runLint(p *Pipeline) string {
+	if p.LintResults == nil {
+		p.Lint()
+	}
+	var b strings.Builder
+	var bySev [certlint.NumSeverities]int
+	flagged := 0
+	for _, cf := range p.LintResults {
+		if len(cf.Findings) > 0 {
+			flagged++
+		}
+		for _, f := range cf.Findings {
+			bySev[f.Severity]++
+		}
+	}
+	fmt.Fprintf(&b, "registry: %d linters; %d/%d certs flagged (INFO %d, WARN %d, ERROR %d, FATAL %d)\n\n",
+		certlint.Default().Len(), flagged, len(p.LintResults),
+		bySev[certlint.Info], bySev[certlint.Warn], bySev[certlint.Error], bySev[certlint.Fatal])
+
 	var certs []*x509lite.Certificate
 	invalid := make(map[*x509lite.Certificate]bool)
 	for _, rec := range p.Corpus.Certs() {
@@ -442,7 +465,16 @@ func runLint(p *Pipeline) string {
 		}
 	}
 	rows := certlint.Survey(certs, func(c *x509lite.Certificate) bool { return invalid[c] })
-	return certlint.FormatSurvey(rows)
+	b.WriteString(certlint.FormatSurvey(rows))
+	return b.String()
+}
+
+func runLintCuts(p *Pipeline) string {
+	if p.LintResults == nil {
+		p.Lint()
+	}
+	rep := p.Dataset.LintCuts(analysis.FindingsByFingerprint(p.LintResults), 5)
+	return analysis.FormatLintCuts(rep)
 }
 
 func curve(name string, c *stats.CDF, xs []float64) string {

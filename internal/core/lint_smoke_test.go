@@ -1,0 +1,94 @@
+package core
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"securepki/internal/certlint"
+	"securepki/internal/snapshot"
+)
+
+// renderLintResults serialises a lint run to the byte form the smoke test
+// compares across worker counts.
+func renderLintResults(results []certlint.CertFindings) []byte {
+	var b bytes.Buffer
+	for _, cf := range results {
+		b.WriteString(cf.Fingerprint.String() + "\n")
+		for _, f := range cf.Findings {
+			b.WriteString("  " + f.String() + "\n")
+		}
+	}
+	return b.Bytes()
+}
+
+// TestLintCorpusSmoke is the corpus-scale end-to-end gate wired into
+// `make lint-corpus-smoke`: the pipeline's lint stage must produce
+// byte-identical findings at workers 1, 4 and 16, and the persisted findings
+// column must round-trip every finding.
+func TestLintCorpusSmoke(t *testing.T) {
+	cfg := equivConfig()
+	cfg.Workers = 1
+	p, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.LintResults == nil {
+		t.Fatal("Run did not populate LintResults")
+	}
+	if len(p.LintResults) != p.Corpus.NumCerts() {
+		t.Fatalf("lint results for %d certs, corpus has %d", len(p.LintResults), p.Corpus.NumCerts())
+	}
+	want := renderLintResults(p.LintResults)
+	if len(want) == 0 {
+		t.Fatal("serial lint run produced no output")
+	}
+
+	for _, workers := range []int{4, 16} {
+		cfg := equivConfig()
+		cfg.Workers = workers
+		pw, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if got := renderLintResults(pw.LintResults); !bytes.Equal(got, want) {
+			t.Errorf("workers=%d lint output differs from serial run", workers)
+		}
+	}
+
+	// Persist the findings column and read every finding back.
+	var buf bytes.Buffer
+	if err := p.WriteLintColumn(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lc, err := snapshot.ReadLintColumn(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(lc.Lints, certlint.Default().Infos()) {
+		t.Error("column lint table differs from the registry")
+	}
+	if lc.CertCount() != len(p.LintResults) {
+		t.Fatalf("column holds %d certs, want %d", lc.CertCount(), len(p.LintResults))
+	}
+	for k, cf := range p.LintResults {
+		if lc.Fingerprint(k) != cf.Fingerprint {
+			t.Fatalf("column cert %d fingerprint mismatch", k)
+		}
+		got := lc.FindingsAt(k)
+		if len(got) == 0 && len(cf.Findings) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(got, cf.Findings) {
+			t.Fatalf("column cert %d findings differ:\n%v\nvs\n%v", k, got, cf.Findings)
+		}
+	}
+}
+
+// TestWriteLintColumnBeforeLint pins the stage-ordering error.
+func TestWriteLintColumnBeforeLint(t *testing.T) {
+	p := &Pipeline{Config: SmallConfig()}
+	if err := p.WriteLintColumn(&bytes.Buffer{}); err == nil {
+		t.Fatal("WriteLintColumn before Lint did not error")
+	}
+}

@@ -53,7 +53,7 @@ func TestPipelineObsDeterministic(t *testing.T) {
 	// Every stage span must be present, in pipeline order.
 	text := string(wantTrace)
 	last := -1
-	for _, name := range []string{"core.generate", "core.scan", "core.validate", "core.link", "core.track"} {
+	for _, name := range []string{"core.generate", "core.scan", "core.validate", "core.lint", "core.link", "core.track"} {
 		i := strings.Index(text, `"name":"`+name+`"`)
 		if i < 0 {
 			t.Fatalf("stage span %s missing from trace:\n%s", name, text)

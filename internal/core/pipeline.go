@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"securepki/internal/analysis"
+	"securepki/internal/certlint"
 	"securepki/internal/devicesim"
 	"securepki/internal/linking"
 	"securepki/internal/obs"
@@ -19,6 +20,7 @@ import (
 	"securepki/internal/snapshot"
 	"securepki/internal/tracking"
 	"securepki/internal/truststore"
+	"securepki/internal/x509lite"
 )
 
 // Config assembles the stage configurations. DefaultConfig reproduces the
@@ -39,6 +41,9 @@ type Config struct {
 	Obs *obs.Registry
 	// Tracer emits one span per pipeline stage. nil disables tracing.
 	Tracer *obs.Tracer
+	// LintConfig scopes or suppresses registry linters in the lint stage
+	// (certlint.json semantics); nil runs every registered linter everywhere.
+	LintConfig *certlint.Config
 }
 
 // DefaultConfig returns the standard experiment sizing.
@@ -75,6 +80,10 @@ type Pipeline struct {
 	Linker     *linking.Linker
 	LinkResult linking.Result
 	Tracker    *tracking.Tracker
+
+	// LintResults holds the lint stage's output: one entry per corpus
+	// certificate, fingerprint-sorted, findings sorted by (LintID, Severity).
+	LintResults []certlint.CertFindings
 }
 
 // span starts a stage span on the configured tracer (nil-safe).
@@ -92,6 +101,7 @@ func Run(cfg Config) (*Pipeline, error) {
 		return nil, err
 	}
 	p.Validate()
+	p.Lint()
 	p.Link()
 	p.Track()
 	return p, nil
@@ -211,6 +221,46 @@ func (p *Pipeline) Validate() {
 		reg.Counter("core.index.sightings").Add(int64(p.Corpus.NumObservations()))
 	}
 	span.End()
+}
+
+// Lint runs the default registry over every corpus certificate (stage 3b),
+// with the corpus-wide key-sharing census as lint context. The results are
+// fingerprint-sorted and byte-identical at any worker count; the registry
+// emits the lint.* metrics itself.
+func (p *Pipeline) Lint() {
+	span := p.span("core.lint")
+	certs := make([]*x509lite.Certificate, 0, p.Corpus.NumCerts())
+	ctx := &certlint.Context{KeyCount: make(map[x509lite.Fingerprint]int, p.Corpus.NumCerts())}
+	for _, rec := range p.Corpus.Certs() {
+		certs = append(certs, rec.Cert)
+		ctx.KeyCount[rec.Cert.PublicKeyFingerprint()]++
+	}
+	p.LintResults = certlint.Default().RunCorpus(certs, ctx, certlint.Options{
+		Workers: p.Config.Workers,
+		Config:  p.Config.LintConfig,
+		Obs:     p.Config.Obs,
+	})
+	flagged := 0
+	for _, cf := range p.LintResults {
+		if len(cf.Findings) > 0 {
+			flagged++
+		}
+	}
+	p.Config.Obs.Counter("core.lint.flagged_certs").Add(int64(flagged))
+	span.End()
+}
+
+// WriteLintColumn persists the lint stage's findings as the checksummed
+// sidecar column (internal/snapshot format SPKILC01) that cmd/analyze reads
+// back and cmd/certquery serves point lookups from.
+func (p *Pipeline) WriteLintColumn(w io.Writer) error {
+	if p.LintResults == nil {
+		return fmt.Errorf("core: WriteLintColumn before Lint")
+	}
+	if err := snapshot.WriteLintColumn(w, p.LintResults, certlint.Default().Infos()); err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	return nil
 }
 
 // Link runs the §6 pipeline (stage 4). The pipeline-level Workers knob

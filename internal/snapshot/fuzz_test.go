@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"testing"
 
+	"securepki/internal/certlint"
 	"securepki/internal/scanstore"
 )
 
@@ -66,5 +67,48 @@ func FuzzReadSnapshot(f *testing.F) {
 			t.Fatalf("re-encoded corpus fails to load: %v", err)
 		}
 		corpusEqual(t, c, again)
+	})
+}
+
+// FuzzReadLintColumn throws arbitrary bytes at the findings-column loader.
+// Invariants: ReadLintColumn never panics and never reads out of bounds, and
+// any column it accepts must re-encode to the identical bytes (the column's
+// layout is fully canonical — tiled postings, tiled details, sorted keys —
+// so a round trip has no freedom left).
+func FuzzReadLintColumn(f *testing.F) {
+	valid := encodeLintColumn(f, testLintResults(11), testLintInfos())
+	empty := encodeLintColumn(f, nil, nil)
+	f.Add(valid)
+	f.Add(empty)
+	f.Add(valid[:len(valid)/2])
+	f.Add(valid[:lintColHeaderLen+32]) // header only
+	f.Add(flipByte(valid, 9))
+	f.Add(flipByte(valid, lintColHeaderLen+40))
+	f.Add(flipByte(valid, len(valid)-5))
+	f.Add(append(append([]byte(nil), valid...), 0xcc))
+	f.Add(patchLintHeader(valid, func(h []byte) { h[24] = 0xff }))
+	f.Add(patchLintBody(valid, func(_, _, posts, _ []byte) { posts[0] = 0xee }))
+	f.Add([]byte(MagicLintColumn + " but then nonsense"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<20 {
+			return
+		}
+		lc, err := ReadLintColumn(data)
+		if err != nil {
+			return
+		}
+		results := make([]certlint.CertFindings, lc.CertCount())
+		for k := range results {
+			results[k] = certlint.CertFindings{Fingerprint: lc.Fingerprint(k), Findings: lc.FindingsAt(k)}
+		}
+		var buf bytes.Buffer
+		if err := WriteLintColumn(&buf, results, lc.Lints); err != nil {
+			t.Fatalf("accepted column fails to re-encode: %v", err)
+		}
+		if !bytes.Equal(buf.Bytes(), data) {
+			t.Fatal("accepted column does not round-trip byte-identically")
+		}
 	})
 }

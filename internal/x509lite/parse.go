@@ -116,8 +116,14 @@ func parse(der []byte, digest Fingerprint, haveDigest bool) (*Certificate, error
 	if err != nil {
 		return nil, parseErr("validity", err)
 	}
+	if tag, terr := validity.PeekTag(); terr == nil {
+		cert.NotBeforeGeneralized = tag == asn1der.TagGeneralizedTime
+	}
 	if cert.NotBefore, err = validity.Time(); err != nil {
 		return nil, parseErr("notBefore", err)
+	}
+	if tag, terr := validity.PeekTag(); terr == nil {
+		cert.NotAfterGeneralized = tag == asn1der.TagGeneralizedTime
 	}
 	if cert.NotAfter, err = validity.Time(); err != nil {
 		return nil, parseErr("notAfter", err)
