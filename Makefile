@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet lint race bench bench-all fuzz-seeds bench-smoke chaos-smoke obs-smoke query-smoke lint-corpus-smoke check ci
+.PHONY: all build test vet lint race bench bench-all fuzz-seeds bench-smoke chaos-smoke obs-smoke query-smoke lint-corpus-smoke mem-smoke check ci
 
 all: build test
 
@@ -68,6 +68,17 @@ obs-smoke:
 	OBS_SMOKE_OUT=$(CURDIR)/obs-artifacts $(GO) test -race -run 'TestObsSmoke$$' -v -count=1 ./cmd/certscan
 	@echo wrote obs-artifacts/obs_metrics.json and obs-artifacts/obs_trace.jsonl
 
+# Memory-envelope smoke: stream a ~16k-host population (≈50× the chunk-sweep
+# golden) through core.StreamSnapshot on a 4 MiB budget and fail if the heap
+# high-water or process peak RSS leaves its ceiling (see DESIGN.md "Streaming
+# build & memory envelope"). Deliberately NOT under -race: the race runtime
+# multiplies heap usage, which would force ceilings too slack to catch a
+# regression back to resident behaviour. MEM_SMOKE_DEVICES scales the
+# population (e.g. MEM_SMOKE_DEVICES=750000 approximates the paper's 10⁶-host
+# sweeps); MEM_SMOKE_HEAP_MB / MEM_SMOKE_RSS_MB move the ceilings with it.
+mem-smoke:
+	MEM_SMOKE=1 $(GO) test -run 'TestMemSmoke$$' -v -count=1 ./internal/core
+
 # Everything CI runs, in CI order; fails on any new repolint finding.
 ci: build vet lint
 	$(GO) test -race -shuffle=on ./...
@@ -77,6 +88,7 @@ ci: build vet lint
 	$(MAKE) obs-smoke
 	$(MAKE) query-smoke
 	$(MAKE) lint-corpus-smoke
+	$(MAKE) mem-smoke
 
 # Perf trajectory: snapshot + parse benchmarks rendered to machine-readable
 # JSON so future PRs have a baseline to compare against (certs/sec, MB/s,

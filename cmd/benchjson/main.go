@@ -12,6 +12,11 @@
 // as written by a cmd's -metrics-out flag) are validated and merged into
 // the report under "obs", keyed by file base name — so a bench run and the
 // instrumented sweep that produced it travel in one BENCH artifact.
+//
+// Custom b.ReportMetric pairs pass through untouched into each benchmark's
+// metrics map; the snapshot benchmarks use this to record the process peak
+// RSS ("peak-rss-B", from getrusage) next to certs/sec, so the artifact
+// tracks the memory envelope alongside throughput.
 package main
 
 import (

@@ -6,6 +6,7 @@
 //
 //	scangen -o corpus.spki [-format v3|v2|v1] [-workers 0]
 //	        [-devices 8600] [-sites 3700] [-seed 1] [-umich 30] [-rapid7 17]
+//	        [-chunk 8192] [-mem-budget 268435456] [-spill-dir /tmp]
 //	        [-metrics-out metrics.json]
 //	scangen -upgrade old.spki -o corpus.v3 [-format v3]
 //	        [-prefix2as corpus.prefix2as -asinfo corpus.asinfo]
@@ -18,6 +19,11 @@
 // internal/querystore serve from, and -format v1 keeps the legacy gzip+gob
 // blob for older consumers. Every streaming reader in this repo sniffs the
 // format, so any of them loads everywhere.
+//
+// -chunk streams the whole build — population, scans, snapshot encode — in
+// host chunks on bounded memory (core.StreamSnapshot): no resident world or
+// corpus ever exists, state beyond -mem-budget spills to -spill-dir, and the
+// output bytes are identical to the resident pipeline's at any chunk size.
 //
 // -upgrade skips generation: it loads an existing snapshot (any format) and
 // rewrites it as -format. A loaded corpus carries no network view, so an
@@ -52,6 +58,9 @@ func main() {
 		umich      = flag.Int("umich", 0, "UMich scan count (0 = default)")
 		rapid7     = flag.Int("rapid7", 0, "Rapid7 scan count (0 = default)")
 		small      = flag.Bool("small", false, "use the reduced sizing")
+		chunkSize  = flag.Int("chunk", 0, "stream the build in chunks of this many hosts on bounded memory (0 = resident pipeline); bytes identical at any setting")
+		memBudget  = flag.Int64("mem-budget", 0, "with -chunk: bound the chunk store's and encoder's memory in bytes; overflow spills to disk (0 = 256 MiB)")
+		spillDir   = flag.String("spill-dir", "", "with -chunk: directory for spill files (\"\" = OS temp dir)")
 		metricsOut = flag.String("metrics-out", "", "write the run's metrics as a versioned JSON document")
 	)
 	flag.StringVar(out, "o", "corpus.spki", "shorthand for -out")
@@ -91,6 +100,45 @@ func main() {
 	parallel.SetObserver(obs.NewParallelCollector(reg))
 	defer parallel.SetObserver(nil)
 	cfg.Obs = reg
+	cfg.Workers = *workers
+
+	if *chunkSize > 0 {
+		if *format == "v1" {
+			fmt.Fprintln(os.Stderr, "scangen: -chunk streams the build and needs -format v2 or v3")
+			os.Exit(2)
+		}
+		if *dumpNet {
+			fmt.Fprintln(os.Stderr, "scangen: -dump-net needs the resident pipeline; drop -chunk")
+			os.Exit(2)
+		}
+		cfg.Stream = core.StreamConfig{ChunkSize: *chunkSize, MemBudget: *memBudget, SpillDir: *spillDir}
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		stats, err := core.StreamSnapshot(cfg, *format == "v3", f, nil)
+		if err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		info, err := os.Stat(*out)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "streamed %d hosts in %d chunks (%d spills, %d bytes spilled)\n",
+			stats.Hosts, stats.Chunks, stats.Spills, stats.SpilledBytes)
+		fmt.Fprintf(os.Stderr, "wrote %s (%s, %d bytes): %d certs, %d scans\n",
+			*out, *format, info.Size(), stats.Certs, stats.Scans)
+		if *metricsOut != "" {
+			if err := obs.WriteMetricsFile(*metricsOut, reg); err != nil {
+				fatal(err)
+			}
+		}
+		return
+	}
 
 	p := &core.Pipeline{Config: cfg}
 	if err := p.Generate(); err != nil {

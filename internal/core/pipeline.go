@@ -44,6 +44,9 @@ type Config struct {
 	// LintConfig scopes or suppresses registry linters in the lint stage
 	// (certlint.json semantics); nil runs every registered linter everywhere.
 	LintConfig *certlint.Config
+	// Stream sizes the streaming build path (StreamSnapshot); the in-memory
+	// pipeline ignores it.
+	Stream StreamConfig
 }
 
 // DefaultConfig returns the standard experiment sizing.
@@ -100,7 +103,9 @@ func Run(cfg Config) (*Pipeline, error) {
 	if err := p.Scan(); err != nil {
 		return nil, err
 	}
-	p.Validate()
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
 	p.Lint()
 	p.Link()
 	p.Track()
@@ -193,15 +198,41 @@ func (p *Pipeline) LoadSnapshot(r io.Reader) error {
 
 // Validate classifies every certificate against the world's root store
 // (stage 3) and builds the analysis dataset. Both fan out across
-// Config.Workers.
-func (p *Pipeline) Validate() {
+// Config.Workers. When Config.Stream sets a memory budget or spill
+// directory, the index builds through the external-merge path
+// (scanstore.BuildIndexExt) — identical index, bounded sort memory.
+func (p *Pipeline) Validate() error {
 	span := p.span("core.validate")
 	store := truststore.NewStore()
 	for _, r := range p.World.Roots() {
 		store.AddRoot(r)
 	}
 	p.ValidationCounts = p.Corpus.ValidateWorkers(store, p.Config.Workers)
-	p.Dataset = analysis.NewDatasetWorkers(p.Corpus, p.World.Internet, p.Config.Workers)
+	if s := p.Config.Stream; s.MemBudget > 0 || s.SpillDir != "" {
+		reg := p.Config.Obs
+		spillGauge := reg.Gauge("mem.spilled_runs")
+		spillBytes := reg.Gauge("mem.spilled_bytes")
+		var runs int64
+		ds, err := analysis.NewDatasetExt(p.Corpus, p.World.Internet, scanstore.ExtIndexConfig{
+			Workers:   p.Config.Workers,
+			MemBudget: s.MemBudget,
+			Dir:       s.SpillDir,
+			OnSpill: func(_ int, bytes int64) {
+				sp := p.span("core.spill")
+				runs++
+				spillGauge.Set(runs)
+				spillBytes.Add(bytes)
+				sp.End()
+			},
+			FanIn: func(n int) { reg.Gauge("mem.merge_fanin").Set(int64(n)) },
+		})
+		if err != nil {
+			return fmt.Errorf("core: validate: %w", err)
+		}
+		p.Dataset = ds
+	} else {
+		p.Dataset = analysis.NewDatasetWorkers(p.Corpus, p.World.Internet, p.Config.Workers)
+	}
 	if reg := p.Config.Obs; reg != nil {
 		reg.Counter("core.validate.certs").Add(int64(p.Corpus.NumCerts()))
 		statuses := make([]truststore.Status, 0, len(p.ValidationCounts))
@@ -221,6 +252,7 @@ func (p *Pipeline) Validate() {
 		reg.Counter("core.index.sightings").Add(int64(p.Corpus.NumObservations()))
 	}
 	span.End()
+	return nil
 }
 
 // Lint runs the default registry over every corpus certificate (stage 3b),

@@ -1,0 +1,121 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+)
+
+// streamEquivConfig shrinks the world so the chunk × worker sweep stays
+// fast; equivalence, not distribution fidelity, is under test.
+func streamEquivConfig() Config {
+	cfg := SmallConfig()
+	cfg.World.NumDevices = 220
+	cfg.World.NumSites = 90
+	cfg.Scan.UMichScans = 6
+	cfg.Scan.Rapid7Scans = 3
+	return cfg
+}
+
+// inMemoryArtifacts runs the resident pipeline and returns its v2 snapshot,
+// v3 snapshot and lint column bytes — the reference the streaming path must
+// reproduce exactly.
+func inMemoryArtifacts(t *testing.T, cfg Config) (v2, v3, lint []byte) {
+	t.Helper()
+	p := &Pipeline{Config: cfg}
+	if err := p.Generate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Scan(); err != nil {
+		t.Fatal(err)
+	}
+	p.Lint()
+	var v2buf, v3buf, lintBuf bytes.Buffer
+	if err := p.WriteSnapshot(&v2buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.WriteSnapshotV3(&v3buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.WriteLintColumn(&lintBuf); err != nil {
+		t.Fatal(err)
+	}
+	return v2buf.Bytes(), v3buf.Bytes(), lintBuf.Bytes()
+}
+
+// TestStreamSnapshotMatchesInMemory is the streaming build's golden: at
+// chunk sizes that split every fleet (1), land mid-population (64) and
+// swallow the whole corpus (1<<20), across worker counts 1, 4 and 16, the
+// streamed v2 snapshot, v3 snapshot and lint column must be byte-identical
+// to the in-memory pipeline's. A tiny memory budget forces the chunk store
+// and sorters through their spill paths on the same sweep.
+func TestStreamSnapshotMatchesInMemory(t *testing.T) {
+	base := streamEquivConfig()
+	wantV2, wantV3, wantLint := inMemoryArtifacts(t, base)
+
+	for _, chunk := range []int{1, 64, 1 << 20} {
+		for _, workers := range []int{1, 4, 16} {
+			cfg := streamEquivConfig()
+			cfg.Workers = workers
+			cfg.Scan.Workers = workers
+			cfg.Stream.ChunkSize = chunk
+			cfg.Stream.SpillDir = t.TempDir()
+			if chunk == 64 {
+				cfg.Stream.MemBudget = 1 << 16 // force chunk-store and sorter spills
+			}
+
+			var v2buf, lintBuf bytes.Buffer
+			stats, err := StreamSnapshot(cfg, false, &v2buf, &lintBuf)
+			if err != nil {
+				t.Fatalf("chunk=%d workers=%d v2: %v", chunk, workers, err)
+			}
+			if !bytes.Equal(wantV2, v2buf.Bytes()) {
+				t.Fatalf("chunk=%d workers=%d: streamed v2 differs from in-memory (%d vs %d bytes)",
+					chunk, workers, len(wantV2), len(v2buf.Bytes()))
+			}
+			if !bytes.Equal(wantLint, lintBuf.Bytes()) {
+				t.Fatalf("chunk=%d workers=%d: streamed lint column differs from in-memory", chunk, workers)
+			}
+			if chunk == 64 && cfg.Stream.MemBudget > 0 && stats.Spills == 0 {
+				t.Fatalf("chunk=%d workers=%d: 64 KiB budget spilled nothing", chunk, workers)
+			}
+
+			var v3buf bytes.Buffer
+			cfg.Stream.SpillDir = t.TempDir()
+			if _, err := StreamSnapshot(cfg, true, &v3buf, nil); err != nil {
+				t.Fatalf("chunk=%d workers=%d v3: %v", chunk, workers, err)
+			}
+			if !bytes.Equal(wantV3, v3buf.Bytes()) {
+				t.Fatalf("chunk=%d workers=%d: streamed v3 differs from in-memory (%d vs %d bytes)",
+					chunk, workers, len(wantV3), len(v3buf.Bytes()))
+			}
+		}
+	}
+}
+
+// TestStreamSnapshotStats sanity-checks the reported stats on a spilling run.
+func TestStreamSnapshotStats(t *testing.T) {
+	cfg := streamEquivConfig()
+	cfg.Stream.ChunkSize = 32
+	cfg.Stream.MemBudget = 1 << 14
+	cfg.Stream.SpillDir = t.TempDir()
+	var buf bytes.Buffer
+	stats, err := StreamSnapshot(cfg, true, &buf, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Hosts != cfg.World.NumDevices+cfg.World.NumSites {
+		t.Fatalf("stats.Hosts = %d, want %d", stats.Hosts, cfg.World.NumDevices+cfg.World.NumSites)
+	}
+	if stats.Chunks < stats.Hosts/32 {
+		t.Fatalf("stats.Chunks = %d for %d hosts at chunk 32", stats.Chunks, stats.Hosts)
+	}
+	if stats.Spills == 0 || stats.SpilledBytes == 0 {
+		t.Fatalf("16 KiB budget spilled nothing (spills=%d bytes=%d)", stats.Spills, stats.SpilledBytes)
+	}
+	if stats.Certs == 0 || stats.Scans != 9 {
+		t.Fatalf("stats certs=%d scans=%d", stats.Certs, stats.Scans)
+	}
+	if stats.MergeFanIn < 1 {
+		t.Fatalf("stats.MergeFanIn = %d on a v3 run", stats.MergeFanIn)
+	}
+}

@@ -10,7 +10,6 @@ package devicesim
 import (
 	"crypto/ed25519"
 	"fmt"
-	"math/big"
 	"time"
 
 	"securepki/internal/netsim"
@@ -121,119 +120,30 @@ func (w *World) sharedDeviceKey(p *Profile) (ed25519.PublicKey, ed25519.PrivateK
 	return kp.pub, kp.priv
 }
 
-// BuildWorld constructs the full simulation deterministically from cfg.
+// BuildWorld constructs the full simulation deterministically from cfg. It
+// is a full drain of the streaming Generator — the in-memory and streaming
+// build paths share one population loop, so they cannot drift.
 func BuildWorld(cfg Config) (*World, error) {
-	if cfg.NumDevices <= 0 || cfg.NumSites < 0 {
-		return nil, fmt.Errorf("devicesim: population sizes must be positive (devices=%d sites=%d)", cfg.NumDevices, cfg.NumSites)
-	}
-	if cfg.Start.IsZero() {
-		return nil, fmt.Errorf("devicesim: config missing Start")
-	}
-	root := stats.NewRNG(cfg.Seed)
-
-	builder, specs, allocated := buildRoster(root.Split())
-
-	w := &World{
-		Config:        cfg,
-		pickers:       nil,
-		profileEpochs: make(map[string]time.Time),
-		vendorCAKeys:  make(map[string]ed25519.PrivateKey),
-		vendorCerts:   make(map[string]*x509lite.Certificate),
-		sharedKeys:    make(map[string]keyPair),
-	}
-
-	// §7.3 bulk transfers: Verizon hands blocks to MCI twice; AT&T once.
-	// Each event re-homes the n-th prefix announced by the source AS.
-	intents := []struct {
-		from, to, nth int
-		at            time.Time
-	}{
-		{19262, 701, 0, time.Date(2013, 4, 10, 0, 0, 0, 0, time.UTC)},
-		{19262, 701, 1, time.Date(2014, 2, 20, 0, 0, 0, 0, time.UTC)},
-		{7018, 701, 0, time.Date(2013, 9, 15, 0, 0, 0, 0, time.UTC)},
-	}
-	var resolved []TransferEvent
-	for _, in := range intents {
-		prefixes := allocated[in.from]
-		if in.nth >= len(prefixes) {
-			continue
-		}
-		p := prefixes[in.nth]
-		builder.Transfer(p, in.to, in.at)
-		resolved = append(resolved, TransferEvent{Prefix: p, From: in.from, To: in.to, At: in.at})
-	}
-	inet, err := builder.Build()
+	gen, err := NewGenerator(cfg)
 	if err != nil {
 		return nil, err
 	}
-	w.Internet = inet
-	w.Transfers = resolved
-	w.pickers = regionPickers(inet, specs)
-	for _, as := range inet.ASes() {
-		as.Prime() // make RandomIP safe under concurrent scanning
-	}
-
-	pkiRNG := root.Split()
-	w.pki = buildHierarchy(pkiRNG, cfg.Start)
-
-	profiles := DefaultProfiles()
-	profPicker := buildProfilePicker(profiles)
-	vendorRNG := root.Split()
-	for _, p := range profiles {
-		// Firmware epochs: a fixed past date per model line, >1000 days
-		// before the scans (Figure 5's right mode).
-		w.profileEpochs[p.Name] = time.Date(2000, 1, 1, 0, 0, 0, 0, time.UTC).
-			AddDate(0, 0, vendorRNG.Intn(2500))
-		if p.Issuer == IssuerVendorCA {
-			pub, priv := keyFromRNG(vendorRNG)
-			w.vendorCAKeys[p.Name] = priv
-			name := x509lite.Name{CommonName: p.IssuerText}
-			w.vendorCerts[p.Name] = mustCreate(&x509lite.Template{
-				Version: 3, SerialNumber: new(big.Int).SetUint64(vendorRNG.Uint64() >> 1),
-				Subject: name, Issuer: name,
-				NotBefore: w.profileEpochs[p.Name],
-				NotAfter:  w.profileEpochs[p.Name].AddDate(30, 0, 0),
-				IsCA:      true, IncludeBasicConstraints: true,
-			}, pub, priv)
+	w := gen.World()
+	w.Devices = make([]*Device, 0, cfg.NumDevices)
+	w.Sites = make([]*Site, 0, cfg.NumSites)
+	for {
+		batch := gen.Next(4096)
+		if batch == nil {
+			break
 		}
-		if p.Key == KeyVendorShared {
-			pub, priv := keyFromRNG(vendorRNG)
-			w.sharedKeys[p.Name] = keyPair{pub: pub, priv: priv}
-		}
-	}
-
-	popRNG := root.Split()
-	id := 0
-	for id < cfg.NumDevices {
-		p := profPicker.Pick(popRNG)
-		birth := birthTime(cfg, popRNG)
-		n := 1
-		if p.FleetSize > 1 {
-			n = 2 + popRNG.Intn(p.FleetSize-1)
-			if id+n > cfg.NumDevices {
-				n = cfg.NumDevices - id
+		for _, h := range batch {
+			switch v := h.(type) {
+			case *Device:
+				w.Devices = append(w.Devices, v)
+			case *Site:
+				w.Sites = append(w.Sites, v)
 			}
 		}
-		var leader *Device
-		for i := 0; i < n; i++ {
-			d := w.newDevice(id, p, birth, popRNG.Split())
-			if p.FleetSize > 1 {
-				if leader == nil {
-					leader = d
-				} else {
-					// Fleet members serve the leader's certificate.
-					d.fleetCert = leader.cert
-					d.cert = leader.cert
-				}
-			}
-			w.Devices = append(w.Devices, d)
-			id++
-		}
-	}
-
-	siteRNG := root.Split()
-	for i := 0; i < cfg.NumSites; i++ {
-		w.Sites = append(w.Sites, w.newSite(i, birthTime(cfg, siteRNG), siteRNG.Split()))
 	}
 	return w, nil
 }

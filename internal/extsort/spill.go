@@ -1,0 +1,255 @@
+package extsort
+
+import (
+	"bufio"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"hash"
+	"io"
+	"os"
+)
+
+// Run shard layout (integers little-endian):
+//
+//	magic      [8]byte  "SPKIRUN1"
+//	recordSize uint32
+//	reserved   uint32   must be zero
+//	count      uint64
+//	records    count × recordSize bytes, sorted
+//	digest     [32]byte SHA-256 of everything above
+//
+// The file ends exactly after the digest; any size mismatch is an error
+// before a single record is decoded.
+const (
+	runMagic     = "SPKIRUN1"
+	runHeaderLen = 8 + 4 + 4 + 8
+	runDigestLen = 32
+	// maxRecordSize bounds one record's encoded width; runs hold index
+	// rows (a few dozen bytes), so 64 KiB is absurdly generous and keeps a
+	// hostile header from sizing huge reads.
+	maxRecordSize = 1 << 16
+)
+
+// runShard is one spilled sorted run on disk.
+type runShard struct {
+	f     *os.File
+	path  string
+	count int64
+	size  int64 // total file size including header and digest
+}
+
+func (r *runShard) remove() error {
+	if r.f == nil {
+		return nil
+	}
+	err := r.f.Close()
+	r.f = nil
+	if rmErr := os.Remove(r.path); err == nil {
+		err = rmErr
+	}
+	return err
+}
+
+// writeRunShard writes one sorted buffer as a run shard in dir.
+func writeRunShard[R any](dir string, size int, encode func([]byte, R), buf []R) (*runShard, error) {
+	f, err := os.CreateTemp(dir, "extsort-run-*.spill")
+	if err != nil {
+		return nil, fmt.Errorf("extsort: create run shard: %w", err)
+	}
+	run := &runShard{f: f, path: f.Name(), count: int64(len(buf))}
+	h := sha256.New()
+	w := bufio.NewWriterSize(io.MultiWriter(f, h), 1<<16)
+
+	var head [runHeaderLen]byte
+	copy(head[:8], runMagic)
+	binary.LittleEndian.PutUint32(head[8:], uint32(size))
+	binary.LittleEndian.PutUint64(head[16:], uint64(len(buf)))
+	if _, err := w.Write(head[:]); err != nil {
+		run.remove()
+		return nil, fmt.Errorf("extsort: write run shard: %w", err)
+	}
+	rec := make([]byte, size)
+	for _, r := range buf {
+		encode(rec, r)
+		if _, err := w.Write(rec); err != nil {
+			run.remove()
+			return nil, fmt.Errorf("extsort: write run shard: %w", err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		run.remove()
+		return nil, fmt.Errorf("extsort: write run shard: %w", err)
+	}
+	var sum [runDigestLen]byte
+	h.Sum(sum[:0])
+	if _, err := f.Write(sum[:]); err != nil {
+		run.remove()
+		return nil, fmt.Errorf("extsort: write run shard digest: %w", err)
+	}
+	run.size = runHeaderLen + int64(len(buf))*int64(size) + runDigestLen
+	return run, nil
+}
+
+// runReader streams one shard's records back, verifying the header up front
+// and the digest as the last record drains.
+type runReader[R any] struct {
+	r      *bufio.Reader
+	h      hash.Hash
+	decode func([]byte) R
+	rec    []byte
+	left   int64
+}
+
+func newRunReader[R any](run *runShard, size int, decode func([]byte) R) (*runReader[R], error) {
+	fi, err := run.f.Stat()
+	if err != nil {
+		return nil, fmt.Errorf("extsort: stat run shard: %w", err)
+	}
+	rd := &runReader[R]{
+		r:      bufio.NewReaderSize(io.NewSectionReader(run.f, 0, fi.Size()), 1<<14),
+		h:      sha256.New(),
+		decode: decode,
+		rec:    make([]byte, size),
+	}
+	var head [runHeaderLen]byte
+	if _, err := io.ReadFull(rd.r, head[:]); err != nil {
+		return nil, fmt.Errorf("extsort: run shard %s: truncated header: %w", run.path, err)
+	}
+	rd.h.Write(head[:])
+	if string(head[:8]) != runMagic {
+		return nil, fmt.Errorf("extsort: run shard %s: bad magic", run.path)
+	}
+	if got := binary.LittleEndian.Uint32(head[8:]); got != uint32(size) {
+		return nil, fmt.Errorf("extsort: run shard %s: record size %d, want %d", run.path, got, size)
+	}
+	if rsv := binary.LittleEndian.Uint32(head[12:]); rsv != 0 {
+		return nil, fmt.Errorf("extsort: run shard %s: nonzero reserved field", run.path)
+	}
+	count := binary.LittleEndian.Uint64(head[16:])
+	want := runHeaderLen + int64(count)*int64(size) + runDigestLen
+	if int64(count) < 0 || want != fi.Size() {
+		return nil, fmt.Errorf("extsort: run shard %s: %d bytes on disk, header claims %d records (%d bytes)",
+			run.path, fi.Size(), count, want)
+	}
+	rd.left = int64(count)
+	return rd, nil
+}
+
+// next returns the following record; ok=false marks a cleanly verified end
+// of run. A digest mismatch or short read is an error.
+func (r *runReader[R]) next() (R, bool, error) {
+	var zero R
+	if r.left == 0 {
+		var stored [runDigestLen]byte
+		if _, err := io.ReadFull(r.r, stored[:]); err != nil {
+			return zero, false, fmt.Errorf("extsort: run shard truncated digest: %w", err)
+		}
+		var sum [runDigestLen]byte
+		r.h.Sum(sum[:0])
+		if sum != stored {
+			return zero, false, fmt.Errorf("extsort: run shard digest mismatch (corrupt spill)")
+		}
+		return zero, false, nil
+	}
+	if _, err := io.ReadFull(r.r, r.rec); err != nil {
+		return zero, false, fmt.Errorf("extsort: run shard truncated: %w", err)
+	}
+	r.h.Write(r.rec)
+	r.left--
+	return r.decode(r.rec), true, nil
+}
+
+// SpillFile is a checksummed append-only temp file: streaming producers
+// (shard payloads, index postings) write through it, then the finish step
+// reads it back — possibly more than once — while the running digest taken
+// at write time guards against the bytes rotting in between. It implements
+// io.Writer.
+type SpillFile struct {
+	f    *os.File
+	w    *bufio.Writer
+	h    hash.Hash
+	n    int64
+	werr error
+}
+
+// NewSpillFile creates a spill file in dir ("" means the OS temp dir).
+func NewSpillFile(dir, pattern string) (*SpillFile, error) {
+	f, err := os.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, fmt.Errorf("extsort: create spill file: %w", err)
+	}
+	return &SpillFile{
+		f: f,
+		w: bufio.NewWriterSize(f, 1<<16),
+		h: sha256.New(),
+	}, nil
+}
+
+// Write appends to the spill. Errors are sticky.
+func (s *SpillFile) Write(p []byte) (int, error) {
+	if s.werr != nil {
+		return 0, s.werr
+	}
+	n, err := s.w.Write(p)
+	s.h.Write(p[:n])
+	s.n += int64(n)
+	if err != nil {
+		s.werr = fmt.Errorf("extsort: spill write: %w", err)
+	}
+	return n, s.werr
+}
+
+// Len returns the number of bytes written so far.
+func (s *SpillFile) Len() int64 { return s.n }
+
+// Reader flushes pending writes and returns an independent reader over the
+// full spill contents. Multiple readers may be taken; each streams from the
+// start. Writing after the first Reader call is a caller bug (the new bytes
+// join subsequent readers but not earlier ones).
+func (s *SpillFile) Reader() (io.Reader, error) {
+	if s.werr != nil {
+		return nil, s.werr
+	}
+	if err := s.w.Flush(); err != nil {
+		s.werr = fmt.Errorf("extsort: spill flush: %w", err)
+		return nil, s.werr
+	}
+	return bufio.NewReaderSize(io.NewSectionReader(s.f, 0, s.n), 1<<16), nil
+}
+
+// VerifyCopy streams the whole spill into w and checks the bytes read back
+// against the digest accumulated at write time, so disk rot between the
+// streaming write and the final copy is an explicit error, not silent
+// output corruption.
+func (s *SpillFile) VerifyCopy(w io.Writer) error {
+	rd, err := s.Reader()
+	if err != nil {
+		return err
+	}
+	h := sha256.New()
+	if _, err := io.Copy(io.MultiWriter(w, h), rd); err != nil {
+		return fmt.Errorf("extsort: spill copy: %w", err)
+	}
+	var want, got [32]byte
+	s.h.Sum(want[:0])
+	h.Sum(got[:0])
+	if want != got {
+		return fmt.Errorf("extsort: spill file digest mismatch (corrupt spill)")
+	}
+	return nil
+}
+
+// Remove closes and deletes the spill file. Safe to call more than once.
+func (s *SpillFile) Remove() error {
+	if s.f == nil {
+		return nil
+	}
+	err := s.f.Close()
+	path := s.f.Name()
+	s.f = nil
+	if rmErr := os.Remove(path); err == nil {
+		err = rmErr
+	}
+	return err
+}

@@ -1,0 +1,8 @@
+//go:build !unix
+
+package obs
+
+// PeakRSS reports no peak-RSS reading off unix; callers degrade gracefully
+// (benchmarks skip the metric, the memory smoke test checks only the
+// runtime-sampled heap high-water).
+func PeakRSS() (int64, bool) { return 0, false }

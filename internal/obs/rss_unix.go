@@ -1,0 +1,25 @@
+//go:build unix
+
+package obs
+
+import (
+	"runtime"
+	"syscall"
+)
+
+// PeakRSS returns the process's peak resident set size in bytes as reported
+// by getrusage(2), and whether the platform exposes one. The value is a
+// process-lifetime high-water mark: it only ever grows, and it covers
+// everything the process has done so far, not just the caller's region of
+// interest — callers comparing phases should record it before and after.
+func PeakRSS() (int64, bool) {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0, false
+	}
+	rss := int64(ru.Maxrss)
+	if runtime.GOOS != "darwin" { // ru_maxrss is bytes on darwin, KiB elsewhere
+		rss *= 1024
+	}
+	return rss, true
+}

@@ -201,3 +201,68 @@ func BenchmarkQueryIndexOnly(b *testing.B) {
 		reportQPS(b)
 	})
 }
+
+// BenchmarkQueryNegativeLookup prices misses against hits on the fingerprint
+// index: an in-range miss pays the full binary search; an out-of-range miss
+// is answered by the persisted range guard from two resident values, without
+// touching the key array at all.
+func BenchmarkQueryNegativeLookup(b *testing.B) {
+	_, fps, path, _ := qbenchSnapshot(b)
+	st, err := Open(path, Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer st.Close()
+
+	b.Run("hit", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, ok, err := st.ByFingerprint(fps[i%len(fps)]); err != nil || !ok {
+				b.Fatalf("ok=%v err=%v", ok, err)
+			}
+		}
+		reportQPS(b)
+	})
+
+	b.Run("miss-in-range", func(b *testing.B) {
+		// Deterministic absent fingerprints inside [lo, hi]: hash a counter,
+		// keep values that land in range and miss the corpus.
+		present := make(map[x509lite.Fingerprint]bool, len(fps))
+		for _, fp := range fps {
+			present[fp] = true
+		}
+		var probes []x509lite.Fingerprint
+		for i := 0; len(probes) < 512 && i < 1<<16; i++ {
+			fp := x509lite.FingerprintBytes([]byte{byte(i), byte(i >> 8), 0xa5})
+			if present[fp] || bytes.Compare(fp[:], st.fpLo[:]) < 0 || bytes.Compare(fp[:], st.fpHi[:]) > 0 {
+				continue
+			}
+			probes = append(probes, fp)
+		}
+		if len(probes) == 0 {
+			b.Fatal("no in-range absent probes found")
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, ok, err := st.ByFingerprint(probes[i%len(probes)]); err != nil || ok {
+				b.Fatalf("ok=%v err=%v", ok, err)
+			}
+		}
+		reportQPS(b)
+	})
+
+	b.Run("miss-guarded", func(b *testing.B) {
+		var maxFP x509lite.Fingerprint
+		for i := range maxFP {
+			maxFP[i] = 0xff
+		}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, ok, err := st.ByFingerprint(maxFP); err != nil || ok {
+				b.Fatalf("ok=%v err=%v", ok, err)
+			}
+		}
+		reportQPS(b)
+	})
+}

@@ -119,7 +119,18 @@ type Store struct {
 
 	verify bool
 
+	// Range guards, captured from the persisted sorted key arrays at open: a
+	// probe below the first or above the last key of a section cannot match,
+	// so negative lookups outside the range answer from two resident values
+	// without a single binary-search probe. Empty sections store the
+	// always-miss sentinel (lo > hi), which every probe fails.
+	fpLo, fpHi     x509lite.Fingerprint
+	spkiLo, spkiHi x509lite.Fingerprint
+	ipLo, ipHi     uint32
+	asLo, asHi     uint32
+
 	cFP, cSPKI, cIP, cAS, cMiss        *obs.Counter
+	cMissGuard                         *obs.Counter
 	cCacheHit, cCacheMiss, cCacheEvict *obs.Counter
 	cInflate                           *obs.Counter
 }
@@ -193,6 +204,10 @@ func open(src mapping, size int64, opt Options) (*Store, error) {
 		}
 		st.secs[i] = sectionBytes{keys: keys, post: post}
 	}
+	st.fpLo, st.fpHi = fpKeyRange(st.secs[0].keys, snapshot.V3FPEntry, int(lay.CertCount))
+	st.spkiLo, st.spkiHi = fpKeyRange(st.secs[1].keys, snapshot.V3SPKIEntry, int(lay.Sections[1].KeyCount))
+	st.ipLo, st.ipHi = u32KeyRange(st.secs[2].keys, snapshot.V3IPEntry, int(lay.Sections[2].KeyCount))
+	st.asLo, st.asHi = u32KeyRange(st.secs[3].keys, snapshot.V3ASEntry, int(lay.Sections[3].KeyCount))
 	cacheShards := opt.CacheShards
 	if cacheShards <= 0 {
 		cacheShards = 16
@@ -205,6 +220,7 @@ func open(src mapping, size int64, opt Options) (*Store, error) {
 	st.cIP = reg.Counter("query.lookup.ip")
 	st.cAS = reg.Counter("query.lookup.as")
 	st.cMiss = reg.Counter("query.lookup.miss")
+	st.cMissGuard = reg.Counter("query.lookup.miss_guarded")
 	st.cCacheHit = reg.Counter("query.cache.hit", obs.Volatile)
 	st.cCacheMiss = reg.Counter("query.cache.miss", obs.Volatile)
 	st.cCacheEvict = reg.Counter("query.cache.evict", obs.Volatile)
@@ -213,6 +229,29 @@ func open(src mapping, size int64, opt Options) (*Store, error) {
 	reg.Gauge("query.store.scans").Set(int64(lay.ScanCount))
 	reg.Gauge("query.store.observations").Set(int64(lay.ObsCount))
 	return st, nil
+}
+
+// fpKeyRange returns the first and last 32-byte key of a sorted section with
+// entrySize-byte entries, or the always-miss sentinel (lo = ff…ff, hi = 0) for
+// an empty section: any probe is below lo, and the one equal to lo exceeds hi.
+func fpKeyRange(keys []byte, entrySize, n int) (lo, hi x509lite.Fingerprint) {
+	if n == 0 {
+		for i := range lo {
+			lo[i] = 0xff
+		}
+		return lo, hi
+	}
+	copy(lo[:], keys[:32])
+	copy(hi[:], keys[(n-1)*entrySize:])
+	return lo, hi
+}
+
+// u32KeyRange is fpKeyRange for sections keyed by a little-endian uint32.
+func u32KeyRange(keys []byte, entrySize, n int) (lo, hi uint32) {
+	if n == 0 {
+		return math.MaxUint32, 0
+	}
+	return binary.LittleEndian.Uint32(keys), binary.LittleEndian.Uint32(keys[(n-1)*entrySize:])
 }
 
 // Close releases the mapping (or file). Certificates returned earlier stay
@@ -263,6 +302,11 @@ func (s *Store) fingerprintAt(ref uint32) x509lite.Fingerprint {
 // the (cached) decompressed shard. The boolean is false when the
 // fingerprint is not in the corpus.
 func (s *Store) ByFingerprint(fp x509lite.Fingerprint) (*x509lite.Certificate, bool, error) {
+	if bytes.Compare(fp[:], s.fpLo[:]) < 0 || bytes.Compare(fp[:], s.fpHi[:]) > 0 {
+		s.cMissGuard.Inc()
+		s.cMiss.Inc()
+		return nil, false, nil
+	}
 	keys := s.secs[0].keys
 	n := int(s.lay.CertCount)
 	k := sort.Search(n, func(i int) bool {
@@ -298,6 +342,11 @@ func (s *Store) ByFingerprint(fp x509lite.Fingerprint) (*x509lite.Certificate, b
 // key, ascending in index order — the paper's key-sharing groups, served in
 // one binary search.
 func (s *Store) BySPKI(spki x509lite.Fingerprint) ([]x509lite.Fingerprint, bool, error) {
+	if bytes.Compare(spki[:], s.spkiLo[:]) < 0 || bytes.Compare(spki[:], s.spkiHi[:]) > 0 {
+		s.cMissGuard.Inc()
+		s.cMiss.Inc()
+		return nil, false, nil
+	}
 	sec := s.secs[1]
 	n := int(s.lay.Sections[1].KeyCount)
 	k := sort.Search(n, func(i int) bool {
@@ -333,6 +382,11 @@ func (s *Store) ByIP(ip netsim.IP) ([]Sighting, bool, error) {
 	sec := s.secs[2]
 	n := int(s.lay.Sections[2].KeyCount)
 	want := uint32(ip)
+	if want < s.ipLo || want > s.ipHi {
+		s.cMissGuard.Inc()
+		s.cMiss.Inc()
+		return nil, false, nil
+	}
 	k := sort.Search(n, func(i int) bool {
 		return binary.LittleEndian.Uint32(sec.keys[i*snapshot.V3IPEntry:]) >= want
 	})
@@ -370,6 +424,11 @@ func (s *Store) ByAS(asn int) ([]x509lite.Fingerprint, bool, error) {
 	sec := s.secs[3]
 	n := int(s.lay.Sections[3].KeyCount)
 	want := uint32(asn)
+	if want < s.asLo || want > s.asHi {
+		s.cMissGuard.Inc()
+		s.cMiss.Inc()
+		return nil, false, nil
+	}
 	k := sort.Search(n, func(i int) bool {
 		return binary.LittleEndian.Uint32(sec.keys[i*snapshot.V3ASEntry:]) >= want
 	})

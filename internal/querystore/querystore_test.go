@@ -376,3 +376,71 @@ func TestStoreConcurrent(t *testing.T) {
 		}
 	}
 }
+
+// TestNegativeLookupGuard: probes outside the persisted key ranges miss via
+// the range guard — counted on query.lookup.miss_guarded — and a store whose
+// AS section is empty guards every ByAS.
+func TestNegativeLookupGuard(t *testing.T) {
+	c := testCorpus(t, 40, 3, 10)
+	path := writeV3File(t, c, snapshot.Options{ASOf: testASOf})
+	reg := obs.NewRegistry()
+	st, err := Open(path, Options{Obs: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	guarded := reg.Counter("query.lookup.miss_guarded")
+	misses := reg.Counter("query.lookup.miss")
+	var zeroFP, maxFP x509lite.Fingerprint
+	for i := range maxFP {
+		maxFP[i] = 0xff
+	}
+	for _, fp := range []x509lite.Fingerprint{zeroFP, maxFP} {
+		if _, ok, err := st.ByFingerprint(fp); err != nil || ok {
+			t.Fatalf("ByFingerprint(%s): ok=%v err=%v", fp, ok, err)
+		}
+		if _, ok, err := st.BySPKI(fp); err != nil || ok {
+			t.Fatalf("BySPKI(%s): ok=%v err=%v", fp, ok, err)
+		}
+	}
+	// testCorpus IPs live in 10.0.0.0/8 and testASOf maps them near 64512.
+	for _, ip := range []netsim.IP{0, netsim.IP(0xffffffff)} {
+		if _, ok, err := st.ByIP(ip); err != nil || ok {
+			t.Fatalf("ByIP(%d): ok=%v err=%v", ip, ok, err)
+		}
+	}
+	for _, asn := range []int{1, 1 << 31} {
+		if _, ok, err := st.ByAS(asn); err != nil || ok {
+			t.Fatalf("ByAS(%d): ok=%v err=%v", asn, ok, err)
+		}
+	}
+	if g := guarded.Value(); g != 8 {
+		t.Fatalf("query.lookup.miss_guarded = %d, want 8", g)
+	}
+	if m := misses.Value(); m != 8 {
+		t.Fatalf("query.lookup.miss = %d, want 8", m)
+	}
+
+	// Hits are unaffected by the guard.
+	rec := c.Cert(0)
+	if _, ok, err := st.ByFingerprint(rec.Cert.Fingerprint()); err != nil || !ok {
+		t.Fatalf("hit after guard: ok=%v err=%v", ok, err)
+	}
+	if g := guarded.Value(); g != 8 {
+		t.Fatalf("hit bumped miss_guarded to %d", g)
+	}
+
+	// A snapshot written without a network view guards every AS probe via the
+	// empty-section sentinel.
+	noAS, err := Open(writeV3File(t, c, snapshot.Options{}), Options{Obs: obs.NewRegistry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer noAS.Close()
+	for _, asn := range []int{0, 64512, 1 << 31} {
+		if _, ok, err := noAS.ByAS(asn); err != nil || ok {
+			t.Fatalf("empty-AS ByAS(%d): ok=%v err=%v", asn, ok, err)
+		}
+	}
+}

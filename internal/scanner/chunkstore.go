@@ -1,0 +1,254 @@
+package scanner
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"os"
+)
+
+// chunkRecord is one chunk's scan results: per scan, the certificates first
+// seen by this chunk at that scan and the chunk-local observations.
+type chunkRecord struct {
+	certs [][]NewCert
+	obs   [][]ObsRec
+	bytes int64
+}
+
+func newChunkRecord(nScans int) *chunkRecord {
+	return &chunkRecord{certs: make([][]NewCert, nScans), obs: make([][]ObsRec, nScans)}
+}
+
+func (r *chunkRecord) addCert(scan int, c NewCert) {
+	r.certs[scan] = append(r.certs[scan], c)
+	r.bytes += int64(len(c.DER)) + 72
+}
+
+func (r *chunkRecord) addObs(scan int, o ObsRec) {
+	r.obs[scan] = append(r.obs[scan], o)
+	r.bytes += 8
+}
+
+// spilledChunk is a chunk record on disk: one temp file holding a section
+// per scan, each independently SHA-256 checksummed at write time. The
+// section table stays in the process, so the only trust placed in the file
+// is that its bytes did not rot between write and replay — exactly what the
+// digest check catches.
+type spilledChunk struct {
+	f        *os.File
+	path     string
+	sections []chunkSection
+}
+
+type chunkSection struct {
+	off, len int64
+	sum      [32]byte
+	certs    int
+	obs      int
+}
+
+// ChunkStore accumulates chunk records in order, spilling whole chunks to
+// dir once live records exceed memBudget bytes. Replay access is by
+// (chunk, scan) section, the order the snapshot replay consumes them in.
+type ChunkStore struct {
+	nScans    int
+	memBudget int64
+	dir       string
+
+	live      []*chunkRecord  // by chunk index; nil once spilled
+	spilled   []*spilledChunk // by chunk index; nil while live
+	liveBytes int64
+	spills    int
+	spiltIn   int64 // total bytes written to spill files
+
+	// OnSpill, when non-nil, observes each chunk spill (chunk index, bytes
+	// written); core hangs its mem.* gauges and core.spill spans here.
+	OnSpill func(chunk int, bytes int64)
+}
+
+// NewChunkStore returns an empty store for a campaign of nScans scans.
+// memBudget <= 0 means 256 MiB; dir "" means the OS temp dir.
+func NewChunkStore(nScans int, memBudget int64, dir string) *ChunkStore {
+	if memBudget <= 0 {
+		memBudget = 256 << 20
+	}
+	return &ChunkStore{nScans: nScans, memBudget: memBudget, dir: dir}
+}
+
+// Add appends the next chunk's record, spilling the oldest live chunks
+// while the live set exceeds the budget. Spilling policy never affects
+// replay output — only which medium a section is read back from.
+func (cs *ChunkStore) Add(rec *chunkRecord) error {
+	cs.live = append(cs.live, rec)
+	cs.spilled = append(cs.spilled, nil)
+	cs.liveBytes += rec.bytes
+	for k := 0; cs.liveBytes > cs.memBudget && k < len(cs.live); k++ {
+		if cs.live[k] == nil {
+			continue
+		}
+		if err := cs.spillChunk(k); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// NumChunks returns how many chunk records the store holds.
+func (cs *ChunkStore) NumChunks() int { return len(cs.live) }
+
+// LiveChunks returns how many chunk records are resident (not spilled).
+func (cs *ChunkStore) LiveChunks() int {
+	n := 0
+	for _, r := range cs.live {
+		if r != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// Spills returns how many chunks have been spilled to disk.
+func (cs *ChunkStore) Spills() int { return cs.spills }
+
+// SpilledBytes returns the total bytes written to spill files.
+func (cs *ChunkStore) SpilledBytes() int64 { return cs.spiltIn }
+
+// spillChunk writes chunk k's record to a temp file and drops it from the
+// live set.
+func (cs *ChunkStore) spillChunk(k int) error {
+	rec := cs.live[k]
+	f, err := os.CreateTemp(cs.dir, "scan-chunk-*.spill")
+	if err != nil {
+		return fmt.Errorf("scanner: create chunk spill: %w", err)
+	}
+	sp := &spilledChunk{f: f, path: f.Name(), sections: make([]chunkSection, cs.nScans)}
+	var off int64
+	var buf []byte
+	for s := 0; s < cs.nScans; s++ {
+		buf = encodeSection(buf[:0], rec.certs[s], rec.obs[s])
+		if _, err := f.WriteAt(buf, off); err != nil {
+			sp.remove()
+			return fmt.Errorf("scanner: write chunk spill: %w", err)
+		}
+		sp.sections[s] = chunkSection{
+			off: off, len: int64(len(buf)),
+			sum:   sha256.Sum256(buf),
+			certs: len(rec.certs[s]), obs: len(rec.obs[s]),
+		}
+		off += int64(len(buf))
+	}
+	cs.spilled[k] = sp
+	cs.live[k] = nil
+	cs.liveBytes -= rec.bytes
+	cs.spills++
+	cs.spiltIn += off
+	if cs.OnSpill != nil {
+		cs.OnSpill(k, off)
+	}
+	return nil
+}
+
+// Section returns chunk k's record for scan s: the certificates the chunk
+// first saw at that scan, and its observations. Spilled sections are read
+// back with their write-time digest verified; the returned slices are owned
+// by the caller for spilled chunks and shared with the store for live ones.
+func (cs *ChunkStore) Section(k, s int) ([]NewCert, []ObsRec, error) {
+	if rec := cs.live[k]; rec != nil {
+		return rec.certs[s], rec.obs[s], nil
+	}
+	sp := cs.spilled[k]
+	sec := sp.sections[s]
+	buf := make([]byte, sec.len)
+	if _, err := sp.f.ReadAt(buf, sec.off); err != nil {
+		return nil, nil, fmt.Errorf("scanner: read chunk %d scan %d spill: %w", k, s, err)
+	}
+	if sha256.Sum256(buf) != sec.sum {
+		return nil, nil, fmt.Errorf("scanner: chunk %d scan %d spill digest mismatch (corrupt spill)", k, s)
+	}
+	return decodeSection(buf, sec.certs, sec.obs, k, s)
+}
+
+// Close removes every spill file. Safe to call more than once.
+func (cs *ChunkStore) Close() error {
+	var first error
+	for _, sp := range cs.spilled {
+		if sp == nil {
+			continue
+		}
+		if err := sp.remove(); err != nil && first == nil {
+			first = err
+		}
+	}
+	cs.spilled = nil
+	cs.live = nil
+	return first
+}
+
+func (sp *spilledChunk) remove() error {
+	if sp.f == nil {
+		return nil
+	}
+	err := sp.f.Close()
+	sp.f = nil
+	if rmErr := os.Remove(sp.path); err == nil {
+		err = rmErr
+	}
+	return err
+}
+
+// encodeSection lays out one (chunk, scan) section: per cert fp, SPKI,
+// uvarint DER length and DER bytes; then fixed-width (local, ip) pairs.
+// Counts live in the in-memory section table, not the file.
+func encodeSection(out []byte, certs []NewCert, obs []ObsRec) []byte {
+	for _, c := range certs {
+		out = append(out, c.FP[:]...)
+		out = append(out, c.SPKI[:]...)
+		out = binary.AppendUvarint(out, uint64(len(c.DER)))
+		out = append(out, c.DER...)
+	}
+	for _, o := range obs {
+		out = binary.LittleEndian.AppendUint32(out, o.Local)
+		out = binary.LittleEndian.AppendUint32(out, o.IP)
+	}
+	return out
+}
+
+func decodeSection(buf []byte, nCerts, nObs, k, s int) ([]NewCert, []ObsRec, error) {
+	corrupt := func() error {
+		return fmt.Errorf("scanner: chunk %d scan %d spill section malformed", k, s)
+	}
+	var certs []NewCert
+	if nCerts > 0 {
+		certs = make([]NewCert, 0, nCerts)
+	}
+	for i := 0; i < nCerts; i++ {
+		var c NewCert
+		if len(buf) < 64 {
+			return nil, nil, corrupt()
+		}
+		copy(c.FP[:], buf)
+		copy(c.SPKI[:], buf[32:])
+		buf = buf[64:]
+		dlen, n := binary.Uvarint(buf)
+		if n <= 0 || uint64(len(buf)-n) < dlen {
+			return nil, nil, corrupt()
+		}
+		c.DER = buf[n : n+int(dlen)]
+		buf = buf[n+int(dlen):]
+		certs = append(certs, c)
+	}
+	if len(buf) != nObs*8 {
+		return nil, nil, corrupt()
+	}
+	var obs []ObsRec
+	if nObs > 0 {
+		obs = make([]ObsRec, 0, nObs)
+	}
+	for i := 0; i < nObs; i++ {
+		obs = append(obs, ObsRec{
+			Local: binary.LittleEndian.Uint32(buf[i*8:]),
+			IP:    binary.LittleEndian.Uint32(buf[i*8+4:]),
+		})
+	}
+	return certs, obs, nil
+}

@@ -1,0 +1,181 @@
+package scanner
+
+import (
+	"os"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// fakeChunk builds a synthetic chunk record: per scan, a few new certs and
+// observations with recognisable bytes.
+func fakeChunk(nScans, seed int) *chunkRecord {
+	rec := newChunkRecord(nScans)
+	for s := 0; s < nScans; s++ {
+		for j := 0; j < 2+s; j++ {
+			var c NewCert
+			c.FP[0], c.FP[1] = byte(seed), byte(s*16+j)
+			c.SPKI[0] = byte(seed ^ 0x5a)
+			c.DER = []byte{byte(seed), byte(s), byte(j), 0xde, 0xad}
+			rec.addCert(s, c)
+		}
+		for j := 0; j < 5; j++ {
+			rec.addObs(s, ObsRec{Local: uint32(j), IP: uint32(seed<<16 | s<<8 | j)})
+		}
+	}
+	return rec
+}
+
+// fillStore adds n fake chunks and returns the expected sections.
+func fillStore(t *testing.T, cs *ChunkStore, n, nScans int) []*chunkRecord {
+	t.Helper()
+	recs := make([]*chunkRecord, n)
+	for k := 0; k < n; k++ {
+		recs[k] = fakeChunk(nScans, k+1)
+		// Keep an unspilled copy for comparison: Add may spill the original.
+		if err := cs.Add(fakeChunk(nScans, k+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return recs
+}
+
+// TestChunkStoreSpillRoundTrip forces every chunk to disk and reads all
+// sections back identical to the live ones.
+func TestChunkStoreSpillRoundTrip(t *testing.T) {
+	const nChunks, nScans = 4, 3
+	cs := NewChunkStore(nScans, 1, t.TempDir()) // 1-byte budget: spill everything
+	defer cs.Close()
+	want := fillStore(t, cs, nChunks, nScans)
+	if cs.Spills() != nChunks {
+		t.Fatalf("spilled %d of %d chunks under a 1-byte budget", cs.Spills(), nChunks)
+	}
+	if cs.LiveChunks() != 0 {
+		t.Fatalf("%d chunks still live", cs.LiveChunks())
+	}
+	if cs.SpilledBytes() == 0 {
+		t.Fatal("SpilledBytes() == 0 after spilling")
+	}
+	for k := 0; k < nChunks; k++ {
+		for s := 0; s < nScans; s++ {
+			certs, obs, err := cs.Section(k, s)
+			if err != nil {
+				t.Fatalf("Section(%d,%d): %v", k, s, err)
+			}
+			if !reflect.DeepEqual(certs, want[k].certs[s]) && !(len(certs) == 0 && len(want[k].certs[s]) == 0) {
+				t.Fatalf("Section(%d,%d) certs differ", k, s)
+			}
+			if !reflect.DeepEqual(obs, want[k].obs[s]) && !(len(obs) == 0 && len(want[k].obs[s]) == 0) {
+				t.Fatalf("Section(%d,%d) obs differ", k, s)
+			}
+		}
+	}
+}
+
+// TestChunkStoreBudgetKeepsRecentLive checks the spill policy: with a budget
+// that fits roughly one chunk, older chunks spill and the newest stays live.
+func TestChunkStoreBudgetKeepsRecentLive(t *testing.T) {
+	rec := fakeChunk(2, 1)
+	cs := NewChunkStore(2, rec.bytes+1, t.TempDir())
+	defer cs.Close()
+	spilled := 0
+	cs.OnSpill = func(chunk int, n int64) {
+		spilled++
+		if n <= 0 {
+			t.Fatalf("OnSpill reported %d bytes", n)
+		}
+	}
+	fillStore(t, cs, 3, 2)
+	if cs.LiveChunks() != 1 {
+		t.Fatalf("LiveChunks = %d, want 1", cs.LiveChunks())
+	}
+	if spilled != 2 || cs.Spills() != 2 {
+		t.Fatalf("spilled %d chunks (callback %d), want 2", cs.Spills(), spilled)
+	}
+	// The live chunk must be the newest.
+	if cs.live[2] == nil {
+		t.Fatal("newest chunk was spilled; policy must evict oldest first")
+	}
+}
+
+// TestChunkStoreDetectsCorruption flips one payload byte in a spilled chunk
+// and demands an explicit digest error from Section, not silent bad data.
+func TestChunkStoreDetectsCorruption(t *testing.T) {
+	cs := NewChunkStore(2, 1, t.TempDir())
+	defer cs.Close()
+	fillStore(t, cs, 1, 2)
+	sp := cs.spilled[0]
+	if sp == nil {
+		t.Fatal("chunk not spilled")
+	}
+	// Flip a byte inside section 1's range.
+	sec := sp.sections[1]
+	buf := []byte{0xff}
+	if _, err := sp.f.WriteAt(buf, sec.off+sec.len/2); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := cs.Section(0, 1); err == nil || !strings.Contains(err.Error(), "digest mismatch") {
+		t.Fatalf("corrupt section error = %v, want digest mismatch", err)
+	}
+	// Untouched sections still read.
+	if _, _, err := cs.Section(0, 0); err != nil {
+		t.Fatalf("clean section after sibling corruption: %v", err)
+	}
+}
+
+// TestChunkStoreDetectsTruncation chops the spill file short and demands a
+// read error for the section past the cut.
+func TestChunkStoreDetectsTruncation(t *testing.T) {
+	cs := NewChunkStore(2, 1, t.TempDir())
+	defer cs.Close()
+	fillStore(t, cs, 1, 2)
+	sp := cs.spilled[0]
+	sec := sp.sections[1]
+	if err := os.Truncate(sp.path, sec.off+sec.len/2); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := cs.Section(0, 1); err == nil {
+		t.Fatal("truncated section read succeeded")
+	}
+}
+
+// TestDecodeSectionRejectsMalformed drives decodeSection with structurally
+// broken payloads: short cert headers, overlong DER claims, trailing bytes.
+func TestDecodeSectionRejectsMalformed(t *testing.T) {
+	var good NewCert
+	good.FP[0], good.SPKI[0] = 1, 2
+	good.DER = []byte{1, 2, 3}
+	enc := encodeSection(nil, []NewCert{good}, []ObsRec{{Local: 0, IP: 7}})
+
+	cases := map[string][]byte{
+		"short header":   enc[:40],
+		"truncated der":  enc[:66],
+		"trailing bytes": append(append([]byte(nil), enc...), 0),
+	}
+	for name, buf := range cases {
+		if _, _, err := decodeSection(buf, 1, 1, 0, 0); err == nil {
+			t.Fatalf("%s: decode succeeded", name)
+		}
+	}
+	certs, obs, err := decodeSection(enc, 1, 1, 0, 0)
+	if err != nil || len(certs) != 1 || len(obs) != 1 {
+		t.Fatalf("clean decode: certs=%d obs=%d err=%v", len(certs), len(obs), err)
+	}
+}
+
+// TestChunkStoreCloseRemovesFiles verifies no spill files survive Close.
+func TestChunkStoreCloseRemovesFiles(t *testing.T) {
+	dir := t.TempDir()
+	cs := NewChunkStore(1, 1, dir)
+	fillStore(t, cs, 2, 1)
+	if err := cs.Close(); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Fatalf("%d spill files left after Close", len(entries))
+	}
+}

@@ -1,0 +1,149 @@
+package scanner
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"securepki/internal/devicesim"
+	"securepki/internal/stats"
+	"securepki/internal/x509lite"
+)
+
+// Streaming scan execution: instead of materialising every host and sweeping
+// the whole population per scan (Run), StreamRun draws fixed-size host
+// chunks from a devicesim.Generator and advances each chunk through the
+// entire scan schedule before the next chunk exists. Host state is purely
+// per-host, so chunk-major order visits exactly the state sequence the
+// scan-major sweep does; the two serial dependencies that are NOT per-host
+// are carried explicitly:
+//
+//   - every (scan, host) RNG is seeded from the GLOBAL host index, so worker
+//     and chunk boundaries cannot shift a host's draw sequence;
+//   - each scan's packet-loss RNG is consumed serially in global host order,
+//     so one RNG per scan lives across all chunks and chunk k's draws for a
+//     scan extend chunk k-1's.
+//
+// Certificates intern chunk-locally (a fingerprint map per chunk, never a
+// global one), and each chunk records, per scan, the certificates first seen
+// in that chunk at that scan plus the (local cert, IP) observations. The
+// ChunkStore holds those records, spilling whole chunks to checksummed temp
+// files past a memory budget; replaying the records scan-major —
+// scan 0 across chunks 0..K, then scan 1, … — reconstructs the exact global
+// first-seen intern order of the in-memory path, which is what makes the
+// streaming snapshot byte-identical to the resident one.
+
+// NewCert is one certificate first observed by a chunk at a given scan.
+type NewCert struct {
+	FP   x509lite.Fingerprint
+	SPKI x509lite.Fingerprint
+	DER  []byte
+}
+
+// ObsRec is one sighting: a chunk-local certificate index plus the
+// advertising IP (netsim.IP, stored raw).
+type ObsRec struct {
+	Local uint32
+	IP    uint32
+}
+
+// StreamRun executes the full schedule over the generator's population,
+// chunkSize hosts at a time (<= 0 means 8192), recording per-(chunk, scan)
+// sections into store. The campaign must have been compiled over
+// gen.World(). Ground truth is not captured on the streaming path.
+func (c *Campaign) StreamRun(gen *devicesim.Generator, chunkSize int, store *ChunkStore) error {
+	if chunkSize <= 0 {
+		chunkSize = 8192
+	}
+	if store.nScans != len(c.schedule) {
+		return fmt.Errorf("scanner: chunk store sized for %d scans, campaign has %d", store.nScans, len(c.schedule))
+	}
+	workers := c.cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	// One loss RNG per scan, consumed across every chunk in host order.
+	lossRNGs := make([]*stats.RNG, len(c.schedule))
+	for i := range lossRNGs {
+		lossRNGs[i] = stats.NewRNG(c.cfg.Seed ^ 0xabcd ^ uint64(i))
+	}
+
+	base := 0
+	for {
+		hosts := gen.Next(chunkSize)
+		if hosts == nil {
+			break
+		}
+		rec := c.sweepChunk(hosts, base, workers, lossRNGs)
+		if err := store.Add(rec); err != nil {
+			return err
+		}
+		base += len(hosts)
+	}
+	return nil
+}
+
+// sweepChunk advances one chunk of hosts through every scheduled scan. The
+// host sweep fans out across workers per scan; assembly (blacklist, loss,
+// chunk-local interning) is serial in host order, exactly like Run's.
+func (c *Campaign) sweepChunk(hosts []devicesim.Host, base, workers int, lossRNGs []*stats.RNG) *chunkRecord {
+	rec := newChunkRecord(len(c.schedule))
+	local := make(map[x509lite.Fingerprint]uint32)
+	results := make([][]devicesim.Appearance, len(hosts))
+	for scanIdx, plan := range c.schedule {
+		start := plan.at
+		end := start.Add(c.cfg.ScanWindow)
+
+		var wg sync.WaitGroup
+		per := (len(hosts) + workers - 1) / workers
+		for w := 0; w < workers; w++ {
+			lo := w * per
+			hi := lo + per
+			if hi > len(hosts) {
+				hi = len(hosts)
+			}
+			if lo >= hi {
+				continue
+			}
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				for h := lo; h < hi; h++ {
+					global := base + h
+					seed := c.cfg.Seed ^ (uint64(scanIdx+1) << 32) ^ uint64(global)*0x9e3779b97f4a7c15
+					hostRNG := stats.NewRNG(seed)
+					results[h] = hosts[h].Appearances(start, end, hostRNG)
+				}
+			}(lo, hi)
+		}
+		wg.Wait()
+
+		lossRNG := lossRNGs[scanIdx]
+		for h := range results {
+			for _, app := range results[h] {
+				prefix, routed := c.world.Internet.PrefixOf(app.IP)
+				if !routed {
+					continue
+				}
+				if c.blacklist[plan.op][prefix] {
+					continue
+				}
+				if lossRNG.Bool(c.cfg.MissProb) {
+					continue
+				}
+				for _, cert := range app.Chain {
+					fp := cert.Fingerprint()
+					id, ok := local[fp]
+					if !ok {
+						id = uint32(len(local))
+						local[fp] = id
+						rec.addCert(scanIdx, NewCert{FP: fp, SPKI: cert.PublicKeyFingerprint(), DER: cert.Raw})
+					}
+					rec.addObs(scanIdx, ObsRec{Local: id, IP: uint32(app.IP)})
+				}
+			}
+			results[h] = nil
+		}
+	}
+	return rec
+}

@@ -1,0 +1,107 @@
+package scanstore
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"securepki/internal/extsort"
+	"securepki/internal/netsim"
+)
+
+// ExtIndexConfig sizes the external-merge index build.
+type ExtIndexConfig struct {
+	// Workers pins the precompute fan-out (<= 0 means GOMAXPROCS).
+	Workers int
+	// MemBudget caps the sighting sorter's buffer in encoded bytes before it
+	// spills a sorted run (<= 0 means extsort.DefaultMemBudget).
+	MemBudget int64
+	// Dir hosts the run shards ("" means the OS temp dir).
+	Dir string
+	// OnSpill, when non-nil, observes each spilled run (records, bytes).
+	OnSpill func(records int, bytes int64)
+	// FanIn, when non-nil, receives the merge fan-in just before the merge.
+	FanIn func(n int)
+}
+
+// sightRec is one observation routed through the external sorter. Less
+// orders by certificate only; the sorter's end-to-end stability then keeps
+// each certificate's sightings in the scan-major insertion order, which is
+// exactly the order BuildIndexWorkers produces.
+type sightRec struct {
+	cert uint32
+	scan uint32
+	ip   uint32
+}
+
+// BuildIndexExt builds the same Index as BuildIndexWorkers through an
+// external-merge sort: observations stream into a budgeted sorter in
+// scan-major order, sorted runs spill to checksummed temp shards, and the
+// k-way merge fills the per-certificate sighting lists without ever holding
+// per-worker shard copies of the corpus. The result is identical to the
+// in-memory build — the equivalence test pins it — at a resident cost of
+// one sorter buffer plus the final sighting slices.
+func (c *Corpus) BuildIndexExt(cfg ExtIndexConfig) (*Index, error) {
+	sorter, err := extsort.NewSorter(extsort.Config[sightRec]{
+		Size: 12,
+		Encode: func(dst []byte, r sightRec) {
+			binary.LittleEndian.PutUint32(dst, r.cert)
+			binary.LittleEndian.PutUint32(dst[4:], r.scan)
+			binary.LittleEndian.PutUint32(dst[8:], r.ip)
+		},
+		Decode: func(src []byte) sightRec {
+			return sightRec{
+				cert: binary.LittleEndian.Uint32(src),
+				scan: binary.LittleEndian.Uint32(src[4:]),
+				ip:   binary.LittleEndian.Uint32(src[8:]),
+			}
+		},
+		Less:      func(a, b sightRec) bool { return a.cert < b.cert },
+		MemBudget: cfg.MemBudget,
+		Dir:       cfg.Dir,
+		OnSpill:   cfg.OnSpill,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer sorter.Close()
+
+	for _, scan := range c.scans {
+		for _, obs := range scan.Obs {
+			if err := sorter.Add(sightRec{cert: uint32(obs.Cert), scan: uint32(scan.ID), ip: uint32(obs.IP)}); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if cfg.FanIn != nil {
+		cfg.FanIn(sorter.FanIn())
+	}
+
+	idx := &Index{corpus: c, sightings: make([][]Sighting, len(c.certs))}
+	// The merge streams cert-major; each certificate's sightings arrive
+	// contiguously, so one growing slice per cert is filled exactly once.
+	var cur int64 = -1
+	var list []Sighting
+	flush := func() {
+		if cur >= 0 {
+			idx.sightings[cur] = list
+			list = nil
+		}
+	}
+	err = sorter.Merge(func(r sightRec) error {
+		if int(r.cert) >= len(c.certs) {
+			return fmt.Errorf("scanstore: sighting references cert %d of %d", r.cert, len(c.certs))
+		}
+		if int64(r.cert) != cur {
+			flush()
+			cur = int64(r.cert)
+		}
+		list = append(list, Sighting{Scan: ScanID(r.scan), IP: netsim.IP(r.ip)})
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	flush()
+	idx.precompute(cfg.Workers)
+	return idx, nil
+}

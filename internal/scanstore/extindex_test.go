@@ -1,0 +1,83 @@
+package scanstore
+
+import (
+	"reflect"
+	"testing"
+)
+
+// indexEqual fails unless every accessor of the two indexes agrees on every
+// certificate.
+func indexEqual(t *testing.T, c *Corpus, want, got *Index, label string) {
+	t.Helper()
+	for id := 0; id < c.NumCerts(); id++ {
+		cid := CertID(id)
+		if !reflect.DeepEqual(want.Sightings(cid), got.Sightings(cid)) {
+			t.Fatalf("%s cert %d: sightings differ\nwant %v\ngot  %v", label, id, want.Sightings(cid), got.Sightings(cid))
+		}
+		if !reflect.DeepEqual(want.ScansSeen(cid), got.ScansSeen(cid)) {
+			t.Fatalf("%s cert %d: ScansSeen differ", label, id)
+		}
+		for _, scan := range want.ScansSeen(cid) {
+			if !reflect.DeepEqual(want.IPsInScan(cid, scan), got.IPsInScan(cid, scan)) {
+				t.Fatalf("%s cert %d scan %d: IPsInScan differ", label, id, scan)
+			}
+		}
+		if want.AvgIPsPerScan(cid) != got.AvgIPsPerScan(cid) {
+			t.Fatalf("%s cert %d: AvgIPsPerScan differ", label, id)
+		}
+		if want.MaxIPsInAnyScan(cid) != got.MaxIPsInAnyScan(cid) {
+			t.Fatalf("%s cert %d: MaxIPsInAnyScan differ", label, id)
+		}
+	}
+}
+
+// TestBuildIndexExtEquivalence demands the external-merge index agree with
+// the in-memory build on every accessor, with and without spilled runs.
+func TestBuildIndexExtEquivalence(t *testing.T) {
+	c := buildSyntheticCorpus(t)
+	want := c.BuildIndexWorkers(1)
+	for _, budget := range []int64{0, 1 << 30, 256, 12} {
+		spills := 0
+		got, err := c.BuildIndexExt(ExtIndexConfig{
+			MemBudget: budget,
+			Dir:       t.TempDir(),
+			OnSpill:   func(records int, bytes int64) { spills++ },
+		})
+		if err != nil {
+			t.Fatalf("budget=%d: %v", budget, err)
+		}
+		if budget > 0 && budget <= 256 && spills == 0 {
+			t.Fatalf("budget=%d: expected spilled runs, got none", budget)
+		}
+		indexEqual(t, c, want, got, "ext")
+	}
+}
+
+// TestBuildIndexExtEmpty pins the empty corpus: no certs, no scans.
+func TestBuildIndexExtEmpty(t *testing.T) {
+	c := NewCorpus()
+	idx, err := c.BuildIndexExt(ExtIndexConfig{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx == nil {
+		t.Fatal("nil index for empty corpus")
+	}
+}
+
+// TestBuildIndexExtFanIn checks the fan-in observer fires with a plausible
+// value once runs have spilled.
+func TestBuildIndexExtFanIn(t *testing.T) {
+	c := buildSyntheticCorpus(t)
+	fanIn := -1
+	if _, err := c.BuildIndexExt(ExtIndexConfig{
+		MemBudget: 128,
+		Dir:       t.TempDir(),
+		FanIn:     func(n int) { fanIn = n },
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if fanIn < 2 {
+		t.Fatalf("fan-in %d with a 128-byte budget; expected several runs", fanIn)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"testing"
 
+	"securepki/internal/obs"
 	"securepki/internal/scanstore"
 )
 
@@ -62,6 +63,13 @@ func reportCorpusRates(b *testing.B) {
 	}
 	b.ReportMetric(float64(b.N)*benchCerts/secs, "certs/sec")
 	b.ReportMetric(float64(b.N)*benchScans*benchObsPer/secs, "obs/sec")
+	// Peak RSS rides along next to the throughput rates so BENCH_snapshot.json
+	// tracks the memory envelope release over release. getrusage's high-water
+	// is process-lifetime monotone, so the number reflects the heaviest
+	// benchmark run so far in this process, not this sub-benchmark alone.
+	if rss, ok := obs.PeakRSS(); ok {
+		b.ReportMetric(float64(rss), "peak-rss-B")
+	}
 }
 
 func BenchmarkSnapshotWrite(b *testing.B) {
