@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet lint race bench bench-all fuzz-seeds bench-smoke chaos-smoke obs-smoke query-smoke lint-corpus-smoke mem-smoke check ci
+.PHONY: all build test vet lint race bench bench-all fuzz-seeds bench-smoke chaos-smoke mutate-smoke obs-smoke query-smoke lint-corpus-smoke mem-smoke check ci
 
 all: build test
 
@@ -27,10 +27,12 @@ race:
 
 check: vet lint race
 
-# Replays the snapshot fuzz seed corpus as plain tests (without -fuzz no
-# fuzzing time is spent, so it is fast enough for every CI run).
+# Replays the fuzz seed corpora as plain tests (without -fuzz no fuzzing
+# time is spent, so it is fast enough for every CI run). The x509lite seeds
+# are regenerated deterministically from the certmutate operator battery, so
+# this target also proves every mutation class still seeds.
 fuzz-seeds:
-	$(GO) test -run=Fuzz ./internal/snapshot
+	$(GO) test -run=Fuzz ./internal/snapshot ./internal/x509lite
 
 # One iteration of each snapshot benchmark — catches benchmarks that no
 # longer compile or crash without burning CI minutes on timing.
@@ -43,6 +45,15 @@ bench-smoke:
 # semantics").
 chaos-smoke:
 	$(GO) test -race -run 'TestChaosMatrixSnapshotIdentical/workers=4$$' -v ./cmd/certscan
+
+# Mutation smoke: a certscan sweep of a 30%-frankencert population under the
+# same 30% fault policy must converge and snapshot byte-identically at
+# workers 1 and 16, and the mutant differential harness must report zero
+# unexplained x509lite↔crypto/x509 disagreements (see DESIGN.md "Mutation
+# model & determinism").
+mutate-smoke:
+	$(GO) test -race -run 'TestMutatedChaosSweep$$' -v ./cmd/certscan
+	$(GO) test -race -run 'TestDifferentialOverMutants$$' -v ./internal/x509lite/difftest
 
 # Query smoke: build a small v3 snapshot, serve it with the certquery
 # handler stack on a random port, prove all four lookup endpoints answer,
@@ -85,6 +96,7 @@ ci: build vet lint
 	$(MAKE) fuzz-seeds
 	$(MAKE) bench-smoke
 	$(MAKE) chaos-smoke
+	$(MAKE) mutate-smoke
 	$(MAKE) obs-smoke
 	$(MAKE) query-smoke
 	$(MAKE) lint-corpus-smoke

@@ -62,6 +62,8 @@ func main() {
 		memBudget  = flag.Int64("mem-budget", 0, "with -chunk: bound the chunk store's and encoder's memory in bytes; overflow spills to disk (0 = 256 MiB)")
 		spillDir   = flag.String("spill-dir", "", "with -chunk: directory for spill files (\"\" = OS temp dir)")
 		metricsOut = flag.String("metrics-out", "", "write the run's metrics as a versioned JSON document")
+		mutateFrac = flag.Float64("mutate-frac", 0, "apply frankencert-style mutations to this fraction of devices (0 = none, 1 = all); deterministic per device")
+		mutateSeed = flag.Uint64("mutate-seed", 0, "mutation schedule seed (0 = derive from the world seed)")
 	)
 	flag.StringVar(out, "o", "corpus.spki", "shorthand for -out")
 	flag.Parse()
@@ -95,6 +97,12 @@ func main() {
 	if *rapid7 > 0 {
 		cfg.Scan.Rapid7Scans = *rapid7
 	}
+	if *mutateFrac < 0 || *mutateFrac > 1 {
+		fmt.Fprintf(os.Stderr, "scangen: -mutate-frac %v outside [0, 1]\n", *mutateFrac)
+		os.Exit(2)
+	}
+	cfg.World.MutateFrac = *mutateFrac
+	cfg.World.MutateSeed = *mutateSeed
 
 	reg := obs.NewRegistry()
 	parallel.SetObserver(obs.NewParallelCollector(reg))

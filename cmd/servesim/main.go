@@ -9,7 +9,12 @@
 //
 //	servesim [-n 25] [-seed 1] [-addr 127.0.0.1:0] [-targets targets.txt]
 //	         [-chaos 0.3 -chaos-seed 99 -chaos-burst 2]
+//	         [-mutate-frac 0.3 -mutate-seed 7]
 //	         [-metrics-out metrics.json] [-debug-addr :6060]
+//
+// With -mutate-frac > 0 that fraction of devices serves frankencert-style
+// mutants (internal/certmutate): live rotation still applies, and which
+// devices mutate is a pure function of (-mutate-seed, device index).
 //
 // -metrics-out writes the run's metric registry on exit; -debug-addr serves
 // expvar (/debug/vars, live registry as the "obs" var) and pprof
@@ -55,6 +60,8 @@ func main() {
 		chaosBurst = flag.Int("chaos-burst", 2, "max consecutive faulted connections per device (-1 = uncapped)")
 		metricsOut = flag.String("metrics-out", "", "write the run's metrics as a versioned JSON document on exit")
 		debugAddr  = flag.String("debug-addr", "", "serve expvar (/debug/vars) and pprof (/debug/pprof/) on this address while serving")
+		mutateFrac = flag.Float64("mutate-frac", 0, "serve frankencert-style mutants from this fraction of devices (0 = none, 1 = all)")
+		mutateSeed = flag.Uint64("mutate-seed", 0, "mutation schedule seed (0 = derive from -seed)")
 	)
 	flag.Parse()
 
@@ -71,6 +78,8 @@ func main() {
 	cfg.Seed = *seed
 	cfg.NumDevices = *n * 4 // draw extra so profile variety survives the cut
 	cfg.NumSites = 8
+	cfg.MutateFrac = *mutateFrac
+	cfg.MutateSeed = *mutateSeed
 	world, err := devicesim.BuildWorld(cfg)
 	if err != nil {
 		fatal(err)

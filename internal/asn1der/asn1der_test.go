@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"errors"
 	"math/big"
+	"strings"
 	"testing"
 	"testing/quick"
 	"time"
@@ -353,6 +354,38 @@ func TestIndefiniteLengthRejected(t *testing.T) {
 	der := []byte{0x30, 0x80, 0x00, 0x00}
 	if _, err := NewDecoder(der).Sequence(); err == nil {
 		t.Error("indefinite length accepted")
+	}
+}
+
+func TestNonMinimalLengthRejected(t *testing.T) {
+	// Found by the certmutate len_nonminimal operator through the x509lite ↔
+	// crypto/x509 differential harness: the decoder rejected 0x81-with-short
+	// length but accepted multi-byte long forms padded with zero octets, which
+	// crypto/x509's cryptobyte reader refuses. DER demands the shortest form.
+	cases := []struct {
+		name string
+		der  []byte
+	}{
+		{"long form for short length", []byte{0x04, 0x81, 0x03, 0xaa, 0xbb, 0xcc}},
+		{"two-byte form with leading zero", []byte{0x04, 0x82, 0x00, 0x03, 0xaa, 0xbb, 0xcc}},
+		{"three-byte form with leading zero", []byte{0x04, 0x83, 0x00, 0x00, 0x90, 0xaa}},
+	}
+	for _, tc := range cases {
+		if _, err := NewDecoder(tc.der).OctetString(); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		} else if !strings.Contains(err.Error(), "non-minimal length") {
+			t.Errorf("%s: wrong error: %v", tc.name, err)
+		}
+	}
+	// The minimal forms right at each boundary must still decode.
+	ok := [][]byte{
+		append([]byte{0x04, 0x81, 0x80}, make([]byte, 0x80)...),
+		append([]byte{0x04, 0x82, 0x01, 0x00}, make([]byte, 0x100)...),
+	}
+	for i, der := range ok {
+		if _, err := NewDecoder(der).OctetString(); err != nil {
+			t.Errorf("minimal case %d rejected: %v", i, err)
+		}
 	}
 }
 

@@ -117,7 +117,11 @@ func (d *Decoder) readLength() (int, error) {
 		n = n<<8 | int(d.data[d.pos])
 		d.pos++
 	}
-	if n < 0x80 && numBytes == 1 {
+	// DER requires the shortest possible length encoding: long form only for
+	// lengths ≥ 0x80, and no superfluous leading length octets (0x82 0x00 0x03
+	// must be 0x03). The second check also catches the first for numBytes == 1,
+	// but both are spelled out to match the spec's two rules.
+	if n < 0x80 || n>>(8*(numBytes-1)) == 0 {
 		return 0, d.syntaxErr("non-minimal length encoding")
 	}
 	return n, nil

@@ -1,0 +1,40 @@
+// Package certmutate is a seeded, deterministic frankencert-style
+// certificate mutator: a registry of versioned mutation operators that
+// rewrite real DER certificates into the malformed shapes the paper's corpus
+// is full of — absurd versions and serials, inverted validity windows,
+// donor-cert field swaps, duplicated and truncated extensions, oversized
+// OIDs, pathological name lengths, non-minimal ASN.1 integers.
+//
+// The mutator exists to grow the devicesim population past
+// valid-by-construction: ParsEval and DRLGENCERT both showed that parser
+// disagreement on mutated real-world certificates is where the security bugs
+// live, and the repo's differential, lint and chaos harnesses all consume
+// this package's output (see DESIGN.md "Mutation model & determinism").
+//
+// # Determinism contract
+//
+// Every mutation is a pure function of (mutator seed, global host index,
+// operator): whether a host mutates, which operator it draws and every random
+// byte the operator consumes derive from stats.NewRNG seeded by those values
+// alone. No call order, chunk size or worker count can change the outcome, so
+// a mutated population is bit-identical under the streaming Generator.Next(n)
+// contract at any batching — the same guarantee the rest of the pipeline
+// already makes.
+//
+// # Operator classes
+//
+// Operators split into two classes with different downstream contracts:
+//
+//   - Population operators produce certificates x509lite still parses. Only
+//     these are eligible for population injection (devicesim's MutateFrac),
+//     because the scanner, the lint stage and the snapshot loader all re-parse
+//     served DER and treat a parse failure as a pipeline bug.
+//   - Hostile operators produce DER that both x509lite and strict parsers must
+//     cleanly reject (truncation, trailing garbage, non-minimal encodings).
+//     They exist for the differential harness and the fuzz seed corpora, never
+//     for the served population.
+//
+// The package depends only on asn1der, stats and x509lite; repolint pins it
+// below cmd/* and bans it from wire, snapshot and core, so mutation stays a
+// population-generation concern and can never leak into the measurement path.
+package certmutate

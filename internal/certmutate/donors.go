@@ -1,0 +1,82 @@
+package certmutate
+
+import (
+	"crypto/ed25519"
+	"encoding/binary"
+	"fmt"
+	"math/big"
+	"time"
+
+	"securepki/internal/stats"
+	"securepki/internal/x509lite"
+)
+
+// Donors is the deterministic pool of well-formed certificates the
+// field-swap operators splice material from (frankencert's defining move:
+// recombining parts of real certificates). The pool is a pure function of
+// its seed; every donor carries a distinct key, subject and validity so a
+// swap always changes the target's bytes.
+type Donors struct {
+	certs []*x509lite.Certificate
+	parts []*certParts
+}
+
+// numDonors is fixed: operators index donors with rng.Intn(numDonors), so
+// growing the pool is a version-bump event for every swap operator.
+const numDonors = 4
+
+// newDonors builds the pool from seed.
+func newDonors(seed uint64) (*Donors, error) {
+	rng := stats.NewRNG(seed ^ 0x646f6e6f72730a01) // "donors" salt
+	d := &Donors{
+		certs: make([]*x509lite.Certificate, 0, numDonors),
+		parts: make([]*certParts, 0, numDonors),
+	}
+	for i := 0; i < numDonors; i++ {
+		kseed := make([]byte, ed25519.SeedSize)
+		binary.LittleEndian.PutUint64(kseed, rng.Uint64())
+		binary.LittleEndian.PutUint64(kseed[8:], rng.Uint64())
+		priv := ed25519.NewKeyFromSeed(kseed)
+		pub := priv.Public().(ed25519.PublicKey)
+		name := x509lite.Name{
+			Organization: "Frankencert Donors",
+			// CA-styled on purpose: swapping a donor subject in must trip
+			// certlint's basicconstraints_missing_ca name rule.
+			CommonName: fmt.Sprintf("Frankencert Donor %d Root CA", i),
+		}
+		notBefore := time.Date(2010, 1, 1, 0, 0, 0, 0, time.UTC).AddDate(0, 0, rng.Intn(1000))
+		der, err := x509lite.CreateCertificate(&x509lite.Template{
+			Version:      3,
+			SerialNumber: new(big.Int).SetUint64(rng.Uint64() >> 1),
+			Subject:      name,
+			Issuer:       name,
+			NotBefore:    notBefore,
+			NotAfter:     notBefore.AddDate(10, 0, 0),
+			DNSNames:     []string{fmt.Sprintf("donor-%d.frankencert.example", i)},
+		}, pub, priv)
+		if err != nil {
+			return nil, fmt.Errorf("certmutate: building donor %d: %w", i, err)
+		}
+		cert, err := x509lite.Parse(der)
+		if err != nil {
+			return nil, fmt.Errorf("certmutate: parsing donor %d: %w", i, err)
+		}
+		parts, err := splitCert(der)
+		if err != nil {
+			return nil, fmt.Errorf("certmutate: splitting donor %d: %w", i, err)
+		}
+		d.certs = append(d.certs, cert)
+		d.parts = append(d.parts, parts)
+	}
+	return d, nil
+}
+
+// pick draws one donor; the draw consumes exactly one rng value so operator
+// encodings stay stable as long as numDonors does.
+func (d *Donors) pick(rng *stats.RNG) *certParts {
+	return d.parts[rng.Intn(numDonors)]
+}
+
+// Certs exposes the parsed donor certificates (fuzz and matrix harnesses use
+// them as additional mutation bases).
+func (d *Donors) Certs() []*x509lite.Certificate { return d.certs }

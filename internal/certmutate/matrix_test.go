@@ -1,0 +1,171 @@
+package certmutate_test
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"securepki/internal/certlint"
+	"securepki/internal/certmutate"
+	"securepki/internal/x509lite"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite testdata goldens")
+
+// matrixSeed pins the matrix corpus; changing it is a golden-regeneration
+// event, exactly like bumping an operator version.
+const matrixSeed = 20160814 // the paper's IMC 2016 submission era
+
+// batteryMutants applies every population operator to the reference battery
+// cert and returns (operator, mutant) pairs in registry order.
+func batteryMutants(t *testing.T, m *certmutate.Mutator) []struct {
+	Op   certmutate.Operator
+	Cert *x509lite.Certificate
+} {
+	t.Helper()
+	base, err := certmutate.BatteryCert()
+	if err != nil {
+		t.Fatalf("BatteryCert: %v", err)
+	}
+	var out []struct {
+		Op   certmutate.Operator
+		Cert *x509lite.Certificate
+	}
+	for _, op := range certmutate.PopulationOperators() {
+		der, err := m.Apply(op, 0, base.Raw)
+		if err != nil {
+			t.Fatalf("%s: %v", op.ID, err)
+		}
+		c, err := x509lite.Parse(der)
+		if err != nil {
+			t.Fatalf("%s: mutant unparseable: %v", op.ID, err)
+		}
+		out = append(out, struct {
+			Op   certmutate.Operator
+			Cert *x509lite.Certificate
+		}{op, c})
+	}
+	return out
+}
+
+// findingIDs lints one certificate context-free and returns the tripped
+// linter IDs (sorted by the registry's own contract).
+func findingIDs(c *x509lite.Certificate) []string {
+	var ids []string
+	for _, f := range certlint.Default().RunCert(c, nil, nil) {
+		ids = append(ids, f.LintID)
+	}
+	return ids
+}
+
+// TestMutationLintMatrix is the bidirectional mutation↔finding contract: each
+// operator must trip every linter it declares and none it excludes, and the
+// battery base itself must stay minimal so the expectations mean something.
+func TestMutationLintMatrix(t *testing.T) {
+	base, err := certmutate.BatteryCert()
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseIDs := findingIDs(base)
+	if want := []string{"revocation_missing", "self_signed"}; !reflect.DeepEqual(baseIDs, want) {
+		t.Fatalf("battery base findings drifted: got %v want %v\n(every operator expectation is relative to this baseline)", baseIDs, want)
+	}
+
+	m, err := certmutate.New(matrixSeed, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mut := range batteryMutants(t, m) {
+		got := map[string]bool{}
+		for _, id := range findingIDs(mut.Cert) {
+			got[id] = true
+		}
+		for _, id := range mut.Op.MustTrip {
+			if !got[id] {
+				t.Errorf("%s: must trip %s but did not (tripped %v)", mut.Op.ID, id, keys(got))
+			}
+		}
+		for _, id := range mut.Op.MustNotTrip {
+			if got[id] {
+				t.Errorf("%s: must NOT trip %s but did (tripped %v)", mut.Op.ID, id, keys(got))
+			}
+		}
+		// Expectations must reference real linters, or the matrix rots.
+		for _, id := range append(append([]string{}, mut.Op.MustTrip...), mut.Op.MustNotTrip...) {
+			if _, ok := certlint.Default().Lookup(id); !ok {
+				t.Errorf("%s: expectation names unknown linter %s", mut.Op.ID, id)
+			}
+		}
+	}
+}
+
+// TestMutationLintMatrixGolden pins the full operator → findings table as a
+// byte-stable golden, and proves it is identical at workers 1, 4 and 16.
+func TestMutationLintMatrixGolden(t *testing.T) {
+	m, err := certmutate.New(matrixSeed, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	muts := batteryMutants(t, m)
+
+	certs := make([]*x509lite.Certificate, len(muts))
+	for i, mu := range muts {
+		certs[i] = mu.Cert
+	}
+	var renders []string
+	for _, workers := range []int{1, 4, 16} {
+		results := certlint.Default().RunCorpus(certs, nil, certlint.Options{Workers: workers})
+		byFP := map[x509lite.Fingerprint][]string{}
+		for _, cf := range results {
+			var ids []string
+			for _, f := range cf.Findings {
+				ids = append(ids, f.LintID)
+			}
+			byFP[cf.Fingerprint] = ids
+		}
+		var b strings.Builder
+		b.WriteString("# operator (class, version): tripped linter IDs on the battery mutant\n")
+		b.WriteString(fmt.Sprintf("# mutator seed %d; regenerate with: go test ./internal/certmutate -run MatrixGolden -update\n", matrixSeed))
+		for _, mu := range muts {
+			fmt.Fprintf(&b, "%s (%s, v%d): %s\n",
+				mu.Op.ID, mu.Op.Class, mu.Op.Version,
+				strings.Join(byFP[mu.Cert.Fingerprint()], " "))
+		}
+		renders = append(renders, b.String())
+	}
+	for i := 1; i < len(renders); i++ {
+		if renders[i] != renders[0] {
+			t.Fatalf("matrix differs between worker counts 1 and %d", []int{1, 4, 16}[i])
+		}
+	}
+
+	golden := filepath.Join("testdata", "lint_matrix.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(renders[0]), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to generate)", err)
+	}
+	if !bytes.Equal(want, []byte(renders[0])) {
+		t.Errorf("matrix drifted from golden:\n--- got ---\n%s--- want ---\n%s", renders[0], want)
+	}
+}
+
+func keys(m map[string]bool) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

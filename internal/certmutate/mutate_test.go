@@ -1,0 +1,295 @@
+package certmutate
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"securepki/internal/x509lite"
+)
+
+func batteryDER(t *testing.T) []byte {
+	t.Helper()
+	c, err := BatteryCert()
+	if err != nil {
+		t.Fatalf("BatteryCert: %v", err)
+	}
+	return c.Raw
+}
+
+func TestSplitAssembleRoundTrip(t *testing.T) {
+	bases := [][]byte{batteryDER(t)}
+	m, err := New(7, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range m.Donors().Certs() {
+		bases = append(bases, d.Raw)
+	}
+	for i, der := range bases {
+		p, err := splitCert(der)
+		if err != nil {
+			t.Fatalf("base %d: split: %v", i, err)
+		}
+		if got := p.assemble(); !bytes.Equal(got, der) {
+			t.Errorf("base %d: assemble not byte-identical (%d vs %d bytes)", i, len(got), len(der))
+		}
+	}
+}
+
+func TestRegistryInvariants(t *testing.T) {
+	ops := Registry()
+	if len(ops) < 15 {
+		t.Fatalf("registry has %d operators, the issue demands ~15+", len(ops))
+	}
+	seen := map[string]bool{}
+	for i, op := range ops {
+		if op.ID == "" || op.ID != strings.ToLower(op.ID) {
+			t.Errorf("operator %d: bad ID %q", i, op.ID)
+		}
+		if seen[op.ID] {
+			t.Errorf("duplicate operator ID %s", op.ID)
+		}
+		seen[op.ID] = true
+		if i > 0 && ops[i-1].ID >= op.ID {
+			t.Errorf("registry not ID-sorted at %s", op.ID)
+		}
+		if op.Version < 1 {
+			t.Errorf("operator %s: version %d < 1", op.ID, op.Version)
+		}
+		if op.Describe == "" {
+			t.Errorf("operator %s: no description", op.ID)
+		}
+		if op.mutate == nil {
+			t.Errorf("operator %s: no mutate func", op.ID)
+		}
+		if op.Class == Hostile && (len(op.MustTrip) > 0 || len(op.MustNotTrip) > 0) {
+			t.Errorf("operator %s: hostile outputs are never linted, lint expectations are dead", op.ID)
+		}
+	}
+	if len(PopulationOperators())+len(HostileOperators()) != len(ops) {
+		t.Error("class filters do not partition the registry")
+	}
+}
+
+// TestPopulationOperatorsKeepParseability is the population-class contract:
+// every operator output over the battery and donor bases must re-parse.
+func TestPopulationOperatorsKeepParseability(t *testing.T) {
+	m, err := New(42, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bases := [][]byte{batteryDER(t)}
+	for _, d := range m.Donors().Certs() {
+		bases = append(bases, d.Raw)
+	}
+	for _, op := range PopulationOperators() {
+		for bi, base := range bases {
+			out, err := m.Apply(op, bi, base)
+			if err != nil {
+				// Swap operators may no-op when a donor base draws itself as
+				// the donor; the population path handles this via fallback.
+				if bi > 0 && strings.Contains(err.Error(), "unchanged") {
+					continue
+				}
+				t.Errorf("%s on base %d: %v", op.ID, bi, err)
+				continue
+			}
+			if bytes.Equal(out, base) {
+				t.Errorf("%s on base %d: returned unchanged bytes without error", op.ID, bi)
+				continue
+			}
+			if _, perr := x509lite.Parse(out); perr != nil {
+				t.Errorf("%s on base %d: mutant unparseable: %v", op.ID, bi, perr)
+			}
+		}
+	}
+}
+
+// TestHostileOperatorsBreakParseability is the hostile-class contract:
+// x509lite must cleanly reject every output (no panic, non-nil error).
+func TestHostileOperatorsBreakParseability(t *testing.T) {
+	m, err := New(42, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := batteryDER(t)
+	for _, op := range HostileOperators() {
+		out, err := m.Apply(op, 0, base)
+		if err != nil {
+			t.Errorf("%s: %v", op.ID, err)
+			continue
+		}
+		if _, perr := x509lite.Parse(out); perr == nil {
+			t.Errorf("%s: x509lite accepted hostile output", op.ID)
+		}
+	}
+}
+
+// TestMutateDERDeterminism pins the pure-function contract: two mutators with
+// the same seed agree byte-for-byte on every host, regardless of the order
+// hosts are visited in.
+func TestMutateDERDeterminism(t *testing.T) {
+	base := batteryDER(t)
+	a, _ := New(1234, 0.5)
+	b, _ := New(1234, 0.5)
+	const hosts = 200
+	got := make([][]byte, hosts)
+	mutated := 0
+	for host := 0; host < hosts; host++ {
+		out, _, ok, err := a.MutateDER(host, base)
+		if err != nil {
+			t.Fatalf("host %d: %v", host, err)
+		}
+		if ok {
+			mutated++
+		}
+		got[host] = out
+	}
+	// Reverse visiting order on the second mutator.
+	for host := hosts - 1; host >= 0; host-- {
+		out, _, _, err := b.MutateDER(host, base)
+		if err != nil {
+			t.Fatalf("host %d (replay): %v", host, err)
+		}
+		if !bytes.Equal(out, got[host]) {
+			t.Fatalf("host %d: bytes differ across identically-seeded mutators", host)
+		}
+	}
+	if mutated < hosts/4 || mutated > 3*hosts/4 {
+		t.Errorf("frac 0.5 mutated %d/%d hosts, schedule looks broken", mutated, hosts)
+	}
+	// A different seed must not reproduce the same schedule.
+	c, _ := New(1235, 0.5)
+	same := 0
+	for host := 0; host < hosts; host++ {
+		out, _, _, err := c.MutateDER(host, base)
+		if err != nil {
+			t.Fatalf("host %d (seed 1235): %v", host, err)
+		}
+		if bytes.Equal(out, got[host]) {
+			same++
+		}
+	}
+	if same == hosts {
+		t.Error("changing the seed changed nothing")
+	}
+}
+
+// TestOperatorCoverageAtFullFraction proves the schedule reaches every
+// population operator (frac 1 over enough hosts).
+func TestOperatorCoverageAtFullFraction(t *testing.T) {
+	m, _ := New(99, 1)
+	hit := map[string]int{}
+	for host := 0; host < 600; host++ {
+		op, ok := m.OperatorFor(host)
+		if !ok {
+			t.Fatalf("host %d not mutated at frac 1", host)
+		}
+		hit[op.ID]++
+	}
+	for _, op := range PopulationOperators() {
+		if hit[op.ID] == 0 {
+			t.Errorf("operator %s never drawn in 600 hosts", op.ID)
+		}
+	}
+}
+
+func TestFractionValidation(t *testing.T) {
+	for _, bad := range []float64{-0.1, 1.01} {
+		if _, err := New(1, bad); err == nil {
+			t.Errorf("frac %v accepted", bad)
+		}
+	}
+	m, err := New(1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := m.OperatorFor(3); ok {
+		t.Error("frac 0 still mutates")
+	}
+}
+
+// TestFallbackOnNoChange: clearing an already-empty subject cannot change the
+// cert, so the mutator must substitute the fallback operator rather than fail
+// or silently shrink the malformed fraction.
+func TestFallbackOnNoChange(t *testing.T) {
+	m, _ := New(5, 1)
+	base := batteryDER(t)
+	var cleared []byte
+	var err error
+	for _, op := range PopulationOperators() {
+		if op.ID == "subject_clear" {
+			cleared, err = m.Apply(op, 0, base)
+		}
+	}
+	if err != nil || cleared == nil {
+		t.Fatalf("preparing empty-subject base: %v", err)
+	}
+	// Find a host scheduled for subject_clear and mutate the already-cleared
+	// cert: the result must come from the fallback operator.
+	for host := 0; host < 5000; host++ {
+		op, ok := m.OperatorFor(host)
+		if !ok || op.ID != "subject_clear" {
+			continue
+		}
+		out, used, mutated, err := m.MutateDER(host, cleared)
+		if err != nil {
+			t.Fatalf("host %d: %v", host, err)
+		}
+		if !mutated || used.ID != fallbackOperatorID {
+			t.Fatalf("host %d: fallback not applied (op %s, mutated %v)", host, used.ID, mutated)
+		}
+		if bytes.Equal(out, cleared) {
+			t.Fatal("fallback produced unchanged bytes")
+		}
+		return
+	}
+	t.Fatal("no host drew subject_clear in 5000 tries")
+}
+
+// TestDuplicateSANAccumulates is the regression test for the x509lite fix
+// this operator forced: a certificate carrying the SAN extension twice used to
+// have its second instance silently overwrite the first (the pre-size reset in
+// parseExtensionValue); the lenient parser must accumulate names from both so
+// certlint's san_duplicate can see the duplication.
+func TestDuplicateSANAccumulates(t *testing.T) {
+	m, _ := New(5, 1)
+	base := batteryDER(t)
+	for _, op := range PopulationOperators() {
+		if op.ID != "ext_duplicate" {
+			continue
+		}
+		out, err := m.Apply(op, 0, base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := x509lite.Parse(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := []string{"mutant-base.example", "mutant-base.example"}
+		if len(c.DNSNames) != 2 || c.DNSNames[0] != want[0] || c.DNSNames[1] != want[1] {
+			t.Fatalf("duplicated SAN yielded DNSNames %v, want %v", c.DNSNames, want)
+		}
+		return
+	}
+	t.Fatal("ext_duplicate operator missing")
+}
+
+// TestBatteryCertBaseline pins the battery base itself: well-formed, v3,
+// parseable, stable bytes across calls.
+func TestBatteryCertBaseline(t *testing.T) {
+	a, err := BatteryCert()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := BatteryCert()
+	if !bytes.Equal(a.Raw, b.Raw) {
+		t.Error("battery cert not deterministic")
+	}
+	if a.Version != 3 || len(a.DNSNames) != 1 || !a.SelfSigned() {
+		t.Errorf("battery cert shape drifted: v%d SANs %v selfSigned %v",
+			a.Version, a.DNSNames, a.SelfSigned())
+	}
+}

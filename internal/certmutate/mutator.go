@@ -1,0 +1,174 @@
+package certmutate
+
+import (
+	"crypto/ed25519"
+	"errors"
+	"fmt"
+	"math/big"
+	"time"
+
+	"securepki/internal/stats"
+	"securepki/internal/x509lite"
+)
+
+// Seed-domain salts. The schedule stream decides whether and how a host
+// mutates; each operator then gets its own independent stream so inserting or
+// removing an operator from the registry cannot shift the bytes another
+// operator produces.
+const (
+	saltSchedule uint64 = 0x6672616e6b656e31 // "franken1"
+	saltOperator uint64 = 0x6672616e6b656e32 // "franken2"
+	// hostMix spreads consecutive host indexes across the seed space
+	// (golden-ratio multiplier, same trick SplitMix64 uses internally).
+	hostMix uint64 = 0x9e3779b97f4a7c15
+)
+
+// Mutator applies population-class mutations to a fraction of hosts as a pure
+// function of (seed, host index). It is safe for concurrent use: all state is
+// immutable after New.
+type Mutator struct {
+	seed     uint64
+	frac     float64
+	ops      []Operator // population operators, ID-sorted
+	fallback Operator
+	donors   *Donors
+}
+
+// New builds a Mutator that mutates approximately frac of hosts (0 ≤ frac ≤ 1)
+// using every population-class operator. The donor pool derives from the same
+// seed.
+func New(seed uint64, frac float64) (*Mutator, error) {
+	if frac < 0 || frac > 1 {
+		return nil, fmt.Errorf("certmutate: mutate fraction %v outside [0, 1]", frac)
+	}
+	donors, err := newDonors(seed)
+	if err != nil {
+		return nil, err
+	}
+	m := &Mutator{seed: seed, frac: frac, ops: PopulationOperators(), donors: donors}
+	for _, op := range m.ops {
+		if op.ID == fallbackOperatorID {
+			m.fallback = op
+		}
+	}
+	if m.fallback.ID == "" {
+		return nil, fmt.Errorf("certmutate: fallback operator %q missing from registry", fallbackOperatorID)
+	}
+	return m, nil
+}
+
+// Seed returns the mutator's seed.
+func (m *Mutator) Seed() uint64 { return m.seed }
+
+// Fraction returns the configured malformed fraction.
+func (m *Mutator) Fraction() float64 { return m.frac }
+
+// Donors exposes the donor pool (fuzz and matrix harnesses reuse its certs as
+// mutation bases).
+func (m *Mutator) Donors() *Donors { return m.donors }
+
+// OperatorFor reports whether the host at the given global index mutates, and
+// if so with which operator. The decision consumes exactly two draws from the
+// host's schedule stream, so it is independent of call order and batching.
+func (m *Mutator) OperatorFor(host int) (Operator, bool) {
+	if m.frac <= 0 {
+		return Operator{}, false
+	}
+	r := stats.NewRNG(m.seed ^ saltSchedule ^ uint64(host)*hostMix)
+	if !r.Bool(m.frac) {
+		return Operator{}, false
+	}
+	return m.ops[r.Intn(len(m.ops))], true
+}
+
+// Apply runs op over der with the deterministic random stream derived from
+// (seed, operator ID, host). Harnesses that sweep every operator over a fixed
+// base use it directly; population injection goes through MutateDER.
+func (m *Mutator) Apply(op Operator, host int, der []byte) ([]byte, error) {
+	rng := stats.NewRNG(m.seed ^ saltOperator ^ opSalt(op.ID) ^ uint64(host)*hostMix)
+	out, err := op.mutate(der, m.donors, rng)
+	if err != nil {
+		return nil, fmt.Errorf("certmutate: operator %s: %w", op.ID, err)
+	}
+	return out, nil
+}
+
+// MutateDER applies the host's scheduled mutation to der. It returns the
+// (possibly unchanged) bytes, the operator used and whether a mutation
+// happened. When the drawn operator cannot change this particular certificate
+// (for example clearing an already-empty subject) the fallback operator is
+// substituted deterministically, so the configured fraction holds for any
+// population.
+func (m *Mutator) MutateDER(host int, der []byte) ([]byte, Operator, bool, error) {
+	op, ok := m.OperatorFor(host)
+	if !ok {
+		return der, Operator{}, false, nil
+	}
+	out, err := m.Apply(op, host, der)
+	if errors.Is(err, errNoChange) {
+		op = m.fallback
+		out, err = m.Apply(op, host, der)
+	}
+	if err != nil {
+		return nil, op, false, err
+	}
+	return out, op, true, nil
+}
+
+// Rewrite applies the host's scheduled mutation to a parsed certificate and
+// re-parses the result through x509lite. Population operators guarantee
+// parseability; a failure here is a mutator bug and is surfaced as an error.
+func (m *Mutator) Rewrite(host int, c *x509lite.Certificate) (*x509lite.Certificate, error) {
+	der, op, mutated, err := m.MutateDER(host, c.Raw)
+	if err != nil {
+		return nil, err
+	}
+	if !mutated {
+		return c, nil
+	}
+	out, perr := x509lite.Parse(der)
+	if perr != nil {
+		return nil, fmt.Errorf("certmutate: operator %s produced unparseable DER: %w", op.ID, perr)
+	}
+	return out, nil
+}
+
+// opSalt hashes an operator ID into the seed domain (FNV-1a).
+func opSalt(id string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(id); i++ {
+		h ^= uint64(id[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// BatteryCert builds the reference battery base: a minimal well-formed
+// self-signed leaf whose context-free certlint findings are exactly
+// {revocation_missing, self_signed}. Every operator's MustTrip/MustNotTrip
+// contract is evaluated against mutations of this certificate, so additions to
+// it are version-bump events for the whole registry.
+func BatteryCert() (*x509lite.Certificate, error) {
+	seed := make([]byte, ed25519.SeedSize)
+	copy(seed, "certmutate battery base cert 001")
+	priv := ed25519.NewKeyFromSeed(seed)
+	pub := priv.Public().(ed25519.PublicKey)
+	name := x509lite.Name{
+		Organization: "Mutation Battery",
+		CommonName:   "mutant-base.example",
+	}
+	der, err := x509lite.CreateCertificate(&x509lite.Template{
+		Version:      3,
+		SerialNumber: big.NewInt(4097),
+		Subject:      name,
+		Issuer:       name,
+		NotBefore:    time.Date(2013, 6, 1, 0, 0, 0, 0, time.UTC),
+		NotAfter:     time.Date(2015, 6, 1, 0, 0, 0, 0, time.UTC),
+		DNSNames:     []string{"mutant-base.example"},
+		KeyUsage:     0x80, // digitalSignature
+	}, pub, priv)
+	if err != nil {
+		return nil, fmt.Errorf("certmutate: building battery cert: %w", err)
+	}
+	return x509lite.Parse(der)
+}

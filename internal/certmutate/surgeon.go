@@ -1,0 +1,351 @@
+package certmutate
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/big"
+
+	"securepki/internal/asn1der"
+)
+
+// tagContextExplicit returns the tag byte of a constructed explicit [n].
+func tagContextExplicit(n int) byte {
+	return byte(asn1der.ClassContextSpecific | 0x20 | n)
+}
+
+// certParts is a certificate decomposed into its raw top-level TLV elements,
+// the unit of frankencert surgery: operators splice whole fields (their full
+// tag-length-value bytes) between certificates or replace them with
+// pathological re-encodings, then assemble rebuilds the outer framing with
+// correct lengths. The signature is never re-computed — a mutated TBS no
+// longer verifies, exactly like the frankencerts the technique is named for.
+type certParts struct {
+	version  []byte   // full [0] EXPLICIT TLV; nil when absent (v1)
+	serial   []byte   // INTEGER TLV
+	tbsAlg   []byte   // AlgorithmIdentifier SEQUENCE TLV inside the TBS
+	issuer   []byte   // issuer Name SEQUENCE TLV
+	validity []byte   // Validity SEQUENCE TLV
+	subject  []byte   // subject Name SEQUENCE TLV
+	spki     []byte   // SubjectPublicKeyInfo SEQUENCE TLV
+	rest     [][]byte // trailing TBS elements ([1]/[2] UIDs, [3] extensions) in order
+	sigAlg   []byte   // outer AlgorithmIdentifier TLV
+	sig      []byte   // signatureValue BIT STRING TLV
+}
+
+// splitCert decomposes a DER certificate into its parts. It is positional and
+// deliberately lenient — it validates framing (every TLV well-formed, nothing
+// trailing) but not field semantics, so already-weird certificates (bogus
+// versions, negative serials) still split cleanly and can be mutated further.
+func splitCert(der []byte) (*certParts, error) {
+	top := *asn1der.NewDecoder(der)
+	outer, err := top.SequenceV()
+	if err != nil {
+		return nil, fmt.Errorf("certmutate: certificate: %w", err)
+	}
+	if !top.Empty() {
+		return nil, errors.New("certmutate: trailing bytes after certificate")
+	}
+
+	_, rawTBS, err := outer.ReadElement()
+	if err != nil {
+		return nil, fmt.Errorf("certmutate: tbsCertificate: %w", err)
+	}
+	tbsOuter := *asn1der.NewDecoder(rawTBS)
+	tbs, err := tbsOuter.SequenceV()
+	if err != nil {
+		return nil, fmt.Errorf("certmutate: tbsCertificate: %w", err)
+	}
+
+	p := &certParts{}
+	read := func(field string, dst *[]byte) error {
+		_, el, err := tbs.ReadElement()
+		if err != nil {
+			return fmt.Errorf("certmutate: %s: %w", field, err)
+		}
+		*dst = el
+		return nil
+	}
+	if tbs.PeekContextExplicit(0) {
+		if err := read("version", &p.version); err != nil {
+			return nil, err
+		}
+	}
+	for _, f := range []struct {
+		name string
+		dst  *[]byte
+	}{
+		{"serialNumber", &p.serial},
+		{"signature", &p.tbsAlg},
+		{"issuer", &p.issuer},
+		{"validity", &p.validity},
+		{"subject", &p.subject},
+		{"subjectPublicKeyInfo", &p.spki},
+	} {
+		if err := read(f.name, f.dst); err != nil {
+			return nil, err
+		}
+	}
+	for !tbs.Empty() {
+		_, el, err := tbs.ReadElement()
+		if err != nil {
+			return nil, fmt.Errorf("certmutate: tbs trailer: %w", err)
+		}
+		p.rest = append(p.rest, el)
+	}
+
+	if _, p.sigAlg, err = outer.ReadElement(); err != nil {
+		return nil, fmt.Errorf("certmutate: signatureAlgorithm: %w", err)
+	}
+	if _, p.sig, err = outer.ReadElement(); err != nil {
+		return nil, fmt.Errorf("certmutate: signatureValue: %w", err)
+	}
+	if !outer.Empty() {
+		return nil, errors.New("certmutate: trailing bytes after signature")
+	}
+	return p, nil
+}
+
+// assemble rebuilds the full certificate DER from the parts, recomputing
+// every enclosing length. Unmodified parts round-trip byte-identically.
+func (p *certParts) assemble() []byte {
+	var tbs asn1der.Encoder
+	tbs.Sequence(func(e *asn1der.Encoder) {
+		e.Raw(p.version)
+		e.Raw(p.serial)
+		e.Raw(p.tbsAlg)
+		e.Raw(p.issuer)
+		e.Raw(p.validity)
+		e.Raw(p.subject)
+		e.Raw(p.spki)
+		for _, r := range p.rest {
+			e.Raw(r)
+		}
+	})
+	var cert asn1der.Encoder
+	cert.Sequence(func(e *asn1der.Encoder) {
+		e.Raw(tbs.Bytes())
+		e.Raw(p.sigAlg)
+		e.Raw(p.sig)
+	})
+	return cert.Bytes()
+}
+
+// rewrite splits der, lets edit mutate the parts in place, and reassembles.
+// It errors if the result is byte-identical to the input: an operator that
+// changes nothing would silently shrink the configured malformed fraction.
+func rewrite(der []byte, edit func(*certParts) error) ([]byte, error) {
+	p, err := splitCert(der)
+	if err != nil {
+		return nil, err
+	}
+	if err := edit(p); err != nil {
+		return nil, err
+	}
+	out := p.assemble()
+	if bytes.Equal(out, der) {
+		return nil, errNoChange
+	}
+	return out, nil
+}
+
+// readVersion decodes the version number (as 1-based X.509 version) from the
+// [0] EXPLICIT TLV; absent means v1.
+func (p *certParts) readVersion() int {
+	if p.version == nil {
+		return 1
+	}
+	d := *asn1der.NewDecoder(p.version)
+	vd, err := d.ContextExplicitV(0)
+	if err != nil {
+		return 1
+	}
+	v, err := vd.Int()
+	if err != nil {
+		return 1
+	}
+	return int(v) + 1
+}
+
+// setVersion replaces (or inserts) the [0] EXPLICIT version element with the
+// given 1-based version number.
+func (p *certParts) setVersion(version int) {
+	var e asn1der.Encoder
+	e.ContextExplicit(0, func(e *asn1der.Encoder) {
+		e.Int(int64(version - 1))
+	})
+	p.version = e.Bytes()
+}
+
+// ensureV3 upgrades the certificate to version 3 if it is anything else, so
+// extension-editing operators never manufacture the v1/v2-with-extensions
+// shape (a parser divergence in its own right and not the one under test).
+// It reports whether a change was made.
+func (p *certParts) ensureV3() bool {
+	if p.readVersion() == 3 {
+		return false
+	}
+	p.setVersion(3)
+	return true
+}
+
+// readSerial decodes the serial INTEGER; it tolerates any minimally-encoded
+// value since already-mutated or hand-built inputs may carry weird serials.
+func (p *certParts) readSerial() (*big.Int, error) {
+	d := *asn1der.NewDecoder(p.serial)
+	return d.BigInt()
+}
+
+// setSerial replaces the serial with the minimal encoding of v.
+func (p *certParts) setSerial(v *big.Int) {
+	var e asn1der.Encoder
+	e.BigInt(v)
+	p.serial = e.Bytes()
+}
+
+// validityTimes splits the Validity SEQUENCE into its two raw time TLVs.
+func (p *certParts) validityTimes() (notBefore, notAfter []byte, err error) {
+	d := *asn1der.NewDecoder(p.validity)
+	v, err := d.SequenceV()
+	if err != nil {
+		return nil, nil, fmt.Errorf("certmutate: validity: %w", err)
+	}
+	if _, notBefore, err = v.ReadElement(); err != nil {
+		return nil, nil, fmt.Errorf("certmutate: notBefore: %w", err)
+	}
+	if _, notAfter, err = v.ReadElement(); err != nil {
+		return nil, nil, fmt.Errorf("certmutate: notAfter: %w", err)
+	}
+	if !v.Empty() {
+		return nil, nil, errors.New("certmutate: trailing bytes in validity")
+	}
+	return notBefore, notAfter, nil
+}
+
+// setValidity rebuilds the Validity SEQUENCE from two raw time TLVs.
+func (p *certParts) setValidity(notBefore, notAfter []byte) {
+	var e asn1der.Encoder
+	e.Sequence(func(e *asn1der.Encoder) {
+		e.Raw(notBefore)
+		e.Raw(notAfter)
+	})
+	p.validity = e.Bytes()
+}
+
+// extensionIndex finds the [3] EXPLICIT extensions element in rest, or -1.
+func (p *certParts) extensionIndex() int {
+	for i, el := range p.rest {
+		if len(el) > 0 && el[0] == tagContextExplicit(3) {
+			return i
+		}
+	}
+	return -1
+}
+
+// extensionList decodes the [3] wrapper into the raw TLVs of its individual
+// Extension SEQUENCEs. A nil receiver element (no extensions) yields nil.
+func (p *certParts) extensionList() ([][]byte, error) {
+	i := p.extensionIndex()
+	if i < 0 {
+		return nil, nil
+	}
+	d := *asn1der.NewDecoder(p.rest[i])
+	wrap, err := d.ContextExplicitV(3)
+	if err != nil {
+		return nil, fmt.Errorf("certmutate: extensions: %w", err)
+	}
+	seq, err := wrap.SequenceV()
+	if err != nil {
+		return nil, fmt.Errorf("certmutate: extensions: %w", err)
+	}
+	var list [][]byte
+	for !seq.Empty() {
+		_, el, err := seq.ReadElement()
+		if err != nil {
+			return nil, fmt.Errorf("certmutate: extension: %w", err)
+		}
+		list = append(list, el)
+	}
+	return list, nil
+}
+
+// setExtensionList rebuilds the [3] EXPLICIT wrapper around the given raw
+// Extension TLVs, replacing any existing one (or appending the element if the
+// certificate had none). An empty list removes the wrapper entirely.
+func (p *certParts) setExtensionList(list [][]byte) {
+	i := p.extensionIndex()
+	if len(list) == 0 {
+		if i >= 0 {
+			p.rest = append(p.rest[:i], p.rest[i+1:]...)
+		}
+		return
+	}
+	var e asn1der.Encoder
+	e.ContextExplicit(3, func(e *asn1der.Encoder) {
+		e.Sequence(func(e *asn1der.Encoder) {
+			for _, ext := range list {
+				e.Raw(ext)
+			}
+		})
+	})
+	if i >= 0 {
+		p.rest[i] = e.Bytes()
+	} else {
+		p.rest = append(p.rest, e.Bytes())
+	}
+}
+
+// extensionOID returns the raw OID contents of an Extension TLV, or nil if
+// the element does not decode as one.
+func extensionOID(ext []byte) []byte {
+	d := *asn1der.NewDecoder(ext)
+	seq, err := d.SequenceV()
+	if err != nil {
+		return nil
+	}
+	oid, err := seq.RawOID()
+	if err != nil {
+		return nil
+	}
+	return oid
+}
+
+// encodeExtension builds one Extension TLV from an OID, criticality and the
+// raw DER of the extnValue (which is wrapped in the OCTET STRING here).
+func encodeExtension(oid []int, critical bool, value []byte) []byte {
+	var e asn1der.Encoder
+	e.Sequence(func(e *asn1der.Encoder) {
+		e.OID(oid)
+		if critical {
+			e.Bool(true)
+		}
+		e.OctetString(value)
+	})
+	return e.Bytes()
+}
+
+// encodeCNName builds a Name SEQUENCE holding a single CN attribute.
+func encodeCNName(cn string) []byte {
+	var e asn1der.Encoder
+	e.Sequence(func(e *asn1der.Encoder) {
+		e.Set(func(e *asn1der.Encoder) {
+			e.Sequence(func(e *asn1der.Encoder) {
+				e.OID(oidCommonName)
+				e.UTF8String(cn)
+			})
+		})
+	})
+	return e.Bytes()
+}
+
+// Extension and attribute OIDs the operators splice in. Kept local: x509lite
+// does not export its OID table, and certmutate must stay importable without
+// widening x509lite's API.
+var (
+	oidCommonName  = []int{2, 5, 4, 3}
+	oidExtKeyUsage = []int{2, 5, 29, 15}
+	oidExtSAN      = []int{2, 5, 29, 17}
+	// oidUnknownExt is a private-arc OID no parser in the repo recognises;
+	// the truncated-extension operator hides garbage behind it.
+	oidUnknownExt = []int{1, 3, 6, 1, 4, 1, 99999, 666}
+)

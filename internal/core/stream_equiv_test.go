@@ -47,48 +47,68 @@ func inMemoryArtifacts(t *testing.T, cfg Config) (v2, v3, lint []byte) {
 // swallow the whole corpus (1<<20), across worker counts 1, 4 and 16, the
 // streamed v2 snapshot, v3 snapshot and lint column must be byte-identical
 // to the in-memory pipeline's. A tiny memory budget forces the chunk store
-// and sorters through their spill paths on the same sweep.
+// and sorters through their spill paths on the same sweep. The mutated row
+// runs the same matrix over a 30%-frankencert population (internal/certmutate
+// via devicesim), proving the determinism contract holds for malformed DER
+// through the chunked path too.
 func TestStreamSnapshotMatchesInMemory(t *testing.T) {
-	base := streamEquivConfig()
-	wantV2, wantV3, wantLint := inMemoryArtifacts(t, base)
+	rows := []struct {
+		name   string
+		adjust func(*Config)
+	}{
+		{"clean", func(*Config) {}},
+		{"mutated", func(cfg *Config) {
+			cfg.World.MutateFrac = 0.3
+			cfg.World.MutateSeed = 20160814
+		}},
+	}
+	for _, row := range rows {
+		row := row
+		t.Run(row.name, func(t *testing.T) {
+			base := streamEquivConfig()
+			row.adjust(&base)
+			wantV2, wantV3, wantLint := inMemoryArtifacts(t, base)
 
-	for _, chunk := range []int{1, 64, 1 << 20} {
-		for _, workers := range []int{1, 4, 16} {
-			cfg := streamEquivConfig()
-			cfg.Workers = workers
-			cfg.Scan.Workers = workers
-			cfg.Stream.ChunkSize = chunk
-			cfg.Stream.SpillDir = t.TempDir()
-			if chunk == 64 {
-				cfg.Stream.MemBudget = 1 << 16 // force chunk-store and sorter spills
-			}
+			for _, chunk := range []int{1, 64, 1 << 20} {
+				for _, workers := range []int{1, 4, 16} {
+					cfg := streamEquivConfig()
+					row.adjust(&cfg)
+					cfg.Workers = workers
+					cfg.Scan.Workers = workers
+					cfg.Stream.ChunkSize = chunk
+					cfg.Stream.SpillDir = t.TempDir()
+					if chunk == 64 {
+						cfg.Stream.MemBudget = 1 << 16 // force chunk-store and sorter spills
+					}
 
-			var v2buf, lintBuf bytes.Buffer
-			stats, err := StreamSnapshot(cfg, false, &v2buf, &lintBuf)
-			if err != nil {
-				t.Fatalf("chunk=%d workers=%d v2: %v", chunk, workers, err)
-			}
-			if !bytes.Equal(wantV2, v2buf.Bytes()) {
-				t.Fatalf("chunk=%d workers=%d: streamed v2 differs from in-memory (%d vs %d bytes)",
-					chunk, workers, len(wantV2), len(v2buf.Bytes()))
-			}
-			if !bytes.Equal(wantLint, lintBuf.Bytes()) {
-				t.Fatalf("chunk=%d workers=%d: streamed lint column differs from in-memory", chunk, workers)
-			}
-			if chunk == 64 && cfg.Stream.MemBudget > 0 && stats.Spills == 0 {
-				t.Fatalf("chunk=%d workers=%d: 64 KiB budget spilled nothing", chunk, workers)
-			}
+					var v2buf, lintBuf bytes.Buffer
+					stats, err := StreamSnapshot(cfg, false, &v2buf, &lintBuf)
+					if err != nil {
+						t.Fatalf("chunk=%d workers=%d v2: %v", chunk, workers, err)
+					}
+					if !bytes.Equal(wantV2, v2buf.Bytes()) {
+						t.Fatalf("chunk=%d workers=%d: streamed v2 differs from in-memory (%d vs %d bytes)",
+							chunk, workers, len(wantV2), len(v2buf.Bytes()))
+					}
+					if !bytes.Equal(wantLint, lintBuf.Bytes()) {
+						t.Fatalf("chunk=%d workers=%d: streamed lint column differs from in-memory", chunk, workers)
+					}
+					if chunk == 64 && cfg.Stream.MemBudget > 0 && stats.Spills == 0 {
+						t.Fatalf("chunk=%d workers=%d: 64 KiB budget spilled nothing", chunk, workers)
+					}
 
-			var v3buf bytes.Buffer
-			cfg.Stream.SpillDir = t.TempDir()
-			if _, err := StreamSnapshot(cfg, true, &v3buf, nil); err != nil {
-				t.Fatalf("chunk=%d workers=%d v3: %v", chunk, workers, err)
+					var v3buf bytes.Buffer
+					cfg.Stream.SpillDir = t.TempDir()
+					if _, err := StreamSnapshot(cfg, true, &v3buf, nil); err != nil {
+						t.Fatalf("chunk=%d workers=%d v3: %v", chunk, workers, err)
+					}
+					if !bytes.Equal(wantV3, v3buf.Bytes()) {
+						t.Fatalf("chunk=%d workers=%d: streamed v3 differs from in-memory (%d vs %d bytes)",
+							chunk, workers, len(wantV3), len(v3buf.Bytes()))
+					}
+				}
 			}
-			if !bytes.Equal(wantV3, v3buf.Bytes()) {
-				t.Fatalf("chunk=%d workers=%d: streamed v3 differs from in-memory (%d vs %d bytes)",
-					chunk, workers, len(wantV3), len(v3buf.Bytes()))
-			}
-		}
+		})
 	}
 }
 

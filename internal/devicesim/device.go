@@ -337,6 +337,19 @@ func (d *Device) reissue(at time.Time) {
 	}
 
 	d.cert = mustCreate(tmpl, d.pub, signer)
+
+	// Frankencert injection: mutation is keyed by device ID, so the decision
+	// and the operator survive reissues, and fleet members inherit the
+	// leader's mutated cert through fleetCert like any other.
+	if m := d.world.mutator; m != nil {
+		mutated, err := m.Rewrite(d.ID, d.cert)
+		if err != nil {
+			// Population-class operators guarantee parseability over any
+			// x509lite-built certificate; failing here is a mutator bug.
+			panic(fmt.Sprintf("devicesim: %v", err))
+		}
+		d.cert = mutated
+	}
 }
 
 func (d *Device) subjectName() x509lite.Name {

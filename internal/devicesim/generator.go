@@ -6,6 +6,7 @@ import (
 	"math/big"
 	"time"
 
+	"securepki/internal/certmutate"
 	"securepki/internal/stats"
 	"securepki/internal/x509lite"
 )
@@ -56,6 +57,9 @@ func NewGenerator(cfg Config) (*Generator, error) {
 	}
 	if cfg.Start.IsZero() {
 		return nil, fmt.Errorf("devicesim: config missing Start")
+	}
+	if cfg.MutateFrac < 0 || cfg.MutateFrac > 1 {
+		return nil, fmt.Errorf("devicesim: mutate fraction %v outside [0, 1]", cfg.MutateFrac)
 	}
 	root := stats.NewRNG(cfg.Seed)
 
@@ -128,6 +132,21 @@ func NewGenerator(cfg Config) (*Generator, error) {
 			pub, priv := keyFromRNG(vendorRNG)
 			w.sharedKeys[p.Name] = keyPair{pub: pub, priv: priv}
 		}
+	}
+
+	if cfg.MutateFrac > 0 {
+		// The mutator draws nothing from the root generator: its decisions
+		// are keyed by (MutateSeed, device ID) alone, so a mutated world's
+		// unmutated devices are byte-identical to the MutateFrac=0 world.
+		mseed := cfg.MutateSeed
+		if mseed == 0 {
+			mseed = cfg.Seed ^ 0x6672616e6b636572 // "frankcer"
+		}
+		mut, err := certmutate.New(mseed, cfg.MutateFrac)
+		if err != nil {
+			return nil, err
+		}
+		w.mutator = mut
 	}
 
 	return &Generator{

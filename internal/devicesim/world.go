@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"time"
 
+	"securepki/internal/certmutate"
 	"securepki/internal/netsim"
 	"securepki/internal/stats"
 	"securepki/internal/x509lite"
@@ -33,6 +34,16 @@ type Config struct {
 	// Figure 2.
 	AliveAtStartFraction float64
 	GrowthDays           int
+
+	// MutateFrac applies certmutate's population-class operators to roughly
+	// this fraction of devices (0 disables mutation entirely). Whether and how
+	// a device mutates is a pure function of (MutateSeed, device ID), so the
+	// mutated population is bit-identical at any generator chunk size. Sites
+	// are never mutated — the paper's valid population stays valid.
+	MutateFrac float64
+	// MutateSeed seeds the mutator; 0 derives one from Seed so mutated worlds
+	// stay reproducible without extra flags.
+	MutateSeed uint64
 }
 
 // DefaultConfig returns the standard world sizing used by the experiments:
@@ -70,6 +81,7 @@ type World struct {
 	vendorCAKeys  map[string]ed25519.PrivateKey
 	vendorCerts   map[string]*x509lite.Certificate
 	sharedKeys    map[string]keyPair
+	mutator       *certmutate.Mutator // nil unless Config.MutateFrac > 0
 
 	// Transfers lists the prefix bulk-transfer events wired into the
 	// Internet (§7.3 ground truth).

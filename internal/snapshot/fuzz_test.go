@@ -5,8 +5,38 @@ import (
 	"testing"
 
 	"securepki/internal/certlint"
+	"securepki/internal/devicesim"
+	"securepki/internal/netsim"
 	"securepki/internal/scanstore"
 )
+
+// mutatedCorpus builds a corpus whose certificates come from a devicesim
+// world with frankencert mutation turned most of the way up, so the fuzz
+// seeds cover every population-class mutation (absurd versions, negative and
+// oversized serials, inverted validity, donor swaps, duplicate extensions,
+// pathological name lengths, ...) flowing through the container codec.
+func mutatedCorpus(tb testing.TB) *scanstore.Corpus {
+	tb.Helper()
+	cfg := devicesim.DefaultConfig()
+	cfg.Seed = 11
+	cfg.NumDevices = 60
+	cfg.NumSites = 4
+	cfg.MutateFrac = 0.6
+	world, err := devicesim.BuildWorld(cfg)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	c := scanstore.NewCorpus()
+	obs := make([]scanstore.Observation, 0, len(world.Devices))
+	for i, dev := range world.Devices {
+		id := c.Intern(dev.CurrentCert())
+		obs = append(obs, scanstore.Observation{Cert: id, IP: netsim.IP(0x0a000000 + uint32(i))})
+	}
+	if _, err := c.AddScan(scanstore.UMich, cfg.Start, obs); err != nil {
+		tb.Fatal(err)
+	}
+	return c
+}
 
 // FuzzReadSnapshot throws arbitrary bytes at the loader. The invariants: Read
 // never panics, never allocates unboundedly, and anything it accepts must
@@ -48,6 +78,15 @@ func FuzzReadSnapshot(f *testing.F) {
 		keys[0] ^= 1
 	}))
 	f.Add([]byte("SPKISNP3 but then nonsense"))
+	// Mutated-population seeds: frankencert-style device certs through both
+	// container formats, plus a truncation landing inside the mutant DER.
+	mc := mutatedCorpus(f)
+	mutV2 := encodeV2(f, mc, Options{CertsPerShard: 16, ScansPerShard: 1})
+	mutV3 := encodeV3(f, mc, Options{CertsPerShard: 16, ScansPerShard: 1, ASOf: testASOf})
+	f.Add(mutV2)
+	f.Add(mutV3)
+	f.Add(mutV2[:2*len(mutV2)/3])
+	f.Add(flipByte(mutV3, len(mutV3)/2))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		if len(data) > 1<<20 {

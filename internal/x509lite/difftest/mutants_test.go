@@ -1,0 +1,214 @@
+package difftest
+
+import (
+	"crypto/x509"
+	"testing"
+
+	"securepki/internal/certmutate"
+	"securepki/internal/x509lite"
+)
+
+// outcome is the triaged verdict class for one operator's mutants.
+type outcome string
+
+const (
+	// bothParse: both parsers accept and every compared field agrees
+	// (modulo the operator's documented skips).
+	bothParse outcome = "both-parse"
+	// liteOnly: x509lite parses, crypto/x509 rejects — legal only with a
+	// skip-list justification below.
+	liteOnly outcome = "lite-only"
+	// bothReject: both parsers refuse the bytes.
+	bothReject outcome = "both-reject"
+)
+
+// mutantTriage is the per-operator triage table the issue demands: every
+// operator's expected differential outcome, with a one-line justification for
+// each entry that is not bothParse-with-no-skips. An operator missing from
+// this table fails the sweep — new operators must be triaged before merging.
+var mutantTriage = map[string]struct {
+	want outcome
+	// skipFields names compareExcept guards to bypass for bothParse
+	// operators whose representations legitimately differ.
+	skipFields map[string]bool
+	// why is the skip-list justification; required unless want == bothParse
+	// with no skips.
+	why string
+}{
+	// Population operators that both parsers accept, field-for-field.
+	"serial_negative":       {want: bothParse}, // go.mod says go1.22: x509negativeserial default still permits them
+	"serial_oversized":      {want: bothParse},
+	"validity_inverted":     {want: bothParse},
+	"validity_y9999":        {want: bothParse},
+	"time_generalized":      {want: bothParse},
+	"name_swap_issuer":      {want: bothParse},
+	"name_swap_subject":     {want: bothParse},
+	"spki_swap":             {want: bothParse},
+	"subject_clear":         {want: bothParse},
+	"cn_overlong":           {want: bothParse},
+	"san_empty_dns":         {want: bothParse}, // both parsers surface the zero-length dNSName verbatim
+	"ext_unknown_truncated": {want: bothParse}, // neither parser decodes an unrecognised extension's value
+	"ext_oid_oversized":     {want: bothParse}, // arcs just under 2^24 stay within both parsers' OID limits
+	"signature_truncate":    {want: bothParse}, // neither parser length-checks signatureValue at parse time
+
+	"keyusage_multibyte": {
+		want:       bothParse,
+		skipFields: map[string]bool{"keyUsage": true},
+		why:        "x509lite truncates KeyUsage to the first content byte by design (the paper's analyses read only the CA bits); crypto/x509 honours the second byte's decipherOnly",
+	},
+
+	// Skip-listed divergences: the lenient measurement parser accepts what
+	// the stdlib refuses. Each is deliberate and pinned by a regression test.
+	"version_absurd": {
+		want: liteOnly,
+		why:  "skip-list 1a extended: crypto/x509 rejects versions outside 1..3; x509lite preserves absurd versions for the paper's classifier (certlint version_bogus)",
+	},
+	"ext_duplicate": {
+		want: liteOnly,
+		why:  "crypto/x509 rejects duplicate extension OIDs outright; x509lite accumulates both instances so certlint's san_duplicate can observe the duplication",
+	},
+
+	// Hostile class: framing damage both parsers must refuse.
+	"truncated_tail":    {want: bothReject, why: "outer SEQUENCE length overruns the data"},
+	"trailing_garbage":  {want: bothReject, why: "DER documents must end exactly at the outer TLV"},
+	"serial_nonminimal": {want: bothReject, why: "DER forbids non-minimal INTEGER encodings"},
+	"len_nonminimal": {
+		want: bothReject,
+		why:  "DER forbids non-minimal lengths; x509lite used to accept multi-byte long forms padded with zeros — found by this sweep, fixed in asn1der (TestNonMinimalLengthRejected)",
+	},
+}
+
+// mutantBases returns the certificates the sweep mutates: the reference
+// battery cert plus a deterministic sample of the harvested device corpus,
+// restricted to versions 1 and 3 so the known v2/v4/v13 divergences (skip-list
+// entries 1a/1b, exercised by TestDifferentialAgainstCryptoX509) do not
+// conflate with operator-induced ones.
+func mutantBases(t *testing.T) []*x509lite.Certificate {
+	t.Helper()
+	battery, err := certmutate.BatteryCert()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bases := []*x509lite.Certificate{battery}
+	kept := 0
+	for _, c := range harvest(t) {
+		if c.Version != 1 && c.Version != 3 {
+			continue
+		}
+		if kept%20 == 0 {
+			bases = append(bases, c)
+		}
+		kept++
+	}
+	if len(bases) < 20 {
+		t.Fatalf("only %d mutation bases; harvest too small for a sweep", len(bases))
+	}
+	return bases
+}
+
+// TestDifferentialOverMutants runs every operator over every base and holds
+// the observed (x509lite, crypto/x509) outcome to the triage table. Zero
+// unexplained disagreements is the acceptance bar: an outcome outside the
+// operator's triaged class fails, and so does a triage entry that never
+// fires.
+func TestDifferentialOverMutants(t *testing.T) {
+	m, err := certmutate.New(31337, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := certmutate.Registry()
+	for _, op := range ops {
+		if _, ok := mutantTriage[op.ID]; !ok {
+			t.Errorf("operator %s has no triage entry; add one before registering it", op.ID)
+		}
+	}
+	for id := range mutantTriage {
+		found := false
+		for _, op := range ops {
+			if op.ID == id {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("triage entry %s names no registered operator", id)
+		}
+	}
+
+	bases := mutantBases(t)
+	observed := map[string]int{}
+	noChange := 0
+	for _, op := range ops {
+		triage := mutantTriage[op.ID]
+		for bi, base := range bases {
+			der, err := m.Apply(op, bi, base.Raw)
+			if err != nil {
+				// A handful of (operator, base) pairs legitimately cannot
+				// change the cert (clearing an already-empty subject); the
+				// population path substitutes the fallback operator, the
+				// sweep just moves on.
+				noChange++
+				continue
+			}
+			lite, liteErr := x509lite.Parse(der)
+			std, stdErr := x509.ParseCertificate(der)
+
+			var got outcome
+			switch {
+			case liteErr == nil && stdErr == nil:
+				got = bothParse
+			case liteErr == nil && stdErr != nil:
+				got = liteOnly
+			case liteErr != nil && stdErr != nil:
+				got = bothReject
+			default:
+				// A cert crypto/x509 parses but x509lite rejects is always a
+				// bug: the measurement parser must be the more lenient one.
+				t.Errorf("%s on base %d: x509lite rejected (%v) what crypto/x509 accepted", op.ID, bi, liteErr)
+				continue
+			}
+			if got != triage.want {
+				detail := ""
+				if stdErr != nil {
+					detail = " std: " + stdErr.Error()
+				}
+				if liteErr != nil {
+					detail += " lite: " + liteErr.Error()
+				}
+				t.Errorf("%s on base %d: outcome %s, triaged %s%s", op.ID, bi, got, triage.want, detail)
+				continue
+			}
+			if got == bothParse {
+				compareExcept(t, lite, std, triage.skipFields)
+			}
+			observed[op.ID]++
+		}
+	}
+	// Bidirectional closure: every triage entry must actually fire, and every
+	// outcome class must be represented across the registry.
+	classSeen := map[outcome]bool{}
+	for _, op := range ops {
+		if observed[op.ID] == 0 {
+			t.Errorf("operator %s: triage entry never exercised", op.ID)
+		}
+		classSeen[mutantTriage[op.ID].want] = true
+	}
+	for _, c := range []outcome{bothParse, liteOnly, bothReject} {
+		if !classSeen[c] {
+			t.Errorf("no operator triaged %s; the sweep lost a class", c)
+		}
+	}
+	if total := len(ops) * len(bases); noChange > total/10 {
+		t.Errorf("%d/%d mutations were no-ops; operators are losing coverage", noChange, total)
+	}
+}
+
+// TestSkipListJustifications pins the documentation contract: every entry
+// that is not plain bothParse carries a one-line justification.
+func TestSkipListJustifications(t *testing.T) {
+	for id, tr := range mutantTriage {
+		plain := tr.want == bothParse && len(tr.skipFields) == 0
+		if !plain && tr.why == "" {
+			t.Errorf("%s: %s triage without a justification", id, tr.want)
+		}
+	}
+}

@@ -326,10 +326,14 @@ func parseExtensionValue(cert *Certificate, oid, value []byte) error {
 		if err != nil {
 			return parseErr("subjectAltName", err)
 		}
-		if n := countTagged(&san, byte(asn1der.ClassContextSpecific|2)); n > 0 {
+		// Only pre-size on the first SAN extension: a certificate carrying
+		// the extension twice (strict parsers reject this; we are the lenient
+		// measurement parser) must accumulate names from both, not let the
+		// second silently overwrite the first — linters need the full list.
+		if n := countTagged(&san, byte(asn1der.ClassContextSpecific|2)); n > 0 && cert.DNSNames == nil {
 			cert.DNSNames = make([]string, 0, n)
 		}
-		if n := countTagged(&san, byte(asn1der.ClassContextSpecific|7)); n > 0 {
+		if n := countTagged(&san, byte(asn1der.ClassContextSpecific|7)); n > 0 && cert.IPAddresses == nil {
 			cert.IPAddresses = make([]net.IP, 0, n)
 		}
 		for !san.Empty() {
