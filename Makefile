@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet lint race bench bench-all fuzz-seeds bench-smoke chaos-smoke mutate-smoke obs-smoke query-smoke lint-corpus-smoke mem-smoke check ci
+.PHONY: all build test vet lint race bench bench-all fuzz-seeds bench-smoke chaos-smoke mutate-smoke obs-smoke query-smoke lint-corpus-smoke mem-smoke telemetry-smoke check ci
 
 all: build test
 
@@ -79,6 +79,17 @@ obs-smoke:
 	OBS_SMOKE_OUT=$(CURDIR)/obs-artifacts $(GO) test -race -run 'TestObsSmoke$$' -v -count=1 ./cmd/certscan
 	@echo wrote obs-artifacts/obs_metrics.json and obs-artifacts/obs_trace.jsonl
 
+# Telemetry smoke: a chaos sweep with the live telemetry surface on — debug
+# server, sampler, journal, tracer — scraped mid-run: /metrics must parse
+# under the in-repo Prometheus checker and cover every registered metric,
+# /statusz must answer in HTML and JSON, /samples and /events must validate
+# against their schemas. TELEMETRY_SMOKE_OUT leaves telemetry_events.jsonl
+# behind for CI to upload next to the obs-smoke artifacts (see DESIGN.md
+# "Live telemetry & exposition").
+telemetry-smoke:
+	TELEMETRY_SMOKE_OUT=$(CURDIR)/obs-artifacts $(GO) test -race -run 'TestTelemetrySmoke$$' -v -count=1 ./cmd/certscan
+	@echo wrote obs-artifacts/telemetry_events.jsonl
+
 # Memory-envelope smoke: stream a ~16k-host population (≈50× the chunk-sweep
 # golden) through core.StreamSnapshot on a 4 MiB budget and fail if the heap
 # high-water or process peak RSS leaves its ceiling (see DESIGN.md "Streaming
@@ -98,6 +109,7 @@ ci: build vet lint
 	$(MAKE) chaos-smoke
 	$(MAKE) mutate-smoke
 	$(MAKE) obs-smoke
+	$(MAKE) telemetry-smoke
 	$(MAKE) query-smoke
 	$(MAKE) lint-corpus-smoke
 	$(MAKE) mem-smoke

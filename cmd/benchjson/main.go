@@ -45,12 +45,23 @@ type Benchmark struct {
 }
 
 // Report is the whole document. Obs carries merged -metrics documents
-// keyed by file base name; map keys marshal sorted, so the report stays
+// keyed by file base name; Quantiles summarises every histogram in those
+// documents as p50/p99 estimates (obs.Metric.Quantile), keyed by file then
+// metric name — the SLO view of a BENCH artifact without re-deriving bucket
+// math downstream. Map keys marshal sorted, so the report stays
 // byte-deterministic for a fixed input set.
 type Report struct {
-	Context    map[string]string          `json:"context"`
-	Benchmarks []Benchmark                `json:"benchmarks"`
-	Obs        map[string]json.RawMessage `json:"obs,omitempty"`
+	Context    map[string]string               `json:"context"`
+	Benchmarks []Benchmark                     `json:"benchmarks"`
+	Obs        map[string]json.RawMessage      `json:"obs,omitempty"`
+	Quantiles  map[string]map[string]Quantiles `json:"quantiles,omitempty"`
+}
+
+// Quantiles is one histogram's summary in a BENCH report.
+type Quantiles struct {
+	Count uint64  `json:"count"`
+	P50   float64 `json:"p50"`
+	P99   float64 `json:"p99"`
 }
 
 // mergeMetrics validates each obs metrics document and attaches it to the
@@ -72,7 +83,27 @@ func mergeMetrics(rep *Report, paths []string) error {
 		if rep.Obs == nil {
 			rep.Obs = map[string]json.RawMessage{}
 		}
-		rep.Obs[filepath.Base(path)] = json.RawMessage(compact.Bytes())
+		base := filepath.Base(path)
+		rep.Obs[base] = json.RawMessage(compact.Bytes())
+
+		var snap obs.Snapshot
+		if err := json.Unmarshal(data, &snap); err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		for _, m := range snap.Metrics {
+			p50, ok := m.Quantile(0.50)
+			if !ok {
+				continue // not a histogram
+			}
+			p99, _ := m.Quantile(0.99)
+			if rep.Quantiles == nil {
+				rep.Quantiles = map[string]map[string]Quantiles{}
+			}
+			if rep.Quantiles[base] == nil {
+				rep.Quantiles[base] = map[string]Quantiles{}
+			}
+			rep.Quantiles[base][m.Name] = Quantiles{Count: *m.Count, P50: p50, P99: p99}
+		}
 	}
 	return nil
 }

@@ -67,3 +67,36 @@ func TestMergeMetrics(t *testing.T) {
 		t.Error("missing metrics file merged without error")
 	}
 }
+
+// TestMergeMetricsQuantiles: a histogram in a merged metrics document gets a
+// p50/p99 summary row under "quantiles"; counters and gauges do not. The doc
+// puts 4 observations totalling 20 in a single [0,10] bucket, so linear
+// interpolation gives p50 = 5 and p99 = 9.9 exactly.
+func TestMergeMetricsQuantiles(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "hist_metrics.json")
+	doc := `{"version":1,"metrics":[` +
+		`{"name":"query.http.latency_us","type":"histogram","count":4,"sum":20,"buckets":[{"le":10,"count":4}],"overflow":0},` +
+		`{"name":"wire.attempts","type":"counter","value":9}]}`
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := mergeMetrics(&rep, []string{path}); err != nil {
+		t.Fatal(err)
+	}
+	qs, ok := rep.Quantiles["hist_metrics.json"]
+	if !ok {
+		t.Fatalf("no quantiles for the merged doc: %#v", rep.Quantiles)
+	}
+	got, ok := qs["query.http.latency_us"]
+	if !ok {
+		t.Fatalf("histogram missing from quantiles: %#v", qs)
+	}
+	if got.Count != 4 || got.P50 != 5 || got.P99 != 9.9 {
+		t.Errorf("quantiles = %+v, want count 4, p50 5, p99 9.9", got)
+	}
+	if _, ok := qs["wire.attempts"]; ok {
+		t.Error("counter grew a quantiles row")
+	}
+}

@@ -7,7 +7,8 @@
 //
 //	certquery -corpus corpus.v3 [-lint findings.lc] [-addr 127.0.0.1:0]
 //	          [-cache 16] [-no-mmap] [-verify] [-linger 0]
-//	          [-metrics-out metrics.json] [-debug-addr :6060]
+//	          [-metrics-out metrics.json] [-events-out events.jsonl]
+//	          [-access-log access.jsonl] [-debug-addr :6060] [-sample-interval 1s]
 //
 // Endpoints:
 //
@@ -20,9 +21,13 @@
 //
 // Missing keys answer 404 with a JSON error body; malformed keys answer
 // 400; the only 500s are store-level failures (a corrupt shard surfacing
-// lazily). The bound address is printed to stdout so ":0" callers can
-// discover the port. -metrics-out writes the query.* registry on exit;
-// -debug-addr serves expvar (/debug/vars) and pprof (/debug/pprof/).
+// lazily — also journaled as query.shard_error / query.5xx events). The
+// bound address is printed to stdout so ":0" callers can discover the port.
+// -metrics-out writes the query.* registry on exit; -access-log appends one
+// JSON line per request with the request ID echoed as X-Request-Id;
+// -events-out appends the event journal; -debug-addr serves the telemetry
+// surface (/metrics, /samples, /events, /statusz) plus expvar (/debug/vars)
+// and pprof (/debug/pprof/); -sample-interval runs the sampling ticker.
 package main
 
 import (
@@ -51,7 +56,10 @@ func main() {
 		verify     = flag.Bool("verify", false, "re-hash every served certificate against its index fingerprint")
 		linger     = flag.Duration("linger", 0, "serve for this long then exit (0 = until interrupted)")
 		metricsOut = flag.String("metrics-out", "", "write the run's metrics as a versioned JSON document on exit")
-		debugAddr  = flag.String("debug-addr", "", "serve expvar (/debug/vars) and pprof (/debug/pprof/) on this address while serving")
+		debugAddr  = flag.String("debug-addr", "", "serve telemetry (/metrics, /samples, /events, /statusz) plus expvar and pprof under /debug/ on this address while serving")
+		eventsOut  = flag.String("events-out", "", "append structured journal events (query.5xx, query.shard_error) as JSON lines")
+		sampleIvl  = flag.Duration("sample-interval", 0, "sample the metric registry on this wall-clock interval for /samples and /statusz (0 = off)")
+		accessLog  = flag.String("access-log", "", "append one JSON line per request (method, route, status, latency, request ID); \"-\" writes to stderr")
 	)
 	flag.Parse()
 	if *corpus == "" {
@@ -59,12 +67,35 @@ func main() {
 	}
 
 	reg := obs.NewRegistry()
-	if *debugAddr != "" {
-		bound, err := startDebug(*debugAddr, reg)
+	var journal *obs.Journal
+	if *eventsOut != "" {
+		ef, err := obs.WriteTraceFile(*eventsOut)
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Fprintf(os.Stderr, "certquery: debug endpoints on http://%s/debug/\n", bound)
+		defer ef.Close()
+		journal = obs.NewWallClockJournal(ef, 0)
+	} else if *debugAddr != "" {
+		journal = obs.NewWallClockJournal(nil, 0)
+	}
+	var sampler *obs.Sampler
+	if *debugAddr != "" || *sampleIvl > 0 {
+		sampler = obs.NewWallClockSampler(reg, *sampleIvl, 0)
+	}
+	if *sampleIvl > 0 {
+		stop := make(chan struct{})
+		defer close(stop)
+		go sampler.RunTicker(stop)
+	}
+	if *debugAddr != "" {
+		bound, err := startDebug(*debugAddr, obs.Telemetry{
+			Cmd: "certquery", Reg: reg, Sampler: sampler, Journal: journal,
+			Start: time.Now(), Now: time.Now,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "certquery: telemetry on http://%s/statusz\n", bound)
 	}
 
 	st, err := querystore.Open(*corpus, querystore.Options{
@@ -72,6 +103,7 @@ func main() {
 		VerifyDigests: *verify,
 		DisableMmap:   *noMmap,
 		Obs:           reg,
+		Journal:       journal,
 	})
 	if err != nil {
 		fatal(err)
@@ -99,7 +131,21 @@ func main() {
 	// to stderr so scripts can capture just the port.
 	fmt.Printf("%s\n", ln.Addr())
 
-	srv := &http.Server{Handler: newServer(st, lint, reg, time.Now).mux()}
+	qs := newServer(st, lint, reg, time.Now)
+	qs.journal = journal
+	if *accessLog != "" {
+		if *accessLog == "-" {
+			qs.access = newAccessLogger(os.Stderr)
+		} else {
+			af, err := obs.WriteTraceFile(*accessLog)
+			if err != nil {
+				fatal(err)
+			}
+			defer af.Close()
+			qs.access = newAccessLogger(af)
+		}
+	}
+	srv := &http.Server{Handler: qs.mux()}
 	done := make(chan error, 1)
 	go func() { done <- srv.Serve(ln) }()
 

@@ -25,9 +25,11 @@ var latencyBoundsUS = []int64{50, 100, 250, 500, 1000, 2500, 5000, 10000, 50000,
 // lint is the optional findings sidecar column (-lint); nil means the
 // endpoint answers 404 for every key.
 type server struct {
-	st   *querystore.Store
-	lint *snapshot.LintColumn
-	now  func() time.Time
+	st      *querystore.Store
+	lint    *snapshot.LintColumn
+	now     func() time.Time
+	journal *obs.Journal  // query.5xx events; nil disables
+	access  *accessLogger // per-request JSONL (-access-log); nil disables
 
 	reqs, c2xx, c4xx, c5xx *obs.Counter
 	lat                    *obs.Histogram
@@ -46,34 +48,70 @@ func newServer(st *querystore.Store, lint *snapshot.LintColumn, reg *obs.Registr
 	}
 }
 
-// mux routes the API. Go 1.22 patterns give method + path-value matching.
+// mux routes the API. Go 1.22 patterns give method + path-value matching;
+// the route string is passed alongside its handler because the access log
+// and 5xx journal events key on the pattern, not the concrete path, and
+// http.Request.Pattern only exists from Go 1.23.
 func (s *server) mux() *http.ServeMux {
 	m := http.NewServeMux()
-	m.HandleFunc("GET /healthz", s.wrap(s.handleHealth))
-	m.HandleFunc("GET /v1/cert/{fp}", s.wrap(s.handleCert))
-	m.HandleFunc("GET /v1/spki/{spki}", s.wrap(s.handleSPKI))
-	m.HandleFunc("GET /v1/ip/{ip}", s.wrap(s.handleIP))
-	m.HandleFunc("GET /v1/as/{asn}", s.wrap(s.handleAS))
-	m.HandleFunc("GET /v1/lint/{fp}", s.wrap(s.handleLint))
+	routes := []struct {
+		pattern string
+		h       func(http.ResponseWriter, *http.Request) int
+	}{
+		{"GET /healthz", s.handleHealth},
+		{"GET /v1/cert/{fp}", s.handleCert},
+		{"GET /v1/spki/{spki}", s.handleSPKI},
+		{"GET /v1/ip/{ip}", s.handleIP},
+		{"GET /v1/as/{asn}", s.handleAS},
+		{"GET /v1/lint/{fp}", s.handleLint},
+	}
+	for _, rt := range routes {
+		m.HandleFunc(rt.pattern, s.wrap(rt.pattern, rt.h))
+	}
 	return m
 }
 
-// wrap layers counting and latency observation over a handler that returns
-// the status code it wrote.
-func (s *server) wrap(h func(w http.ResponseWriter, r *http.Request) int) http.HandlerFunc {
+// wrap layers counting, latency observation, the access log, and 5xx journal
+// events over a handler that returns the status code it wrote. An incoming
+// X-Request-Id is honored; otherwise the access logger mints one. Either way
+// the ID is echoed back as the X-Request-Id response header so a client can
+// correlate its request with the server's log line.
+func (s *server) wrap(route string, h func(w http.ResponseWriter, r *http.Request) int) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := s.now()
 		s.reqs.Inc()
+		var reqID string
+		if s.access != nil {
+			reqID = r.Header.Get("X-Request-Id")
+			if reqID == "" {
+				reqID = s.access.nextID()
+			}
+			w.Header().Set("X-Request-Id", reqID)
+		}
 		code := h(w, r)
-		s.lat.Observe(s.now().Sub(start).Microseconds())
+		lat := s.now().Sub(start)
+		s.lat.Observe(lat.Microseconds())
 		switch {
 		case code >= 500:
 			s.c5xx.Inc()
+			s.journal.Emit("query.5xx",
+				"route", route,
+				"status", strconv.Itoa(code),
+				"request_id", reqID)
 		case code >= 400:
 			s.c4xx.Inc()
 		default:
 			s.c2xx.Inc()
 		}
+		s.access.log(accessEntry{
+			Time:      stamp(start),
+			Method:    r.Method,
+			Route:     route,
+			Path:      r.URL.Path,
+			Status:    code,
+			LatencyUS: lat.Microseconds(),
+			RequestID: reqID,
+		})
 	}
 }
 

@@ -11,20 +11,24 @@ import (
 	"securepki/internal/obs"
 )
 
-// startDebug binds the opt-in debug endpoint (-debug-addr): expvar under
-// /debug/vars and the pprof profiles under /debug/pprof/, both of which
-// their packages register on http.DefaultServeMux at import time. The live
-// metric registry is published as the "obs" expvar so a running sweep can
-// be watched mid-flight. Returns the bound address so ":0" callers can
-// discover the port.
-func startDebug(addr string, reg *obs.Registry) (string, error) {
-	publishObs(reg)
+// startDebug binds the opt-in debug endpoint (-debug-addr): the telemetry
+// surface (/metrics Prometheus exposition, /samples time series, /events
+// journal tail, /statusz operator page) on its own mux, with /debug/
+// delegated to http.DefaultServeMux where expvar (/debug/vars) and pprof
+// (/debug/pprof/) register themselves at import time. The live metric
+// registry is also published as the "obs" expvar so a running sweep can be
+// watched mid-flight. Returns the bound address so ":0" callers can discover
+// the port.
+func startDebug(addr string, tel obs.Telemetry) (string, error) {
+	publishObs(tel.Reg)
+	mux := tel.Mux()
+	mux.Handle("/debug/", http.DefaultServeMux)
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", err
 	}
 	go func() {
-		if err := http.Serve(ln, nil); err != nil {
+		if err := http.Serve(ln, mux); err != nil {
 			// The listener lives for the whole process; a serve error is
 			// diagnostic only — the scan itself must not die for it.
 			fmt.Fprintf(os.Stderr, "certscan: debug server: %v\n", err)

@@ -9,13 +9,18 @@
 //	certscan -targets targets.txt [-workers 32] [-timeout 3s] [-repeat 1 -interval 2s]
 //	         [-retries 0] [-backoff 100ms] [-backoff-max 2s] [-scan-seed 1]
 //	         [-o corpus.spki [-format v2|v3]] [-json]
-//	         [-metrics-out metrics.json] [-trace-out trace.jsonl] [-debug-addr :6060]
+//	         [-metrics-out metrics.json] [-trace-out trace.jsonl]
+//	         [-events-out events.jsonl] [-debug-addr :6060] [-sample-interval 1s]
 //
 // -metrics-out writes the run's metric registry (wire.*, sweep.*,
 // certscan.*, snapshot.* when -o is set) as a versioned JSON document;
-// -trace-out appends one JSON line per sweep span; -debug-addr serves
-// expvar (/debug/vars, with the live registry as the "obs" var) and pprof
-// (/debug/pprof/) while the scan runs.
+// -trace-out appends one JSON line per sweep span; -events-out appends the
+// structured event journal (sweep.start/finish, retry.storm). -debug-addr
+// serves the live telemetry surface — /metrics (Prometheus text exposition),
+// /samples (time-series sampler document), /events (journal tail), /statusz
+// (operator page) — plus expvar (/debug/vars, with the live registry as the
+// "obs" var) and pprof (/debug/pprof/) while the scan runs; -sample-interval
+// adds a wall-clock sampling ticker on top of the per-sweep sample.
 //
 // Faulty endpoints (refused, stalled, reset, truncated or corrupted
 // connections — e.g. a servesim -chaos population) are retried up to
@@ -40,6 +45,7 @@ import (
 	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"net"
 	"os"
 	"strings"
@@ -70,7 +76,9 @@ func main() {
 		jsonOut     = flag.Bool("json", false, "print a JSON run summary (retry/failure counters) to stdout")
 		metricsOut  = flag.String("metrics-out", "", "write the run's metrics as a versioned JSON document")
 		traceOut    = flag.String("trace-out", "", "append per-sweep span events as JSON lines")
-		debugAddr   = flag.String("debug-addr", "", "serve expvar (/debug/vars) and pprof (/debug/pprof/) on this address while scanning")
+		eventsOut   = flag.String("events-out", "", "append structured journal events (sweep.start/finish, retry.storm) as JSON lines")
+		debugAddr   = flag.String("debug-addr", "", "serve telemetry (/metrics, /samples, /events, /statusz) plus expvar and pprof under /debug/ on this address while scanning")
+		sampleIvl   = flag.Duration("sample-interval", 0, "sample the metric registry on this wall-clock interval for /samples and /statusz (0 = sample once per sweep only)")
 	)
 	flag.Parse()
 	if *targetsFile == "" {
@@ -100,13 +108,42 @@ func main() {
 		}
 		defer tf.Close()
 		tracer = obs.NewWallClockTracer(tf)
+	} else if *debugAddr != "" {
+		tracer = obs.NewWallClockTracer(io.Discard) // /statusz still gets the span tail
 	}
-	if *debugAddr != "" {
-		bound, err := startDebug(*debugAddr, reg)
+	tracer.KeepTail(obs.DefaultJournalTail)
+
+	var journal *obs.Journal
+	if *eventsOut != "" {
+		ef, err := obs.WriteTraceFile(*eventsOut) // same append-only JSONL semantics as traces
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Fprintf(os.Stderr, "certscan: debug endpoints on http://%s/debug/\n", bound)
+		defer ef.Close()
+		journal = obs.NewWallClockJournal(ef, 0)
+	} else if *debugAddr != "" {
+		journal = obs.NewWallClockJournal(nil, 0) // tail only, for /events
+	}
+
+	var sampler *obs.Sampler
+	if *debugAddr != "" || *sampleIvl > 0 {
+		sampler = obs.NewWallClockSampler(reg, *sampleIvl, 0)
+	}
+	if *sampleIvl > 0 {
+		stop := make(chan struct{})
+		defer close(stop)
+		go sampler.RunTicker(stop)
+	}
+
+	if *debugAddr != "" {
+		bound, err := startDebug(*debugAddr, obs.Telemetry{
+			Cmd: "certscan", Reg: reg, Sampler: sampler, Journal: journal,
+			Tracer: tracer, Start: time.Now(), Now: time.Now,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "certscan: telemetry on http://%s/statusz\n", bound)
 	}
 
 	cfg := scanConfig{
@@ -124,6 +161,8 @@ func main() {
 		BuildCorpus: *outCorpus != "",
 		Obs:         reg,
 		Tracer:      tracer,
+		Journal:     journal,
+		Sampler:     sampler,
 	}
 	corpus, summary, err := runSweeps(cfg, os.Stdout, os.Stderr)
 	if err != nil {

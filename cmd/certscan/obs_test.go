@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
@@ -178,12 +179,260 @@ func TestObsSmoke(t *testing.T) {
 	}
 }
 
+// TestChaosMatrixTelemetryIdentical extends the determinism proof to the
+// live-telemetry surfaces: the same 30%-chaos sweep that produces identical
+// stable metrics at any worker count must also produce byte-identical
+// sampler documents and journal lines. The journal only emits at serial
+// program points (sweep boundaries) and the sampler ticks once per sweep on
+// the shared fake clock, so workers 1, 4 and 16 cannot be told apart.
+func TestChaosMatrixTelemetryIdentical(t *testing.T) {
+	chains := deviceChains(t, 14)
+
+	run := func(workers int) (samples, events []byte) {
+		policy := &faultnet.Policy{
+			Seed:           99,
+			Rate:           0.3,
+			MaxConsecutive: 2,
+			Sleep:          func(time.Duration) {},
+		}
+		targets := startServers(t, chains, policy)
+		clock := fakeClock()
+		reg := obs.NewRegistry()
+		var journalBuf bytes.Buffer
+		sampler := obs.NewSampler(reg, obs.SamplerConfig{
+			Capacity: 16,
+			Interval: time.Second,
+			Now:      clock,
+		})
+		cfg := scanConfig{
+			Targets: targets,
+			Workers: workers,
+			Repeat:  2,
+			Opts: wire.Options{
+				AttemptTimeout: 500 * time.Millisecond,
+				Retries:        4,
+				Seed:           7,
+				Sleep:          noSleep,
+			},
+			Now:     clock,
+			Pause:   noPause,
+			Obs:     reg,
+			Journal: obs.NewJournal(&journalBuf, clock, 0),
+			Sampler: sampler,
+		}
+		_, summary, err := runSweeps(cfg, io.Discard, io.Discard)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if summary.Failed != 0 {
+			t.Fatalf("sweep failed to converge: %+v", summary)
+		}
+		return sampler.StableDocument().EncodeJSON(), journalBuf.Bytes()
+	}
+
+	wantSamples, wantEvents := run(1)
+	if err := obs.ValidateSamples(wantSamples); err != nil {
+		t.Fatalf("sweep samples fail schema: %v", err)
+	}
+	if err := obs.ValidateEvents(wantEvents); err != nil {
+		t.Fatalf("sweep journal fails schema: %v", err)
+	}
+	for _, workers := range []int{4, 16} {
+		workers := workers
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			gotSamples, gotEvents := run(workers)
+			if !bytes.Equal(gotSamples, wantSamples) {
+				t.Errorf("sampler document differs from workers=1:\n%s\nwant:\n%s", gotSamples, wantSamples)
+			}
+			if !bytes.Equal(gotEvents, wantEvents) {
+				t.Errorf("journal differs from workers=1:\n%s\nwant:\n%s", gotEvents, wantEvents)
+			}
+		})
+	}
+
+	// The run must actually have exercised the new surfaces: both sweeps
+	// journaled, and the wire counters sampled into windowed series.
+	for _, typ := range []string{`"type":"sweep.start"`, `"type":"sweep.finish"`} {
+		if !bytes.Contains(wantEvents, []byte(typ)) {
+			t.Errorf("chaos journal carries no %s event:\n%s", typ, wantEvents)
+		}
+	}
+	if !bytes.Contains(wantSamples, []byte(`"wire.attempts"`)) {
+		t.Errorf("sampler document carries no wire.attempts series:\n%s", wantSamples)
+	}
+}
+
+// TestTelemetrySmoke is the end-to-end check `make telemetry-smoke` runs: a
+// chaos sweep with the full telemetry surface live — debug server, sampler,
+// journal, tracer — scraped mid-run through real HTTP. The Pause hook
+// between the two sweeps asserts /metrics parses as Prometheus text and
+// covers every registered metric, /statusz answers in both renderings, and
+// /samples and /events serve schema-valid documents. With
+// TELEMETRY_SMOKE_OUT set, the event journal is left in that directory for
+// CI to upload next to the obs-smoke artifacts.
+func TestTelemetrySmoke(t *testing.T) {
+	outDir := os.Getenv("TELEMETRY_SMOKE_OUT")
+	if outDir == "" {
+		outDir = t.TempDir()
+	} else if err := os.MkdirAll(outDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+
+	policy := &faultnet.Policy{
+		Seed:           99,
+		Rate:           0.3,
+		MaxConsecutive: 2,
+		Sleep:          func(time.Duration) {},
+	}
+	targets := startServers(t, deviceChains(t, 6), policy)
+	clock := fakeClock()
+	reg := obs.NewRegistry()
+
+	eventsPath := filepath.Join(outDir, "telemetry_events.jsonl")
+	ef, err := obs.WriteTraceFile(eventsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	journal := obs.NewJournal(ef, clock, 0)
+	sampler := obs.NewSampler(reg, obs.SamplerConfig{
+		Capacity: 32,
+		Interval: time.Second,
+		Now:      clock,
+	})
+	tracer := obs.NewTracer(io.Discard, clock)
+	tracer.KeepTail(8)
+
+	addr, err := startDebug("127.0.0.1:0", obs.Telemetry{
+		Cmd: "certscan", Reg: reg, Sampler: sampler, Journal: journal,
+		Tracer: tracer, Start: clock(), Now: clock,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fetch := func(path string) (int, string, http.Header) {
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		return resp.StatusCode, string(body), resp.Header
+	}
+
+	scraped := false
+	cfg := scanConfig{
+		Targets: targets,
+		Workers: 4,
+		Repeat:  2,
+		Opts: wire.Options{
+			AttemptTimeout: 500 * time.Millisecond,
+			Retries:        4,
+			Seed:           7,
+			Sleep:          noSleep,
+		},
+		Now:     clock,
+		Obs:     reg,
+		Tracer:  tracer,
+		Journal: journal,
+		Sampler: sampler,
+		Pause: func(time.Duration) {
+			// One sweep done, the next not started: scrape the live surface.
+			code, body, hdr := fetch("/metrics")
+			if code != http.StatusOK {
+				t.Fatalf("/metrics: status %d", code)
+			}
+			if ct := hdr.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+				t.Errorf("/metrics content type %q", ct)
+			}
+			if err := obs.CheckPrometheusText([]byte(body)); err != nil {
+				t.Errorf("mid-run /metrics fails the exposition checker: %v\n%s", err, body)
+			}
+			for _, m := range reg.Snapshot().Metrics {
+				if !strings.Contains(body, obs.PromName(m.Name)) {
+					t.Errorf("/metrics missing registered metric %s (prom %s)", m.Name, obs.PromName(m.Name))
+				}
+			}
+
+			code, page, hdr := fetch("/statusz")
+			if code != http.StatusOK || !strings.HasPrefix(hdr.Get("Content-Type"), "text/html") {
+				t.Errorf("/statusz: status %d, content type %q", code, hdr.Get("Content-Type"))
+			}
+			if !strings.Contains(page, "certscan /statusz") {
+				t.Errorf("/statusz page does not name the binary:\n%s", page)
+			}
+			code, js, _ := fetch("/statusz?format=json")
+			if code != http.StatusOK {
+				t.Fatalf("/statusz?format=json: status %d", code)
+			}
+			var doc struct {
+				Cmd    string `json:"cmd"`
+				Ticks  uint64 `json:"sampler_ticks"`
+				Events uint64 `json:"journal_events"`
+			}
+			if err := json.Unmarshal([]byte(js), &doc); err != nil {
+				t.Fatalf("/statusz json: %v\n%s", err, js)
+			}
+			if doc.Cmd != "certscan" || doc.Ticks == 0 || doc.Events == 0 {
+				t.Errorf("/statusz json not live mid-run: %+v", doc)
+			}
+
+			code, samples, _ := fetch("/samples")
+			if code != http.StatusOK {
+				t.Fatalf("/samples: status %d", code)
+			}
+			if err := obs.ValidateSamples([]byte(samples)); err != nil {
+				t.Errorf("mid-run /samples fails schema: %v\n%s", err, samples)
+			}
+
+			code, events, _ := fetch("/events")
+			if code != http.StatusOK {
+				t.Fatalf("/events: status %d", code)
+			}
+			if !strings.Contains(events, `"sweep.start"`) {
+				t.Errorf("/events tail missing the first sweep:\n%s", events)
+			}
+			scraped = true
+		},
+	}
+	_, summary, err := runSweeps(cfg, io.Discard, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if summary.OK == 0 {
+		t.Fatalf("smoke sweep grabbed nothing: %+v", summary)
+	}
+	if !scraped {
+		t.Fatal("pause hook never ran; telemetry endpoints were not scraped mid-run")
+	}
+	if err := ef.Close(); err != nil {
+		t.Fatal(err)
+	}
+	eventsData, err := os.ReadFile(eventsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.ValidateEvents(eventsData); err != nil {
+		t.Errorf("journal artifact fails schema: %v\n%s", err, eventsData)
+	}
+	for _, typ := range []string{`"sweep.start"`, `"sweep.finish"`} {
+		if !bytes.Contains(eventsData, []byte(typ)) {
+			t.Errorf("journal artifact missing %s:\n%s", typ, eventsData)
+		}
+	}
+	if err := journal.Err(); err != nil {
+		t.Errorf("journal latched a write error: %v", err)
+	}
+}
+
 // TestDebugEndpointsReachable proves -debug-addr works mid-run: the Pause
 // hook between two sweeps fetches /debug/vars and /debug/pprof/ from the
 // live debug server and finds the published obs registry.
 func TestDebugEndpointsReachable(t *testing.T) {
 	reg := obs.NewRegistry()
-	addr, err := startDebug("127.0.0.1:0", reg)
+	addr, err := startDebug("127.0.0.1:0", obs.Telemetry{Cmd: "certscan", Reg: reg})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -43,6 +43,14 @@ type scanConfig struct {
 	// are timed on cfg.Now but written nowhere (the span's Timer still
 	// drives the progress line).
 	Tracer *obs.Tracer
+	// Journal receives structured events at sweep boundaries (sweep.start,
+	// sweep.finish, retry.storm) — all serial program points, so the event
+	// sequence is worker-count-independent. nil disables journaling.
+	Journal *obs.Journal
+	// Sampler, when set, is ticked once at the end of every sweep — the
+	// deterministic sampling point the telemetry matrix test pins. The live
+	// wall-clock ticker (-sample-interval) runs on top of this.
+	Sampler *obs.Sampler
 }
 
 // sweepSummary is the machine-readable outcome of a certscan run (-json).
@@ -109,6 +117,11 @@ func runSweeps(cfg scanConfig, out, errOut io.Writer) (*scanstore.Corpus, sweepS
 		span := tracer.Start("certscan.sweep")
 		span.SetAttrInt("sweep", int64(sweep+1))
 		span.SetAttrInt("targets", int64(len(cfg.Targets)))
+		cfg.Journal.Emit("sweep.start",
+			"sweep", fmt.Sprint(sweep+1),
+			"targets", fmt.Sprint(len(cfg.Targets)))
+		cfg.Obs.Gauge("progress.sweep").Set(int64(sweep + 1))
+		cfg.Obs.Gauge("progress.targets").Set(int64(len(cfg.Targets)))
 		sweepStart := now()
 		sweepOpts := cfg.Opts
 		// Each sweep gets its own jitter stream family so repeated sweeps do
@@ -184,6 +197,20 @@ func runSweeps(cfg scanConfig, out, errOut io.Writer) (*scanstore.Corpus, sweepS
 			}
 		}
 		cfg.Obs.Counter("certscan.sweeps").Inc()
+		cfg.Obs.Gauge("progress.hosts_done").Set(int64(summary.OK + summary.Failed))
+		if wire.IsRetryStorm(wst) {
+			cfg.Obs.Counter("sweep.retry_storms").Inc()
+			cfg.Journal.Emit("retry.storm",
+				"sweep", fmt.Sprint(sweep+1),
+				"retries", fmt.Sprint(wst.Retries),
+				"targets", fmt.Sprint(wst.Targets))
+		}
+		cfg.Journal.Emit("sweep.finish",
+			"sweep", fmt.Sprint(sweep+1),
+			"ok", fmt.Sprint(ok),
+			"failed", fmt.Sprint(failed),
+			"retries", fmt.Sprint(wst.Retries))
+		cfg.Sampler.Tick()
 		span.SetAttrInt("ok", int64(ok))
 		span.SetAttrInt("failed", int64(failed))
 		span.SetAttrInt("retries", int64(wst.Retries))

@@ -11,20 +11,23 @@ import (
 	"securepki/internal/obs"
 )
 
-// startDebug binds the opt-in debug endpoint (-debug-addr): expvar under
-// /debug/vars and pprof under /debug/pprof/, both registered on
-// http.DefaultServeMux at import time. The live metric registry is
+// startDebug binds the opt-in debug endpoint (-debug-addr): the telemetry
+// surface (/metrics, /samples, /events, /statusz) on its own mux, with
+// /debug/ delegated to http.DefaultServeMux where expvar (/debug/vars) and
+// pprof (/debug/pprof/) register at import time. The live metric registry is
 // published as the "obs" expvar. Duplicated per cmd on purpose: repolint
 // bans expvar/net/http/pprof from internal/, so the process-global
 // registration can only ever happen inside a binary that asked for it.
-func startDebug(addr string, reg *obs.Registry) (string, error) {
-	publishObs(reg)
+func startDebug(addr string, tel obs.Telemetry) (string, error) {
+	publishObs(tel.Reg)
+	mux := tel.Mux()
+	mux.Handle("/debug/", http.DefaultServeMux)
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", err
 	}
 	go func() {
-		if err := http.Serve(ln, nil); err != nil {
+		if err := http.Serve(ln, mux); err != nil {
 			fmt.Fprintf(os.Stderr, "servesim: debug server: %v\n", err)
 		}
 	}()

@@ -10,15 +10,19 @@
 //	servesim [-n 25] [-seed 1] [-addr 127.0.0.1:0] [-targets targets.txt]
 //	         [-chaos 0.3 -chaos-seed 99 -chaos-burst 2]
 //	         [-mutate-frac 0.3 -mutate-seed 7]
-//	         [-metrics-out metrics.json] [-debug-addr :6060]
+//	         [-metrics-out metrics.json] [-events-out events.jsonl]
+//	         [-debug-addr :6060] [-sample-interval 1s]
 //
 // With -mutate-frac > 0 that fraction of devices serves frankencert-style
 // mutants (internal/certmutate): live rotation still applies, and which
 // devices mutate is a pure function of (-mutate-seed, device index).
 //
-// -metrics-out writes the run's metric registry on exit; -debug-addr serves
-// expvar (/debug/vars, live registry as the "obs" var) and pprof
-// (/debug/pprof/) while devices are being served.
+// -metrics-out writes the run's metric registry on exit; -events-out appends
+// the structured event journal (serve.start/serve.stop). -debug-addr serves
+// the live telemetry surface — /metrics (Prometheus exposition), /samples,
+// /events, /statusz — plus expvar (/debug/vars, live registry as the "obs"
+// var) and pprof (/debug/pprof/) while devices are being served;
+// -sample-interval runs the wall-clock sampling ticker.
 //
 // The listener addresses are written to -targets (default stdout), one per
 // line — feed that file to certscan.
@@ -59,19 +63,44 @@ func main() {
 		chaosSeed  = flag.Uint64("chaos-seed", 99, "seed for the fault schedule")
 		chaosBurst = flag.Int("chaos-burst", 2, "max consecutive faulted connections per device (-1 = uncapped)")
 		metricsOut = flag.String("metrics-out", "", "write the run's metrics as a versioned JSON document on exit")
-		debugAddr  = flag.String("debug-addr", "", "serve expvar (/debug/vars) and pprof (/debug/pprof/) on this address while serving")
+		debugAddr  = flag.String("debug-addr", "", "serve telemetry (/metrics, /samples, /events, /statusz) plus expvar and pprof under /debug/ on this address while serving")
+		eventsOut  = flag.String("events-out", "", "append structured journal events (serve.start/serve.stop) as JSON lines")
+		sampleIvl  = flag.Duration("sample-interval", 0, "sample the metric registry on this wall-clock interval for /samples and /statusz (0 = off)")
 		mutateFrac = flag.Float64("mutate-frac", 0, "serve frankencert-style mutants from this fraction of devices (0 = none, 1 = all)")
 		mutateSeed = flag.Uint64("mutate-seed", 0, "mutation schedule seed (0 = derive from -seed)")
 	)
 	flag.Parse()
 
 	reg := obs.NewRegistry()
-	if *debugAddr != "" {
-		bound, err := startDebug(*debugAddr, reg)
+	var journal *obs.Journal
+	if *eventsOut != "" {
+		ef, err := obs.WriteTraceFile(*eventsOut)
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Fprintf(os.Stderr, "servesim: debug endpoints on http://%s/debug/\n", bound)
+		defer ef.Close()
+		journal = obs.NewWallClockJournal(ef, 0)
+	} else if *debugAddr != "" {
+		journal = obs.NewWallClockJournal(nil, 0)
+	}
+	var sampler *obs.Sampler
+	if *debugAddr != "" || *sampleIvl > 0 {
+		sampler = obs.NewWallClockSampler(reg, *sampleIvl, 0)
+	}
+	if *sampleIvl > 0 {
+		stop := make(chan struct{})
+		defer close(stop)
+		go sampler.RunTicker(stop)
+	}
+	if *debugAddr != "" {
+		bound, err := startDebug(*debugAddr, obs.Telemetry{
+			Cmd: "servesim", Reg: reg, Sampler: sampler, Journal: journal,
+			Start: time.Now(), Now: time.Now,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "servesim: telemetry on http://%s/statusz\n", bound)
 	}
 
 	cfg := devicesim.DefaultConfig()
@@ -146,6 +175,10 @@ func main() {
 	if *chaos > 0 {
 		reg.Gauge("servesim.chaos.rate_pct").Set(int64(*chaos * 100))
 	}
+	journal.Emit("serve.start",
+		"devices", fmt.Sprint(len(servers)),
+		"chaos", fmt.Sprintf("%.2f", *chaos))
+	sampler.Tick() // the steady-state sample even without a ticker
 
 	if *linger > 0 {
 		time.Sleep(*linger)
@@ -156,6 +189,7 @@ func main() {
 	}
 	span.SetAttrInt("devices", int64(len(servers)))
 	span.End()
+	journal.Emit("serve.stop", "devices", fmt.Sprint(len(servers)))
 	if *metricsOut != "" {
 		if err := obs.WriteMetricsFile(*metricsOut, reg); err != nil {
 			fatal(err)

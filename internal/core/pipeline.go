@@ -41,6 +41,10 @@ type Config struct {
 	Obs *obs.Registry
 	// Tracer emits one span per pipeline stage. nil disables tracing.
 	Tracer *obs.Tracer
+	// Journal receives structured events at serial program points — stage
+	// starts, spill runs, lint-column writes — so the event stream is
+	// worker-count-independent like the metrics. nil disables journaling.
+	Journal *obs.Journal
 	// LintConfig scopes or suppresses registry linters in the lint stage
 	// (certlint.json semantics); nil runs every registered linter everywhere.
 	LintConfig *certlint.Config
@@ -94,6 +98,26 @@ func (p *Pipeline) span(name string) *obs.Span {
 	return p.Config.Tracer.Start(name)
 }
 
+// Stage ordinals for the progress.stage gauge — what /statusz renders while
+// a build is running.
+const (
+	stageGenerate = 1 + iota
+	stageScan
+	stageValidate
+	stageLint
+	stageLink
+	stageTrack
+)
+
+// stage marks a stage boundary: progress gauge, journal event, tracer span.
+// Stages begin at serial program points, so the journal line sequence is the
+// same at any worker count.
+func (p *Pipeline) stage(name string, ordinal int64) *obs.Span {
+	p.Config.Obs.Gauge("progress.stage").Set(ordinal)
+	p.Config.Journal.Emit("stage.start", "stage", name)
+	return p.span(name)
+}
+
 // Run executes the full pipeline.
 func Run(cfg Config) (*Pipeline, error) {
 	p := &Pipeline{Config: cfg}
@@ -114,7 +138,7 @@ func Run(cfg Config) (*Pipeline, error) {
 
 // Generate builds the world (stage 1).
 func (p *Pipeline) Generate() error {
-	span := p.span("core.generate")
+	span := p.stage("core.generate", stageGenerate)
 	w, err := devicesim.BuildWorld(p.Config.World)
 	if err != nil {
 		return fmt.Errorf("core: generate: %w", err)
@@ -123,6 +147,7 @@ func (p *Pipeline) Generate() error {
 	reg := p.Config.Obs
 	reg.Counter("core.world.devices").Add(int64(len(w.Devices)))
 	reg.Counter("core.world.sites").Add(int64(len(w.Sites)))
+	reg.Gauge("progress.hosts_done").Set(int64(len(w.Devices)))
 	span.End()
 	return nil
 }
@@ -136,7 +161,7 @@ func (p *Pipeline) Scan() error {
 	if err != nil {
 		return fmt.Errorf("core: scan: %w", err)
 	}
-	span := p.span("core.scan")
+	span := p.stage("core.scan", stageScan)
 	corpus, truth, err := camp.Run()
 	if err != nil {
 		return fmt.Errorf("core: scan: %w", err)
@@ -202,7 +227,7 @@ func (p *Pipeline) LoadSnapshot(r io.Reader) error {
 // directory, the index builds through the external-merge path
 // (scanstore.BuildIndexExt) — identical index, bounded sort memory.
 func (p *Pipeline) Validate() error {
-	span := p.span("core.validate")
+	span := p.stage("core.validate", stageValidate)
 	store := truststore.NewStore()
 	for _, r := range p.World.Roots() {
 		store.AddRoot(r)
@@ -217,11 +242,17 @@ func (p *Pipeline) Validate() error {
 			Workers:   p.Config.Workers,
 			MemBudget: s.MemBudget,
 			Dir:       s.SpillDir,
-			OnSpill: func(_ int, bytes int64) {
+			OnSpill: func(shard int, bytes int64) {
 				sp := p.span("core.spill")
 				runs++
 				spillGauge.Set(runs)
 				spillBytes.Add(bytes)
+				// Live diagnostics: spill order can depend on shard sizing,
+				// so goldens pin the sweep/stage events, not these.
+				p.Config.Journal.Emit("spill",
+					"shard", fmt.Sprint(shard),
+					"run", fmt.Sprint(runs),
+					"bytes", fmt.Sprint(bytes))
 				sp.End()
 			},
 			FanIn: func(n int) { reg.Gauge("mem.merge_fanin").Set(int64(n)) },
@@ -260,7 +291,7 @@ func (p *Pipeline) Validate() error {
 // fingerprint-sorted and byte-identical at any worker count; the registry
 // emits the lint.* metrics itself.
 func (p *Pipeline) Lint() {
-	span := p.span("core.lint")
+	span := p.stage("core.lint", stageLint)
 	certs := make([]*x509lite.Certificate, 0, p.Corpus.NumCerts())
 	ctx := &certlint.Context{KeyCount: make(map[x509lite.Fingerprint]int, p.Corpus.NumCerts())}
 	for _, rec := range p.Corpus.Certs() {
@@ -292,13 +323,14 @@ func (p *Pipeline) WriteLintColumn(w io.Writer) error {
 	if err := snapshot.WriteLintColumn(w, p.LintResults, certlint.Default().Infos()); err != nil {
 		return fmt.Errorf("core: %w", err)
 	}
+	p.Config.Journal.Emit("lintcol.write", "certs", fmt.Sprint(len(p.LintResults)))
 	return nil
 }
 
 // Link runs the §6 pipeline (stage 4). The pipeline-level Workers knob
 // applies unless the linking config pins its own.
 func (p *Pipeline) Link() {
-	span := p.span("core.link")
+	span := p.stage("core.link", stageLink)
 	cfg := p.Config.Linking
 	if cfg.Workers == 0 {
 		cfg.Workers = p.Config.Workers
@@ -319,7 +351,7 @@ func (p *Pipeline) Link() {
 
 // Track derives device entities (stage 5).
 func (p *Pipeline) Track() {
-	span := p.span("core.track")
+	span := p.stage("core.track", stageTrack)
 	p.Tracker = tracking.NewTracker(p.Dataset, p.LinkResult, p.Linker)
 	p.Config.Obs.Counter("core.track.entities").Add(int64(len(p.Tracker.Entities())))
 	span.End()

@@ -1,0 +1,104 @@
+package obs
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestWriteMetricsFileRoundTrip: the artefact a cmd's -metrics-out writes
+// passes its own validator.
+func TestWriteMetricsFileRoundTrip(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("a.count").Add(3)
+	reg.Histogram("b.lat", []int64{10}).Observe(4)
+	path := filepath.Join(t.TempDir(), "metrics.json")
+	if err := WriteMetricsFile(path, reg); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateMetrics(data); err != nil {
+		t.Fatalf("written metrics fail validation: %v", err)
+	}
+}
+
+// TestWriteFileAtomicShortWrite is the crash-safety test the old truncate-
+// then-write path fails: an error partway through the write must leave the
+// previous file byte-identical, with no temp debris.
+func TestWriteFileAtomicShortWrite(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "metrics.json")
+	const oldDoc = `{"version":1,"metrics":[]}` + "\n"
+	if err := os.WriteFile(path, []byte(oldDoc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	boom := errors.New("simulated crash mid-write")
+	err := WriteFileAtomic(path, func(w io.Writer) error {
+		// Half a document lands in the temp file, then the "crash".
+		io.WriteString(w, `{"version":1,"metrics":[{"name":"torn`)
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the short-write error", err)
+	}
+
+	data, readErr := os.ReadFile(path)
+	if readErr != nil {
+		t.Fatal(readErr)
+	}
+	if string(data) != oldDoc {
+		t.Fatalf("short write corrupted the target:\n%s", data)
+	}
+	// The aborted temp file must not accumulate.
+	entries, _ := os.ReadDir(dir)
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp-") {
+			t.Fatalf("temp debris left behind: %s", e.Name())
+		}
+	}
+}
+
+// TestWriteFileAtomicReplaces: a successful write replaces the old content
+// entirely and removes its temp file.
+func TestWriteFileAtomicReplaces(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.json")
+	if err := os.WriteFile(path, []byte("old"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFileAtomic(path, func(w io.Writer) error {
+		_, err := io.WriteString(w, "new contents")
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "new contents" {
+		t.Fatalf("content = %q", data)
+	}
+	entries, _ := os.ReadDir(dir)
+	if len(entries) != 1 {
+		t.Fatalf("dir has %d entries, want just the target", len(entries))
+	}
+}
+
+// TestWriteFileAtomicBadDir: an unwritable directory errors cleanly instead
+// of partially succeeding.
+func TestWriteFileAtomicBadDir(t *testing.T) {
+	err := WriteFileAtomic(filepath.Join(t.TempDir(), "missing", "out.json"), func(w io.Writer) error {
+		return nil
+	})
+	if err == nil {
+		t.Fatal("write into a missing directory succeeded")
+	}
+}

@@ -1,0 +1,234 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"html/template"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+)
+
+// writeJSONIndent renders v as indented JSON; the telemetry endpoints all
+// answer in the same shape -metrics-out files are written in.
+func writeJSONIndent(w io.Writer, v any) {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) // a mid-body write error leaves nothing to salvage
+}
+
+// The live telemetry surface: a handful of http.Handlers a cmd mounts on
+// its -debug-addr listener next to expvar/pprof. They live here (and not in
+// each cmd) so the endpoint schemas cannot drift between binaries; obs
+// stays a leaf — net/http is stdlib, and nothing registers process-global
+// state at import time (that is what the expvar/pprof import ban is about).
+
+// Telemetry bundles everything the debug endpoint serves. Nil fields
+// degrade gracefully: a nil Sampler serves an empty document, a nil Journal
+// an empty tail, a nil Tracer no span table.
+type Telemetry struct {
+	// Cmd names the binary on /statusz ("certscan", "certquery", ...).
+	Cmd     string
+	Reg     *Registry
+	Sampler *Sampler
+	Journal *Journal
+	Tracer  *Tracer
+	// Start is the process start instant; /statusz derives uptime from it.
+	Start time.Time
+	// Now is the clock /statusz reads; nil means the zero uptime. cmds pass
+	// time.Now (cmd territory — the wallclock rule only governs internal/).
+	Now func() time.Time
+}
+
+// Mux mounts the telemetry endpoints on a fresh ServeMux:
+//
+//	GET /metrics  Prometheus text exposition of every registered metric
+//	GET /samples  the time-series sampler document (JSON)
+//	GET /events   the journal tail (JSON)
+//	GET /statusz  operator status page (HTML; ?format=json for the document)
+//
+// The caller may add more routes (cmds delegate /debug/ to the default mux
+// where expvar and pprof registered themselves).
+func (t Telemetry) Mux() *http.ServeMux {
+	m := http.NewServeMux()
+	m.Handle("GET /metrics", MetricsHandler(t.Reg))
+	m.Handle("GET /samples", SamplesHandler(t.Sampler))
+	m.Handle("GET /events", EventsHandler(t.Journal))
+	m.Handle("GET /statusz", StatuszHandler(t))
+	m.HandleFunc("GET /{$}", func(w http.ResponseWriter, r *http.Request) {
+		http.Redirect(w, r, "/statusz", http.StatusFound)
+	})
+	return m
+}
+
+// MetricsHandler serves the registry as a Prometheus text exposition.
+func MetricsHandler(reg *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", PromContentType)
+		reg.Snapshot().WritePrometheus(w)
+	})
+}
+
+// SamplesHandler serves the sampler's full document as JSON.
+func SamplesHandler(s *Sampler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		s.Document().WriteJSON(w)
+	})
+}
+
+// eventsDoc is the /events schema: the bounded journal tail, oldest first.
+type eventsDoc struct {
+	Count  int     `json:"count"`
+	Events []Event `json:"events"`
+}
+
+// EventsHandler serves the journal's in-memory tail as JSON.
+func EventsHandler(j *Journal) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		tail := j.Tail()
+		if tail == nil {
+			tail = []Event{}
+		}
+		writeJSONIndent(w, eventsDoc{Count: len(tail), Events: tail})
+	})
+}
+
+// statuszGauge is one gauge row on the status page.
+type statuszGauge struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+// statuszHist is one histogram row: the SLO view (count, sum, quantiles).
+type statuszHist struct {
+	Name  string  `json:"name"`
+	Count uint64  `json:"count"`
+	Sum   int64   `json:"sum"`
+	P50   float64 `json:"p50"`
+	P90   float64 `json:"p90"`
+	P99   float64 `json:"p99"`
+}
+
+// statuszSpan is one completed span row.
+type statuszSpan struct {
+	Name  string `json:"name"`
+	DurUS int64  `json:"dur_us"`
+	Start string `json:"start"`
+}
+
+// statuszDoc is the ?format=json rendering of /statusz.
+type statuszDoc struct {
+	Cmd       string         `json:"cmd"`
+	UptimeMS  int64          `json:"uptime_ms"`
+	Ticks     uint64         `json:"sampler_ticks"`
+	Events    uint64         `json:"journal_events"`
+	PeakRSSB  int64          `json:"peak_rss_bytes,omitempty"`
+	Progress  []statuszGauge `json:"progress"`
+	Memory    []statuszGauge `json:"memory"`
+	Histos    []statuszHist  `json:"histograms"`
+	Spans     []statuszSpan  `json:"recent_spans"`
+	LastEvent *Event         `json:"last_event,omitempty"`
+}
+
+// statuszFrom assembles the status document from the live surfaces.
+func statuszFrom(t Telemetry) statuszDoc {
+	doc := statuszDoc{
+		Cmd:      t.Cmd,
+		Ticks:    t.Sampler.Ticks(),
+		Events:   t.Journal.Seq(),
+		Progress: []statuszGauge{},
+		Memory:   []statuszGauge{},
+		Histos:   []statuszHist{},
+		Spans:    []statuszSpan{},
+	}
+	if t.Now != nil && !t.Start.IsZero() {
+		doc.UptimeMS = t.Now().Sub(t.Start).Milliseconds()
+	}
+	if rss, ok := PeakRSS(); ok {
+		doc.PeakRSSB = rss
+	}
+	if t.Reg != nil {
+		for _, m := range t.Reg.Snapshot().Metrics {
+			switch {
+			case m.Type == "histogram":
+				p50, _ := m.Quantile(0.50)
+				p90, _ := m.Quantile(0.90)
+				p99, _ := m.Quantile(0.99)
+				doc.Histos = append(doc.Histos, statuszHist{
+					Name: m.Name, Count: *m.Count, Sum: *m.Sum, P50: p50, P90: p90, P99: p99,
+				})
+			case strings.HasPrefix(m.Name, "progress."):
+				doc.Progress = append(doc.Progress, statuszGauge{Name: m.Name, Value: *m.Value})
+			case strings.HasPrefix(m.Name, "mem."):
+				doc.Memory = append(doc.Memory, statuszGauge{Name: m.Name, Value: *m.Value})
+			}
+		}
+	}
+	for _, sr := range t.Tracer.Tail() {
+		doc.Spans = append(doc.Spans, statuszSpan{
+			Name:  sr.Name,
+			DurUS: sr.Dur.Microseconds(),
+			Start: sr.Start.UTC().Format(time.RFC3339Nano),
+		})
+	}
+	if tail := t.Journal.Tail(); len(tail) > 0 {
+		last := tail[len(tail)-1]
+		doc.LastEvent = &last
+	}
+	sort.Slice(doc.Histos, func(i, j int) bool { return doc.Histos[i].Name < doc.Histos[j].Name })
+	return doc
+}
+
+// statuszTmpl is the HTML rendering: one screen of tables, no scripts, no
+// assets — readable from curl and from a browser pointed at -debug-addr.
+var statuszTmpl = template.Must(template.New("statusz").Parse(`<!DOCTYPE html>
+<html><head><title>{{.Cmd}} statusz</title><style>
+body{font-family:monospace;margin:2em;background:#fafafa;color:#222}
+table{border-collapse:collapse;margin:0 0 1.5em}
+td,th{border:1px solid #bbb;padding:2px 10px;text-align:left}
+th{background:#eee}
+h1{font-size:1.3em}h2{font-size:1.05em;margin-bottom:.3em}
+.nav a{margin-right:1em}
+</style></head><body>
+<h1>{{.Cmd}} /statusz</h1>
+<p class="nav"><a href="/metrics">/metrics</a><a href="/samples">/samples</a><a href="/events">/events</a><a href="/debug/vars">/debug/vars</a><a href="/debug/pprof/">/debug/pprof</a><a href="/statusz?format=json">json</a></p>
+<table><tr><th>uptime</th><td>{{.UptimeMS}} ms</td></tr>
+<tr><th>sampler ticks</th><td>{{.Ticks}}</td></tr>
+<tr><th>journal events</th><td>{{.Events}}</td></tr>
+{{if .PeakRSSB}}<tr><th>peak RSS</th><td>{{.PeakRSSB}} B</td></tr>{{end}}</table>
+{{if .Progress}}<h2>Sweep progress</h2><table><tr><th>gauge</th><th>value</th></tr>
+{{range .Progress}}<tr><td>{{.Name}}</td><td>{{.Value}}</td></tr>{{end}}</table>{{end}}
+{{if .Memory}}<h2>Memory envelope</h2><table><tr><th>gauge</th><th>value</th></tr>
+{{range .Memory}}<tr><td>{{.Name}}</td><td>{{.Value}}</td></tr>{{end}}</table>{{end}}
+{{if .Histos}}<h2>Latency &amp; size distributions</h2><table><tr><th>histogram</th><th>count</th><th>sum</th><th>p50</th><th>p90</th><th>p99</th></tr>
+{{range .Histos}}<tr><td>{{.Name}}</td><td>{{.Count}}</td><td>{{.Sum}}</td><td>{{printf "%.1f" .P50}}</td><td>{{printf "%.1f" .P90}}</td><td>{{printf "%.1f" .P99}}</td></tr>{{end}}</table>{{end}}
+{{if .Spans}}<h2>Recent spans</h2><table><tr><th>span</th><th>start</th><th>dur (µs)</th></tr>
+{{range .Spans}}<tr><td>{{.Name}}</td><td>{{.Start}}</td><td>{{.DurUS}}</td></tr>{{end}}</table>{{end}}
+{{if .LastEvent}}<h2>Last event</h2><table><tr><th>seq</th><th>time</th><th>type</th></tr>
+<tr><td>{{.LastEvent.Seq}}</td><td>{{.LastEvent.Time}}</td><td>{{.LastEvent.Type}}</td></tr></table>{{end}}
+</body></html>
+`))
+
+// StatuszHandler serves the operator status page: uptime, sweep progress
+// gauges, the memory envelope, histogram SLOs (p50/p90/p99 via the quantile
+// helper) and recent spans/events. ?format=json returns the same document
+// as JSON.
+func StatuszHandler(t Telemetry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		doc := statuszFrom(t)
+		if r.URL.Query().Get("format") == "json" {
+			w.Header().Set("Content-Type", "application/json")
+			writeJSONIndent(w, doc)
+			return
+		}
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		if err := statuszTmpl.Execute(w, doc); err != nil {
+			// Headers are gone; all that is left is to report it in-band.
+			fmt.Fprintf(w, "\n<!-- statusz render error: %v -->\n", err)
+		}
+	})
+}

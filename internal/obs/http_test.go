@@ -1,0 +1,170 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// testTelemetry builds a fully populated telemetry bundle on a fake clock.
+func testTelemetry(t *testing.T) Telemetry {
+	t.Helper()
+	reg := NewRegistry()
+	reg.Counter("wire.attempts").Add(9)
+	reg.Gauge("progress.stage").Set(4)
+	reg.Gauge("progress.hosts_done").Set(12)
+	reg.Gauge("mem.heap_b", Volatile).Set(1 << 20)
+	reg.Histogram("query.lat_us", []int64{100, 1000}).Observe(40)
+
+	clock := fakeClock()
+	start := time.Date(2016, 4, 1, 0, 0, 0, 0, time.UTC)
+	sampler := NewSampler(reg, SamplerConfig{Capacity: 8, Interval: time.Second, Now: clock})
+	sampler.Tick()
+	journal := NewJournal(nil, clock, 8)
+	journal.Emit("sweep.start", "sweep", "1")
+	tracer := NewTracer(io.Discard, clock)
+	tracer.KeepTail(4)
+	tracer.Start("scan.sweep").End()
+	return Telemetry{
+		Cmd: "certscan", Reg: reg, Sampler: sampler, Journal: journal,
+		Tracer: tracer, Start: start, Now: clock,
+	}
+}
+
+func get(t *testing.T, mux *http.ServeMux, path string) *httptest.ResponseRecorder {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+	return rec
+}
+
+// TestTelemetryMuxEndpoints drives every route through the mux a cmd mounts
+// and validates each body with the matching in-repo checker.
+func TestTelemetryMuxEndpoints(t *testing.T) {
+	mux := testTelemetry(t).Mux()
+
+	metrics := get(t, mux, "/metrics")
+	if metrics.Code != 200 || metrics.Header().Get("Content-Type") != PromContentType {
+		t.Fatalf("/metrics: code %d type %q", metrics.Code, metrics.Header().Get("Content-Type"))
+	}
+	if err := CheckPrometheusText(metrics.Body.Bytes()); err != nil {
+		t.Fatalf("/metrics body fails checker: %v", err)
+	}
+	// Volatile metrics are live-visible on /metrics even though Stable()
+	// renderings drop them.
+	if !strings.Contains(metrics.Body.String(), "mem_heap_b") {
+		t.Fatal("/metrics dropped a volatile gauge")
+	}
+
+	samples := get(t, mux, "/samples")
+	if samples.Code != 200 {
+		t.Fatalf("/samples: code %d", samples.Code)
+	}
+	if err := ValidateSamples(samples.Body.Bytes()); err != nil {
+		t.Fatalf("/samples body fails validator: %v", err)
+	}
+
+	events := get(t, mux, "/events")
+	if events.Code != 200 {
+		t.Fatalf("/events: code %d", events.Code)
+	}
+	var ed eventsDoc
+	if err := json.Unmarshal(events.Body.Bytes(), &ed); err != nil {
+		t.Fatalf("/events body: %v", err)
+	}
+	if ed.Count != 1 || ed.Events[0].Type != "sweep.start" {
+		t.Fatalf("/events = %+v", ed)
+	}
+
+	statusz := get(t, mux, "/statusz")
+	if statusz.Code != 200 || !strings.Contains(statusz.Header().Get("Content-Type"), "text/html") {
+		t.Fatalf("/statusz: code %d type %q", statusz.Code, statusz.Header().Get("Content-Type"))
+	}
+	body := statusz.Body.String()
+	for _, want := range []string{"certscan /statusz", "progress.stage", "mem.heap_b", "query.lat_us", "scan.sweep", "sweep.start"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/statusz HTML missing %q", want)
+		}
+	}
+
+	if rec := get(t, mux, "/"); rec.Code != http.StatusFound || rec.Header().Get("Location") != "/statusz" {
+		t.Fatalf("/ redirect: code %d location %q", rec.Code, rec.Header().Get("Location"))
+	}
+	if rec := get(t, mux, "/nosuch"); rec.Code != http.StatusNotFound {
+		t.Fatalf("/nosuch: code %d, want 404", rec.Code)
+	}
+}
+
+// TestStatuszJSON pins the ?format=json document shape the smoke test and
+// EXPERIMENTS.md recipe read.
+func TestStatuszJSON(t *testing.T) {
+	tel := testTelemetry(t)
+	rec := get(t, tel.Mux(), "/statusz?format=json")
+	if rec.Code != 200 || rec.Header().Get("Content-Type") != "application/json" {
+		t.Fatalf("code %d type %q", rec.Code, rec.Header().Get("Content-Type"))
+	}
+	var doc statuszDoc
+	if err := json.Unmarshal(rec.Body.Bytes(), &doc); err != nil {
+		t.Fatalf("statusz json: %v", err)
+	}
+	if doc.Cmd != "certscan" {
+		t.Fatalf("cmd = %q", doc.Cmd)
+	}
+	if doc.UptimeMS <= 0 {
+		t.Fatalf("uptime = %d, want > 0 under the fake clock", doc.UptimeMS)
+	}
+	if doc.Ticks != 1 || doc.Events != 1 {
+		t.Fatalf("ticks %d events %d, want 1/1", doc.Ticks, doc.Events)
+	}
+	if len(doc.Progress) != 2 || doc.Progress[0].Name != "progress.hosts_done" {
+		t.Fatalf("progress = %+v", doc.Progress)
+	}
+	if len(doc.Memory) != 1 || doc.Memory[0].Value != 1<<20 {
+		t.Fatalf("memory = %+v", doc.Memory)
+	}
+	if len(doc.Histos) != 1 || doc.Histos[0].Count != 1 || doc.Histos[0].P50 == 0 {
+		t.Fatalf("histos = %+v", doc.Histos)
+	}
+	if len(doc.Spans) != 1 || doc.Spans[0].Name != "scan.sweep" {
+		t.Fatalf("spans = %+v", doc.Spans)
+	}
+	if doc.LastEvent == nil || doc.LastEvent.Type != "sweep.start" {
+		t.Fatalf("last event = %+v", doc.LastEvent)
+	}
+}
+
+// TestTelemetryNilSurfaces: a telemetry bundle with nothing but a registry
+// must serve every endpoint without panicking — the cmds build it this way
+// when sampling/journaling flags are off.
+func TestTelemetryNilSurfaces(t *testing.T) {
+	mux := Telemetry{Cmd: "bare", Reg: NewRegistry()}.Mux()
+	for _, path := range []string{"/metrics", "/samples", "/events", "/statusz", "/statusz?format=json"} {
+		if rec := get(t, mux, path); rec.Code != 200 {
+			t.Errorf("%s: code %d with nil surfaces", path, rec.Code)
+		}
+	}
+}
+
+// TestTracerTailRing: KeepTail retains the newest spans oldest-first for the
+// /statusz span table.
+func TestTracerTailRing(t *testing.T) {
+	tr := NewTracer(io.Discard, fakeClock())
+	if len(tr.Tail()) != 0 {
+		t.Fatal("tail retained spans before KeepTail")
+	}
+	tr.KeepTail(2)
+	for _, name := range []string{"a", "b", "c"} {
+		tr.Start(name).End()
+	}
+	tail := tr.Tail()
+	if len(tail) != 2 || tail[0].Name != "b" || tail[1].Name != "c" {
+		t.Fatalf("tail = %+v, want [b c]", tail)
+	}
+	if tail[1].Dur != time.Second {
+		t.Fatalf("span dur = %v, want 1s under the fake clock", tail[1].Dur)
+	}
+}

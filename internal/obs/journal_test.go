@@ -1,0 +1,119 @@
+package obs
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// TestJournalGolden pins the exact JSONL bytes a fake-clock journal emits —
+// the event half of the determinism contract.
+func TestJournalGolden(t *testing.T) {
+	var buf bytes.Buffer
+	j := NewJournal(&buf, fakeClock(), 8)
+	j.Emit("sweep.start", "sweep", "1", "targets", "14")
+	j.Emit("sweep.finish", "sweep", "1", "errors", "3")
+	want := `{"seq":1,"time":"2016-04-01T00:00:01Z","type":"sweep.start","attrs":{"sweep":"1","targets":"14"}}
+{"seq":2,"time":"2016-04-01T00:00:02Z","type":"sweep.finish","attrs":{"errors":"3","sweep":"1"}}
+`
+	if got := buf.String(); got != want {
+		t.Fatalf("journal bytes:\n%s\nwant:\n%s", got, want)
+	}
+	if err := ValidateEvents(buf.Bytes()); err != nil {
+		t.Fatalf("golden journal fails its own schema: %v", err)
+	}
+	if j.Seq() != 2 {
+		t.Fatalf("seq = %d, want 2", j.Seq())
+	}
+}
+
+// TestJournalTailRing: the in-memory tail keeps the newest tailCap events
+// oldest-first, independent of the writer.
+func TestJournalTailRing(t *testing.T) {
+	j := NewJournal(nil, fakeClock(), 3)
+	for i := 1; i <= 5; i++ {
+		j.Emit("e", "i", fmt.Sprint(i))
+	}
+	tail := j.Tail()
+	if len(tail) != 3 {
+		t.Fatalf("tail length = %d, want 3", len(tail))
+	}
+	for i, want := range []uint64{3, 4, 5} {
+		if tail[i].Seq != want || tail[i].Attrs["i"] != fmt.Sprint(want) {
+			t.Fatalf("tail[%d] = %+v, want seq %d", i, tail[i], want)
+		}
+	}
+}
+
+// TestJournalOddKVDropped: a trailing odd key is dropped, never paired with
+// an invented value.
+func TestJournalOddKVDropped(t *testing.T) {
+	j := NewJournal(nil, fakeClock(), 2)
+	j.Emit("e", "a", "1", "dangling")
+	ev := j.Tail()[0]
+	if len(ev.Attrs) != 1 || ev.Attrs["a"] != "1" {
+		t.Fatalf("attrs = %v, want only a=1", ev.Attrs)
+	}
+}
+
+// TestJournalWriteErrorLatched: the first writer error is latched and later
+// emissions keep feeding the tail.
+func TestJournalWriteErrorLatched(t *testing.T) {
+	boom := errors.New("disk full")
+	j := NewJournal(failWriter{err: boom}, fakeClock(), 4)
+	j.Emit("a")
+	j.Emit("b")
+	if !errors.Is(j.Err(), boom) {
+		t.Fatalf("Err = %v, want latched %v", j.Err(), boom)
+	}
+	if len(j.Tail()) != 2 {
+		t.Fatalf("tail length = %d after write errors, want 2", len(j.Tail()))
+	}
+}
+
+// TestNilJournalNoOp: the nil journal contract the pipeline relies on when
+// no journal is wired.
+func TestNilJournalNoOp(t *testing.T) {
+	var j *Journal
+	j.Emit("e", "k", "v")
+	if j.Tail() != nil || j.Seq() != 0 || j.Err() != nil {
+		t.Fatal("nil journal is not a no-op")
+	}
+}
+
+// TestValidateEventsHostile: the rejection table for the JSONL event schema.
+func TestValidateEventsHostile(t *testing.T) {
+	cases := []struct {
+		name string
+		data string
+		want string
+	}{
+		{"bad-json", "{", "event line 1"},
+		{"unknown-field", `{"seq":1,"time":"2016-04-01T00:00:01Z","type":"e","bogus":1}`, "bogus"},
+		{"zero-seq", `{"seq":0,"time":"2016-04-01T00:00:01Z","type":"e"}`, "not increasing"},
+		{"seq-regression", `{"seq":2,"time":"2016-04-01T00:00:01Z","type":"a"}
+{"seq":2,"time":"2016-04-01T00:00:02Z","type":"b"}`, "not increasing"},
+		{"empty-type", `{"seq":1,"time":"2016-04-01T00:00:01Z","type":""}`, "empty type"},
+		{"bad-time", `{"seq":1,"time":"yesterday","type":"e"}`, "bad timestamp"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := ValidateEvents([]byte(tc.data))
+			if err == nil {
+				t.Fatalf("hostile input accepted:\n%s", tc.data)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+	if err := ValidateEvents(bytes.Repeat([]byte(" "), maxValidateBytes+1)); err == nil ||
+		!strings.Contains(err.Error(), "byte cap") {
+		t.Fatalf("oversized journal accepted: %v", err)
+	}
+	if err := ValidateEvents(nil); err != nil {
+		t.Fatalf("empty journal rejected: %v", err)
+	}
+}

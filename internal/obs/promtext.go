@@ -1,0 +1,286 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Prometheus text exposition (format version 0.0.4), stdlib-only. Registry
+// names use dots as namespace separators ("wire.attempts"); the exposition
+// maps every character outside [a-zA-Z0-9_:] to '_', appends the
+// conventional "_total" suffix to counters, and renders histograms as the
+// cumulative _bucket/_sum/_count series scrapers expect. Metrics render in
+// snapshot order (sorted by registry name), so the exposition bytes are a
+// pure function of the metric values.
+
+// PromContentType is the Content-Type /metrics answers with.
+const PromContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// PromName maps a registry metric name onto the Prometheus data model.
+func PromName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name))
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+			b.WriteByte(c)
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// WritePrometheus renders the snapshot in the text exposition format. Every
+// registered metric appears: counters as <name>_total, gauges verbatim,
+// histograms as cumulative <name>_bucket{le="..."} series (including the
+// mandatory le="+Inf") plus <name>_sum and <name>_count.
+func (s Snapshot) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, m := range s.Metrics {
+		name := PromName(m.Name)
+		switch m.Type {
+		case "counter":
+			fmt.Fprintf(bw, "# TYPE %s_total counter\n", name)
+			fmt.Fprintf(bw, "%s_total %d\n", name, *m.Value)
+		case "gauge":
+			fmt.Fprintf(bw, "# TYPE %s gauge\n", name)
+			fmt.Fprintf(bw, "%s %d\n", name, *m.Value)
+		case "histogram":
+			fmt.Fprintf(bw, "# TYPE %s histogram\n", name)
+			var cum uint64
+			for _, b := range m.Buckets {
+				cum += b.Count
+				fmt.Fprintf(bw, "%s_bucket{le=\"%d\"} %d\n", name, b.Le, cum)
+			}
+			fmt.Fprintf(bw, "%s_bucket{le=\"+Inf\"} %d\n", name, *m.Count)
+			fmt.Fprintf(bw, "%s_sum %d\n", name, *m.Sum)
+			fmt.Fprintf(bw, "%s_count %d\n", name, *m.Count)
+		}
+	}
+	return bw.Flush()
+}
+
+// EncodePrometheus returns the WritePrometheus bytes.
+func (s Snapshot) EncodePrometheus() []byte {
+	var buf bytes.Buffer
+	if err := s.WritePrometheus(&buf); err != nil {
+		panic("obs: encode prometheus: " + err.Error())
+	}
+	return buf.Bytes()
+}
+
+// CheckPrometheusText is the in-repo line-format checker make
+// telemetry-smoke scrapes /metrics through — no external parser
+// dependencies. It enforces the subset of the 0.0.4 text format this repo
+// emits plus the repo's own guarantees:
+//
+//   - every line is a # TYPE / # HELP comment or `name[{labels}] value`;
+//   - metric names match [a-zA-Z_:][a-zA-Z0-9_:]*, label values are quoted;
+//   - values parse as finite floats (NaN and infinities are rejected — the
+//     registry cannot produce them);
+//   - every # TYPE family is followed by at least one sample of that family;
+//   - histogram buckets are cumulative (non-decreasing in le order) and end
+//     with an le="+Inf" bucket equal to the family's _count.
+func CheckPrometheusText(data []byte) error {
+	if len(data) > maxValidateBytes {
+		return fmt.Errorf("obs: exposition: %d bytes exceeds the %d-byte cap", len(data), maxValidateBytes)
+	}
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	families := map[string]*promFam{}
+	var order []string
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimRight(sc.Text(), " ")
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) < 3 || (fields[1] != "TYPE" && fields[1] != "HELP") {
+				return fmt.Errorf("obs: exposition line %d: malformed comment %q", lineNo, line)
+			}
+			if fields[1] == "TYPE" {
+				if len(fields) != 4 {
+					return fmt.Errorf("obs: exposition line %d: TYPE wants `# TYPE name kind`", lineNo)
+				}
+				name, kind := fields[2], fields[3]
+				if !validPromName(name) {
+					return fmt.Errorf("obs: exposition line %d: bad metric name %q", lineNo, name)
+				}
+				switch kind {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return fmt.Errorf("obs: exposition line %d: unknown type %q", lineNo, kind)
+				}
+				if _, dup := families[name]; dup {
+					return fmt.Errorf("obs: exposition line %d: duplicate TYPE for %q", lineNo, name)
+				}
+				families[name] = &promFam{typ: kind}
+				order = append(order, name)
+			}
+			continue
+		}
+		name, labels, value, err := parsePromSample(line)
+		if err != nil {
+			return fmt.Errorf("obs: exposition line %d: %w", lineNo, err)
+		}
+		fam, base := promFamily(families, name)
+		if fam == nil {
+			return fmt.Errorf("obs: exposition line %d: sample %q without a preceding TYPE", lineNo, name)
+		}
+		fam.samples++
+		if fam.typ == "histogram" && strings.HasSuffix(name, "_bucket") {
+			le, ok := labels["le"]
+			if !ok {
+				return fmt.Errorf("obs: exposition line %d: %s_bucket without le label", lineNo, base)
+			}
+			if le == "+Inf" {
+				fam.infSeen, fam.infVal = true, value
+			} else {
+				if _, err := strconv.ParseFloat(le, 64); err != nil {
+					return fmt.Errorf("obs: exposition line %d: bad le %q", lineNo, le)
+				}
+				if value < fam.lastCum {
+					return fmt.Errorf("obs: exposition line %d: %s buckets not cumulative at le=%s", lineNo, base, le)
+				}
+				fam.lastCum = value
+			}
+		}
+		if fam.typ == "histogram" && strings.HasSuffix(name, "_count") {
+			fam.count, fam.hasCnt = value, true
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	for _, name := range order {
+		fam := families[name]
+		if fam.samples == 0 {
+			return fmt.Errorf("obs: exposition: TYPE %s declared but no samples follow", name)
+		}
+		if fam.typ == "histogram" {
+			if !fam.infSeen {
+				return fmt.Errorf("obs: exposition: histogram %s has no le=\"+Inf\" bucket", name)
+			}
+			if !fam.hasCnt {
+				return fmt.Errorf("obs: exposition: histogram %s has no _count sample", name)
+			}
+			if fam.infVal != fam.count {
+				return fmt.Errorf("obs: exposition: histogram %s: +Inf bucket %v != count %v", name, fam.infVal, fam.count)
+			}
+			if fam.lastCum > fam.infVal {
+				return fmt.Errorf("obs: exposition: histogram %s: finite bucket exceeds +Inf", name)
+			}
+		}
+	}
+	return nil
+}
+
+// promFam tracks one declared metric family while checking an exposition.
+type promFam struct {
+	typ     string
+	samples int
+	lastCum float64 // histogram bucket cumulative check
+	infSeen bool
+	infVal  float64
+	count   float64
+	hasCnt  bool
+}
+
+// promFamily resolves a sample name to its declared family, stripping the
+// histogram _bucket/_sum/_count suffixes.
+func promFamily(families map[string]*promFam, name string) (*promFam, string) {
+	if f, ok := families[name]; ok {
+		return f, name
+	}
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		if base, ok := strings.CutSuffix(name, suffix); ok {
+			if f, okf := families[base]; okf && f.typ == "histogram" {
+				return f, base
+			}
+		}
+	}
+	return nil, name
+}
+
+// validPromName reports whether name matches [a-zA-Z_:][a-zA-Z0-9_:]*.
+func validPromName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		ok := (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' || c == ':' ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// parsePromSample splits `name[{k="v",...}] value` into its parts and
+// rejects non-finite values.
+func parsePromSample(line string) (name string, labels map[string]string, value float64, err error) {
+	rest := line
+	if i := strings.IndexByte(rest, '{'); i >= 0 {
+		name = rest[:i]
+		end := strings.IndexByte(rest, '}')
+		if end < i {
+			return "", nil, 0, fmt.Errorf("unterminated label set in %q", line)
+		}
+		labels = map[string]string{}
+		for _, pair := range strings.Split(rest[i+1:end], ",") {
+			if pair == "" {
+				continue
+			}
+			k, v, found := strings.Cut(pair, "=")
+			if !found || len(v) < 2 || v[0] != '"' || v[len(v)-1] != '"' {
+				return "", nil, 0, fmt.Errorf("malformed label %q", pair)
+			}
+			if !validPromName(k) {
+				return "", nil, 0, fmt.Errorf("bad label name %q", k)
+			}
+			labels[k] = v[1 : len(v)-1]
+		}
+		rest = strings.TrimSpace(rest[end+1:])
+	} else {
+		fields := strings.Fields(rest)
+		if len(fields) < 2 {
+			return "", nil, 0, fmt.Errorf("want `name value`, got %q", line)
+		}
+		name = fields[0]
+		rest = strings.Join(fields[1:], " ")
+	}
+	if !validPromName(name) {
+		return "", nil, 0, fmt.Errorf("bad metric name %q", name)
+	}
+	fields := strings.Fields(rest)
+	if len(fields) == 0 || len(fields) > 2 { // optional trailing timestamp
+		return "", nil, 0, fmt.Errorf("want a value after %q", name)
+	}
+	value, err = strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return "", nil, 0, fmt.Errorf("bad value %q: %w", fields[0], err)
+	}
+	if value != value || value > maxFinite || value < -maxFinite {
+		return "", nil, 0, fmt.Errorf("non-finite value %q", fields[0])
+	}
+	return name, labels, value, nil
+}
+
+// maxFinite rejects ±Inf without importing math.
+const maxFinite = 1.7976931348623157e308

@@ -1,0 +1,120 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestPrometheusGolden pins the exact exposition bytes for a small registry —
+// counter suffixing, name sanitization, cumulative histogram rendering.
+func TestPrometheusGolden(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("scan.hosts_total.ok").Add(7)
+	reg.Gauge("progress.stage").Set(3)
+	h := reg.Histogram("query.lat_us", []int64{10, 100})
+	h.Observe(5)
+	h.Observe(50)
+	h.Observe(5000) // overflow
+
+	want := strings.Join([]string{
+		"# TYPE progress_stage gauge",
+		"progress_stage 3",
+		"# TYPE query_lat_us histogram",
+		`query_lat_us_bucket{le="10"} 1`,
+		`query_lat_us_bucket{le="100"} 2`,
+		`query_lat_us_bucket{le="+Inf"} 3`,
+		"query_lat_us_sum 5055",
+		"query_lat_us_count 3",
+		"# TYPE scan_hosts_total_ok_total counter",
+		"scan_hosts_total_ok_total 7",
+		"",
+	}, "\n")
+	got := string(reg.Snapshot().EncodePrometheus())
+	if got != want {
+		t.Fatalf("exposition:\n%s\nwant:\n%s", got, want)
+	}
+	if err := CheckPrometheusText([]byte(got)); err != nil {
+		t.Fatalf("golden exposition fails its own checker: %v", err)
+	}
+}
+
+// TestPromName: the sanitizer maps the registry namespace onto the
+// Prometheus data model.
+func TestPromName(t *testing.T) {
+	cases := map[string]string{
+		"wire.attempts":   "wire_attempts",
+		"mem.heap_b":      "mem_heap_b",
+		"already_fine":    "already_fine",
+		"has:colon":       "has:colon",
+		"9starts.numeric": "_9starts_numeric",
+		"dash-and space":  "dash_and_space",
+	}
+	for in, want := range cases {
+		if got := PromName(in); got != want {
+			t.Errorf("PromName(%q) = %q, want %q", in, got, want)
+		}
+		if !validPromName(PromName(in)) {
+			t.Errorf("PromName(%q) = %q is not a valid prom name", in, PromName(in))
+		}
+	}
+}
+
+// TestCheckPrometheusTextHostile: the rejection table for the exposition
+// checker — the same checker make telemetry-smoke trusts.
+func TestCheckPrometheusTextHostile(t *testing.T) {
+	cases := []struct {
+		name string
+		text string
+		want string
+	}{
+		{"sample-without-type", "orphan 1\n", "without a preceding TYPE"},
+		{"malformed-comment", "# NOPE x y\n", "malformed comment"},
+		{"bad-type-kind", "# TYPE m widget\n", "unknown type"},
+		{"duplicate-type", "# TYPE m counter\nm 1\n# TYPE m gauge\nm 2\n", "duplicate TYPE"},
+		{"type-without-samples", "# TYPE lonely counter\n", "no samples follow"},
+		{"bad-name", "# TYPE 1bad counter\n", "bad metric name"},
+		{"bad-value", "# TYPE m gauge\nm pancake\n", "bad value"},
+		{"nan-value", "# TYPE m gauge\nm NaN\n", "non-finite"},
+		{"inf-value", "# TYPE m gauge\nm +Inf\n", "non-finite"},
+		{"unterminated-labels", "# TYPE h histogram\nh_bucket{le=\"1\" 2\n", "unterminated label set"},
+		{"unquoted-label", "# TYPE h histogram\nh_bucket{le=1} 2\n", "malformed label"},
+		{"bucket-missing-le", "# TYPE h histogram\nh_bucket{x=\"1\"} 2\nh_bucket{le=\"+Inf\"} 2\nh_sum 1\nh_count 2\n", "without le label"},
+		{"non-cumulative", "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\nh_bucket{le=\"+Inf\"} 5\nh_sum 1\nh_count 5\n", "not cumulative"},
+		{"missing-inf", "# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_sum 1\nh_count 1\n", "no le=\"+Inf\""},
+		{"missing-count", "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 1\nh_sum 1\n", "no _count"},
+		{"inf-count-mismatch", "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 2\nh_sum 1\nh_count 3\n", "!= count"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := CheckPrometheusText([]byte(tc.text))
+			if err == nil {
+				t.Fatalf("hostile exposition accepted:\n%s", tc.text)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+	// HELP comments and trailing timestamps are legal 0.0.4 and must pass.
+	ok := "# HELP m a metric\n# TYPE m gauge\nm 5 1460505600000\n"
+	if err := CheckPrometheusText([]byte(ok)); err != nil {
+		t.Fatalf("legal exposition rejected: %v", err)
+	}
+}
+
+// TestPrometheusCoversEveryMetric: the telemetry-smoke coverage check —
+// every registered metric must surface in the exposition under its
+// sanitized name.
+func TestPrometheusCoversEveryMetric(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("a.count").Inc()
+	reg.Gauge("b.gauge").Set(1)
+	reg.Histogram("c.lat", []int64{10}).Observe(1)
+	snap := reg.Snapshot()
+	text := string(snap.EncodePrometheus())
+	for _, m := range snap.Metrics {
+		if !strings.Contains(text, PromName(m.Name)) {
+			t.Errorf("metric %q missing from exposition", m.Name)
+		}
+	}
+}

@@ -1,0 +1,86 @@
+package obs
+
+// Quantile estimation over the fixed-bucket histograms. The estimate is the
+// classic Prometheus-style linear interpolation inside the bucket the target
+// rank falls into, with two deliberate departures that keep the result
+// NaN-free and bounded (the sampler and /statusz golden-test these bytes):
+//
+//   - an empty histogram estimates 0 for every quantile;
+//   - a rank that lands in the overflow bucket clamps to the last finite
+//     bound (there is no upper edge to interpolate toward), and a histogram
+//     with no finite buckets at all falls back to the mean.
+//
+// The domain is assumed non-negative (every histogram in the repo observes
+// durations, sizes or counts), so the first bucket interpolates from 0.
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1; out-of-range q clamps) of
+// the observed distribution. Safe to call concurrently with Observe; the
+// estimate is then over a momentary view. A nil *Histogram estimates 0.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	counts := make([]uint64, len(h.bounds))
+	var total uint64
+	for i := range h.bounds {
+		counts[i] = h.buckets[i].Load()
+		total += counts[i]
+	}
+	overflow := h.buckets[len(h.bounds)].Load()
+	return bucketQuantile(q, h.bounds, counts, overflow, total+overflow, h.sum.Load())
+}
+
+// Quantile is the snapshot-level estimator: the same arithmetic as
+// Histogram.Quantile over a rendered Metric. The second return is false when
+// the metric is not a histogram.
+func (m Metric) Quantile(q float64) (float64, bool) {
+	if m.Type != "histogram" || m.Count == nil || m.Sum == nil || m.Overflow == nil {
+		return 0, false
+	}
+	bounds := make([]int64, len(m.Buckets))
+	counts := make([]uint64, len(m.Buckets))
+	for i, b := range m.Buckets {
+		bounds[i] = b.Le
+		counts[i] = b.Count
+	}
+	return bucketQuantile(q, bounds, counts, *m.Overflow, *m.Count, *m.Sum), true
+}
+
+// bucketQuantile interpolates the q-quantile from per-bucket (not
+// cumulative) counts. total is the observation count including overflow.
+func bucketQuantile(q float64, bounds []int64, counts []uint64, overflow, total uint64, sum int64) float64 {
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 || q != q { // q != q: NaN in, clamp to the max estimate
+		q = 1
+	}
+	if len(bounds) == 0 {
+		// Only an overflow bucket: the mean is the only finite estimate.
+		return float64(sum) / float64(total)
+	}
+	rank := q * float64(total)
+	var cum float64
+	for i, c := range counts {
+		next := cum + float64(c)
+		if rank <= next && c > 0 {
+			lower := 0.0
+			if i > 0 {
+				lower = float64(bounds[i-1])
+			}
+			upper := float64(bounds[i])
+			frac := (rank - cum) / float64(c)
+			if frac < 0 {
+				frac = 0
+			}
+			return lower + (upper-lower)*frac
+		}
+		cum = next
+	}
+	// The rank falls into the overflow bucket: clamp to the last finite
+	// bound — an honest "at least this much" rather than an invented tail.
+	return float64(bounds[len(bounds)-1])
+}

@@ -1,0 +1,101 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+// TestQuantileKnownDistributions pins the estimator against hand-computed
+// distributions: uniform fill, point mass, skewed tails, overflow clamping.
+func TestQuantileKnownDistributions(t *testing.T) {
+	bounds := []int64{10, 20, 30, 40}
+	cases := []struct {
+		name    string
+		observe []int64
+		q       float64
+		want    float64
+	}{
+		// 100 observations spread evenly: 25 per bucket. p50's rank (50)
+		// lands at the top of bucket 2 (cum 25..50): 10 + 10*(25/25) = 20.
+		{"uniform-p50", fill(25, 5, 15, 25, 35), 0.50, 20},
+		// p90 rank 90 is 15/25 into bucket 4 (cum 75..100): 30+10*0.6 = 36.
+		{"uniform-p90", fill(25, 5, 15, 25, 35), 0.90, 36},
+		// Point mass in one bucket: every quantile interpolates inside it.
+		{"point-mass-p50", fill(10, 15), 0.50, 15},
+		// rank 9.9 of 10 is 99% into the (10,20] bucket: 10 + 10*0.99.
+		{"point-mass-p99", fill(10, 15), 0.99, 19.9},
+		// All mass in the first bucket interpolates from 0.
+		{"first-bucket-p50", fill(4, 1), 0.50, 5},
+		// Overflow rank clamps to the last finite bound.
+		{"overflow-clamp", fill(1, 5, 100), 0.99, 40},
+		{"all-overflow", fill(3, 1000), 0.50, 40},
+		// q out of range clamps instead of inventing values.
+		{"q-below-zero", fill(10, 15), -1, 10},
+		{"q-above-one", fill(10, 15), 2, 20},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			reg := NewRegistry()
+			h := reg.Histogram("h", bounds)
+			for _, v := range tc.observe {
+				h.Observe(v)
+			}
+			got := h.Quantile(tc.q)
+			if math.Abs(got-tc.want) > 1e-9 {
+				t.Fatalf("Quantile(%v) = %v, want %v", tc.q, got, tc.want)
+			}
+			// The snapshot-level estimator must agree exactly.
+			for _, m := range reg.Snapshot().Metrics {
+				if sq, ok := m.Quantile(tc.q); !ok || math.Abs(sq-got) > 1e-12 {
+					t.Fatalf("Metric.Quantile(%v) = %v (ok=%v), histogram said %v", tc.q, sq, ok, got)
+				}
+			}
+		})
+	}
+}
+
+// fill returns counts copies of each value in vals.
+func fill(counts int, vals ...int64) []int64 {
+	out := make([]int64, 0, counts*len(vals))
+	for _, v := range vals {
+		for i := 0; i < counts; i++ {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// TestQuantileNaNFree: empty histograms, NaN q, and bound-free histograms
+// all produce finite numbers — the sampler document guarantee.
+func TestQuantileNaNFree(t *testing.T) {
+	reg := NewRegistry()
+	empty := reg.Histogram("empty", []int64{1, 2})
+	if got := empty.Quantile(0.5); got != 0 {
+		t.Fatalf("empty histogram Quantile = %v, want 0", got)
+	}
+	var nilH *Histogram
+	if got := nilH.Quantile(0.5); got != 0 {
+		t.Fatalf("nil histogram Quantile = %v, want 0", got)
+	}
+	h := reg.Histogram("h", []int64{10})
+	h.Observe(5)
+	if got := h.Quantile(math.NaN()); math.IsNaN(got) {
+		t.Fatal("NaN q produced a NaN estimate")
+	}
+	// No finite buckets: fall back to the mean, never NaN/Inf.
+	boundless := reg.Histogram("boundless", nil)
+	boundless.Observe(7)
+	boundless.Observe(9)
+	if got := boundless.Quantile(0.5); got != 8 {
+		t.Fatalf("boundless histogram Quantile = %v, want mean 8", got)
+	}
+	// Non-histogram metrics answer ok=false.
+	reg.Counter("c").Inc()
+	for _, m := range reg.Snapshot().Metrics {
+		if m.Type == "counter" {
+			if _, ok := m.Quantile(0.5); ok {
+				t.Fatal("counter Metric.Quantile reported ok")
+			}
+		}
+	}
+}

@@ -12,3 +12,10 @@ import (
 func NewWallClockTracer(w io.Writer) *Tracer {
 	return NewTracer(w, time.Now)
 }
+
+// NewWallClockJournal is the event journal's wall-clock constructor, kept
+// in this file for the same allowlist reason. w receives the JSONL lines
+// (-events-out); nil keeps only the in-memory tail.
+func NewWallClockJournal(w io.Writer, tailCap int) *Journal {
+	return NewJournal(w, time.Now, tailCap)
+}

@@ -1,0 +1,258 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func testSampler(reg *Registry, capacity int) *Sampler {
+	return NewSampler(reg, SamplerConfig{Capacity: capacity, Interval: time.Second, Now: fakeClock()})
+}
+
+// TestSamplerWindowedRates: counters get a windowed delta and per-second rate
+// computed from first-to-last retained sample.
+func TestSamplerWindowedRates(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("scan.hosts")
+	g := reg.Gauge("progress.stage")
+	s := testSampler(reg, 8)
+
+	s.Tick() // hosts=0
+	c.Add(10)
+	g.Set(2)
+	s.Tick() // hosts=10, one second later
+	c.Add(20)
+	s.Tick() // hosts=30, two seconds after the first tick
+
+	doc := s.Document()
+	if doc.Ticks != 3 || doc.IntervalMS != 1000 || doc.Capacity != 8 {
+		t.Fatalf("doc header = ticks %d interval %d cap %d", doc.Ticks, doc.IntervalMS, doc.Capacity)
+	}
+	var counter, gauge *Series
+	for i := range doc.Series {
+		switch doc.Series[i].Name {
+		case "scan.hosts":
+			counter = &doc.Series[i]
+		case "progress.stage":
+			gauge = &doc.Series[i]
+		}
+	}
+	if counter == nil || gauge == nil {
+		t.Fatalf("missing series in %+v", doc.Series)
+	}
+	if counter.Delta == nil || *counter.Delta != 30 {
+		t.Fatalf("counter delta = %v, want 30", counter.Delta)
+	}
+	// 30 units over the 2s window between first and last sample.
+	if counter.RatePerS == nil || *counter.RatePerS != 15 {
+		t.Fatalf("counter rate = %v, want 15/s", counter.RatePerS)
+	}
+	if gauge.Delta != nil || gauge.RatePerS != nil {
+		t.Fatal("gauge grew a windowed delta")
+	}
+	if *gauge.Samples[len(gauge.Samples)-1].Value != 2 {
+		t.Fatalf("gauge last sample = %d, want 2", *gauge.Samples[len(gauge.Samples)-1].Value)
+	}
+	if err := ValidateSamples(doc.EncodeJSON()); err != nil {
+		t.Fatalf("document fails its own schema: %v", err)
+	}
+}
+
+// TestSamplerRingWrap: rings drop the oldest samples once capacity is hit,
+// and the windowed delta covers only the retained window.
+func TestSamplerRingWrap(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("c")
+	s := testSampler(reg, 3)
+	for i := 0; i < 5; i++ {
+		c.Inc()
+		s.Tick()
+	}
+	doc := s.Document()
+	se := doc.Series[0]
+	if len(se.Samples) != 3 {
+		t.Fatalf("retained %d samples, want 3", len(se.Samples))
+	}
+	// Ticks 3,4,5 with values 3,4,5 survive.
+	for i, want := range []uint64{3, 4, 5} {
+		if se.Samples[i].Tick != want || *se.Samples[i].Value != int64(want) {
+			t.Fatalf("sample %d = tick %d value %d, want %d/%d",
+				i, se.Samples[i].Tick, *se.Samples[i].Value, want, want)
+		}
+	}
+	if *se.Delta != 2 {
+		t.Fatalf("windowed delta = %d, want 2 (retained window only)", *se.Delta)
+	}
+	if err := ValidateSamples(doc.EncodeJSON()); err != nil {
+		t.Fatalf("wrapped document fails schema: %v", err)
+	}
+}
+
+// TestSamplerHistogramSeries: histogram samples carry count/sum and the three
+// quantile estimates, and never a counter value.
+func TestSamplerHistogramSeries(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("lat", []int64{10, 100})
+	s := testSampler(reg, 4)
+	h.Observe(5)
+	h.Observe(50)
+	s.Tick()
+	doc := s.Document()
+	sp := doc.Series[0].Samples[0]
+	if sp.Count == nil || *sp.Count != 2 || sp.Sum == nil || *sp.Sum != 55 {
+		t.Fatalf("histogram sample = %+v", sp)
+	}
+	if sp.P50 == nil || sp.P90 == nil || sp.P99 == nil || sp.Value != nil {
+		t.Fatalf("histogram sample fields = %+v", sp)
+	}
+	if err := ValidateSamples(doc.EncodeJSON()); err != nil {
+		t.Fatalf("histogram document fails schema: %v", err)
+	}
+}
+
+// TestSamplerStableDocumentExcludesVolatile mirrors Snapshot/Stable: the
+// matrix test pins StableDocument, so volatile series must not leak into it.
+func TestSamplerStableDocumentExcludesVolatile(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("stable.count").Inc()
+	reg.Gauge("mem.heap_b", Volatile).Set(123)
+	s := testSampler(reg, 4)
+	s.Tick()
+	full := s.Document()
+	stable := s.StableDocument()
+	if len(full.Series) != 2 || len(stable.Series) != 1 {
+		t.Fatalf("series counts: full %d stable %d", len(full.Series), len(stable.Series))
+	}
+	if stable.Series[0].Name != "stable.count" {
+		t.Fatalf("stable series = %q", stable.Series[0].Name)
+	}
+	if !bytes.Contains(full.EncodeJSON(), []byte("mem.heap_b")) {
+		t.Fatal("full document dropped the volatile series")
+	}
+}
+
+// TestSamplerDeterministicBytes: two samplers fed the same tick sequence over
+// identical registries render byte-identical documents — the property the
+// worker-count matrix test depends on.
+func TestSamplerDeterministicBytes(t *testing.T) {
+	run := func() []byte {
+		reg := NewRegistry()
+		c := reg.Counter("sweep.hosts")
+		h := reg.Histogram("sweep.lat", []int64{10, 100})
+		s := testSampler(reg, 16)
+		for i := 0; i < 5; i++ {
+			c.Add(int64(i))
+			h.Observe(int64(i * 7))
+			s.Tick()
+		}
+		return s.StableDocument().EncodeJSON()
+	}
+	a, b := run(), run()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("documents differ:\n%s\n---\n%s", a, b)
+	}
+}
+
+// TestNilSamplerNoOp: the nil sampler contract the cmds rely on when
+// -sample-interval is off.
+func TestNilSamplerNoOp(t *testing.T) {
+	var s *Sampler
+	s.Tick()
+	if s.Ticks() != 0 {
+		t.Fatal("nil sampler ticked")
+	}
+	doc := s.Document()
+	if doc.Version != SamplesVersion || len(doc.Series) != 0 {
+		t.Fatalf("nil sampler document = %+v", doc)
+	}
+}
+
+// TestNewSamplerNilClockPanics: a missing clock must fail loudly at
+// construction, not silently at the first tick.
+func TestNewSamplerNilClockPanics(t *testing.T) {
+	defer func() {
+		if r := recover(); r == nil {
+			t.Fatal("NewSampler accepted a nil clock")
+		}
+	}()
+	NewSampler(NewRegistry(), SamplerConfig{})
+}
+
+// TestValidateSamplesHostile: the rejection table for the samples schema.
+func TestValidateSamplesHostile(t *testing.T) {
+	good := func() SamplesDoc {
+		reg := NewRegistry()
+		c := reg.Counter("a.count")
+		s := testSampler(reg, 4)
+		c.Inc()
+		s.Tick()
+		c.Inc()
+		s.Tick()
+		return s.Document()
+	}
+	cases := []struct {
+		name string
+		data []byte
+		want string
+	}{
+		{"bad-json", []byte("{"), "samples document"},
+		{"unknown-field", []byte(`{"version":1,"bogus":1}`), "bogus"},
+		{"wrong-version", []byte(`{"version":99,"interval_ms":0,"capacity":1,"ticks":0,"series":[]}`), "version 99"},
+		{"empty-name", []byte(`{"version":1,"interval_ms":0,"capacity":1,"ticks":1,"series":[{"name":"","type":"counter","samples":[]}]}`), "empty name"},
+		{"unsorted", mutate(good(), func(d *SamplesDoc) {
+			d.Series = append(d.Series, d.Series[0])
+			d.Series[1].Name = "0.before"
+		}), "out of order"},
+		{"dup-name", mutate(good(), func(d *SamplesDoc) {
+			d.Series = append(d.Series, d.Series[0])
+		}), "out of order"},
+		{"unknown-type", mutate(good(), func(d *SamplesDoc) {
+			d.Series[0].Type = "summary"
+		}), "unknown type"},
+		{"tick-regression", mutate(good(), func(d *SamplesDoc) {
+			d.Series[0].Samples[1].Tick = d.Series[0].Samples[0].Tick
+		}), "not increasing"},
+		{"counter-decrease", mutate(good(), func(d *SamplesDoc) {
+			*d.Series[0].Samples[1].Value = -1
+		}), "negative value"},
+		{"counter-regression", mutate(good(), func(d *SamplesDoc) {
+			*d.Series[0].Samples[0].Value = 5
+		}), "value decreased"},
+		{"delta-without-rate", mutate(good(), func(d *SamplesDoc) {
+			d.Series[0].RatePerS = nil
+		}), "must appear together"},
+		{"over-capacity", mutate(good(), func(d *SamplesDoc) {
+			d.Capacity = 1
+		}), "exceed capacity"},
+		{"oversized", bytes.Repeat([]byte(" "), maxValidateBytes+1), "byte cap"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := ValidateSamples(tc.data)
+			if err == nil {
+				t.Fatalf("hostile input accepted:\n%s", tc.data)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+	if err := ValidateSamples(good().EncodeJSON()); err != nil {
+		t.Fatalf("baseline document rejected: %v", err)
+	}
+}
+
+// mutate deep-copies doc via its own JSON round trip, applies f, and returns
+// the re-encoded bytes.
+func mutate(doc SamplesDoc, f func(*SamplesDoc)) []byte {
+	data := doc.EncodeJSON()
+	var copied SamplesDoc
+	if err := json.Unmarshal(data, &copied); err != nil {
+		panic(err)
+	}
+	f(&copied)
+	return copied.EncodeJSON()
+}

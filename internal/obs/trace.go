@@ -19,9 +19,51 @@ import (
 type Tracer struct {
 	now func() time.Time
 
-	mu  sync.Mutex
-	w   io.Writer
-	err error
+	mu   sync.Mutex
+	w    io.Writer
+	err  error
+	tail []SpanRecord // bounded ring of completed spans (KeepTail)
+	head int
+	n    int
+}
+
+// SpanRecord is one completed span retained for /statusz: the per-stage
+// durations a status page shows without re-reading the trace file.
+type SpanRecord struct {
+	Name  string            `json:"name"`
+	Start time.Time         `json:"start"`
+	Dur   time.Duration     `json:"dur"`
+	Attrs map[string]string `json:"attrs,omitempty"`
+}
+
+// KeepTail makes the tracer retain the last n completed spans in memory
+// (in End order) for Tail; n <= 0 disables retention.
+func (t *Tracer) KeepTail(n int) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if n <= 0 {
+		t.tail, t.head, t.n = nil, 0, 0
+		return
+	}
+	t.tail = make([]SpanRecord, n)
+	t.head, t.n = 0, 0
+}
+
+// Tail returns the retained completed spans, oldest first.
+func (t *Tracer) Tail() []SpanRecord {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]SpanRecord, 0, t.n)
+	for i := 0; i < t.n; i++ {
+		out = append(out, t.tail[(t.head-t.n+i+len(t.tail))%len(t.tail)])
+	}
+	return out
 }
 
 // NewTracer returns a tracer writing one JSON object per line to w, with
@@ -105,6 +147,13 @@ func (s *Span) End() time.Duration {
 	t := s.tracer
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	if t.tail != nil {
+		t.tail[t.head] = SpanRecord{Name: s.Name, Start: s.Timer.StartedAt(), Dur: d, Attrs: s.attrs}
+		t.head = (t.head + 1) % len(t.tail)
+		if t.n < len(t.tail) {
+			t.n++
+		}
+	}
 	if t.w == nil {
 		return d
 	}

@@ -28,10 +28,20 @@ func (s Snapshot) EncodeJSON() []byte {
 	return buf.Bytes()
 }
 
+// maxValidateBytes caps any document the validators accept: a registry of
+// a few hundred metrics renders in the tens of KiB, so 16 MiB is three
+// orders of magnitude of headroom — anything larger is hostile or corrupt,
+// and rejecting it up front keeps the validators usable on untrusted input.
+const maxValidateBytes = 16 << 20
+
 // ValidateMetrics checks data against the metrics-document schema
 // (version, sorted unique names, per-type field shape, monotonic histogram
-// bounds). make obs-smoke runs it over real -metrics-out output.
+// bounds, overall size cap). make obs-smoke runs it over real -metrics-out
+// output.
 func ValidateMetrics(data []byte) error {
+	if len(data) > maxValidateBytes {
+		return fmt.Errorf("obs: metrics document: %d bytes exceeds the %d-byte cap", len(data), maxValidateBytes)
+	}
 	dec := json.NewDecoder(bytes.NewReader(data))
 	dec.DisallowUnknownFields()
 	var snap Snapshot
@@ -90,6 +100,9 @@ func ValidateMetrics(data []byte) error {
 // object per line with type "span", a non-empty name, an RFC3339 start
 // timestamp and a non-negative duration.
 func ValidateTrace(data []byte) error {
+	if len(data) > maxValidateBytes {
+		return fmt.Errorf("obs: trace document: %d bytes exceeds the %d-byte cap", len(data), maxValidateBytes)
+	}
 	sc := bufio.NewScanner(bytes.NewReader(data))
 	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
 	lineNo := 0

@@ -1,0 +1,62 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// Hostile-input hardening on top of the rejection tables in trace_test.go:
+// duplicate names, oversized documents, and the NaN-free guarantee on real
+// registry output.
+
+func TestValidateMetricsDuplicateName(t *testing.T) {
+	doc := `{"version":1,"metrics":[{"name":"a","type":"counter","value":1},{"name":"a","type":"counter","value":2}]}`
+	err := ValidateMetrics([]byte(doc))
+	if err == nil || !strings.Contains(err.Error(), "out of order") {
+		t.Fatalf("duplicate metric names accepted: %v", err)
+	}
+}
+
+func TestValidateOversizedDocuments(t *testing.T) {
+	big := bytes.Repeat([]byte(" "), maxValidateBytes+1)
+	for name, fn := range map[string]func([]byte) error{
+		"metrics": ValidateMetrics,
+		"trace":   ValidateTrace,
+		"samples": ValidateSamples,
+		"events":  ValidateEvents,
+	} {
+		err := fn(big)
+		if err == nil || !strings.Contains(err.Error(), "byte cap") {
+			t.Errorf("%s: oversized document accepted: %v", name, err)
+		}
+	}
+}
+
+// TestRegistryOutputNaNFree: everything a real registry renders — snapshot
+// JSON, exposition text, sampler document — is NaN-free even for empty
+// histograms, because each format would be unparseable or invalid with one.
+func TestRegistryOutputNaNFree(t *testing.T) {
+	reg := NewRegistry()
+	reg.Histogram("empty.hist", []int64{10, 100}) // zero observations
+	reg.Counter("zero.count")
+
+	snap := reg.Snapshot()
+	for _, out := range [][]byte{snap.EncodeJSON(), snap.EncodePrometheus()} {
+		if bytes.Contains(out, []byte("NaN")) {
+			t.Fatalf("NaN leaked into rendering:\n%s", out)
+		}
+	}
+	if err := ValidateMetrics(snap.EncodeJSON()); err != nil {
+		t.Fatalf("empty-histogram snapshot invalid: %v", err)
+	}
+	if err := CheckPrometheusText(snap.EncodePrometheus()); err != nil {
+		t.Fatalf("empty-histogram exposition invalid: %v", err)
+	}
+
+	s := testSampler(reg, 4)
+	s.Tick()
+	if err := ValidateSamples(s.Document().EncodeJSON()); err != nil {
+		t.Fatalf("empty-histogram samples invalid (NaN quantiles?): %v", err)
+	}
+}

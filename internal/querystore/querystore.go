@@ -54,6 +54,10 @@ type Options struct {
 	DisableMmap bool
 	// Obs receives query.* metrics; nil disables instrumentation.
 	Obs *obs.Registry
+	// Journal receives "query.shard_error" events when a shard read or
+	// inflate fails — the store keeps serving, but an operator tailing
+	// /events sees the corruption immediately. nil disables journaling.
+	Journal *obs.Journal
 }
 
 // mapping is the random-access seam between the store and its file: mmap
@@ -133,6 +137,7 @@ type Store struct {
 	cMissGuard                         *obs.Counter
 	cCacheHit, cCacheMiss, cCacheEvict *obs.Counter
 	cInflate                           *obs.Counter
+	journal                            *obs.Journal
 }
 
 type sectionBytes struct{ keys, post []byte }
@@ -225,6 +230,7 @@ func open(src mapping, size int64, opt Options) (*Store, error) {
 	st.cCacheMiss = reg.Counter("query.cache.miss", obs.Volatile)
 	st.cCacheEvict = reg.Counter("query.cache.evict", obs.Volatile)
 	st.cInflate = reg.Counter("query.cache.inflate_raw_bytes", obs.Volatile)
+	st.journal = opt.Journal
 	reg.Gauge("query.store.certs").Set(int64(lay.CertCount))
 	reg.Gauge("query.store.scans").Set(int64(lay.ScanCount))
 	reg.Gauge("query.store.observations").Set(int64(lay.ObsCount))
@@ -459,10 +465,12 @@ func (s *Store) shardRaw(i uint32) ([]byte, error) {
 	sh := s.lay.Shards[i]
 	comp, err := s.src.Bytes(sh.Off, int64(sh.CompLen))
 	if err != nil {
+		s.journal.Emit("query.shard_error", "shard", fmt.Sprint(i), "op", "read")
 		return nil, fmt.Errorf("querystore: read shard %d: %w", i, err)
 	}
 	raw, err := sh.Inflate(comp)
 	if err != nil {
+		s.journal.Emit("query.shard_error", "shard", fmt.Sprint(i), "op", "inflate")
 		return nil, fmt.Errorf("querystore: shard %d: %w", i, err)
 	}
 	s.cInflate.Add(int64(len(raw)))

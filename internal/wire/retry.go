@@ -282,6 +282,15 @@ func FoldSweep(reg *obs.Registry, results []Result) {
 	}
 }
 
+// IsRetryStorm flags a sweep whose retry volume reached its target count —
+// on average every endpoint needed a second attempt, the signature of a
+// network-wide fault episode rather than scattered flaky hosts. The event
+// journal emits a "retry.storm" event for such sweeps so an operator tailing
+// /events sees the episode without diffing counters.
+func IsRetryStorm(st SweepStats) bool {
+	return st.Targets > 0 && st.Retries >= st.Targets
+}
+
 // SweepStatsFrom reads SweepStats back out of the sweep.* counters —
 // SweepStats is a view over the metrics, not a parallel bookkeeping system.
 func SweepStatsFrom(reg *obs.Registry) SweepStats {
